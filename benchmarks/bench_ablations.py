@@ -1,0 +1,57 @@
+"""Ablations of the Sec. VI design choices, plus the Corollary 7 check."""
+
+from repro.experiments import (format_table, run_min_convexity_check,
+                               run_monitor_coverage_ablation,
+                               run_safety_margin_ablation,
+                               run_unmanaged_fraction_ablation)
+
+
+def test_ablation_safety_margin(run_once, capsys):
+    result = run_once(run_safety_margin_ablation)
+    with capsys.disabled():
+        print()
+        print(format_table(result, x_name="margin", float_fmt="{:8.3f}"))
+    simulated = result.series_by_label("Talus simulated MPKI")
+    lru = result.summary["lru_mpki"]
+    hull = result.summary["hull_mpki"]
+    # Every margin beats plain LRU on the plateau, and the paper's 5% margin
+    # sits close to the hull.
+    assert all(v < lru for v in simulated.y)
+    margin_5pct = dict(zip(simulated.x, simulated.y))[0.05]
+    assert margin_5pct <= hull + 0.35 * (lru - hull)
+
+
+def test_ablation_monitor_coverage(run_once, capsys):
+    result = run_once(run_monitor_coverage_ablation)
+    with capsys.disabled():
+        print()
+        print(format_table(result, x_name="coverage x", float_fmt="{:8.3f}"))
+    # Without extended coverage Talus cannot improve on LRU (the cliff is
+    # invisible); with 4x coverage it can (Sec. VI-C).
+    assert result.summary["talus_mpki_with_min_coverage"] >= \
+        result.summary["lru_mpki_at_target"] - 1e-6
+    assert result.summary["talus_mpki_with_max_coverage"] < \
+        0.9 * result.summary["lru_mpki_at_target"]
+
+
+def test_ablation_unmanaged_fraction(run_once, capsys):
+    result = run_once(run_unmanaged_fraction_ablation)
+    with capsys.disabled():
+        print()
+        print(format_table(result, x_name="unmanaged", float_fmt="{:8.3f}"))
+    simulated = result.series_by_label("Talus simulated MPKI")
+    # All fractions stay below LRU; the Futility-Scaling-like configuration
+    # (no unmanaged region) is at least as good as the largest unmanaged one.
+    assert all(v < result.summary["lru_mpki"] for v in simulated.y)
+    assert result.summary["mpki_with_no_unmanaged"] <= \
+        result.summary["mpki_with_max_unmanaged"] + 1.0
+
+
+def test_corollary7_min_is_convex(run_once, capsys):
+    result = run_once(run_min_convexity_check)
+    with capsys.disabled():
+        print()
+        print(format_table(result, x_name="lines", float_fmt="{:10.0f}"))
+    # MIN's non-convexity is a small fraction of LRU's on the same trace.
+    assert result.summary["min_convexity_gap"] < \
+        0.25 * result.summary["lru_convexity_gap"]

@@ -1,0 +1,23 @@
+"""Figure 1: libquantum's LRU cliff at 32 MB and Talus's removal of it."""
+
+from repro.experiments import format_table, run_fig1
+
+
+def test_fig01_libquantum_cliff(run_once, capsys):
+    result = run_once(run_fig1)
+    with capsys.disabled():
+        print()
+        print(format_table(result, x_name="LLC MB"))
+
+    lru = result.series_by_label("LRU")
+    talus = result.series_by_label("Talus")
+    # The paper's shape: LRU is flat (within noise) before the cliff and
+    # near zero after; Talus declines smoothly in between.
+    assert result.summary["lru_mpki_at_half_cliff"] > 25.0
+    assert result.summary["talus_mpki_at_half_cliff"] < 0.75 * result.summary[
+        "lru_mpki_at_half_cliff"]
+    # Past the cliff only cold misses remain; the bound scales with the
+    # finite trace length used in fast mode.
+    assert result.summary["lru_mpki_past_cliff"] < 8.0
+    # Talus never does worse than LRU anywhere.
+    assert all(t <= l + 1e-6 for t, l in zip(talus.y, lru.y))

@@ -1,0 +1,24 @@
+"""Figures 2/3: the Sec. III worked example (12 -> ~6 MPKI at 4 MB)."""
+
+from repro.experiments import format_table, run_fig3
+
+
+def test_fig03_worked_example(run_once, capsys):
+    result = run_once(run_fig3)
+    with capsys.disabled():
+        print()
+        print(format_table(result, x_name="MB"))
+
+    s = result.summary
+    # Planner picks hull vertices bracketing 4 MB: beta lands at the cliff
+    # (~5 MB); alpha is the last hull vertex before the plateau.  On the
+    # *measured* curve the interleaved scan stretches the random component's
+    # reuse distances, so alpha can legitimately fall below the idealized
+    # 2 MB (the idealized numbers are checked exactly by the unit tests).
+    assert 0.0 <= s["alpha_mb"] <= 3.0
+    assert 4.5 <= s["beta_mb"] <= 6.5
+    assert 0.1 <= s["rho"] <= 0.6
+    # Talus roughly halves the plateau MPKI at 4 MB, both in prediction and
+    # in the trace-driven simulation.
+    assert s["talus_predicted_mpki_at_target"] < 0.65 * s["lru_mpki_at_target"]
+    assert s["talus_simulated_mpki_at_target"] < 0.75 * s["lru_mpki_at_target"]

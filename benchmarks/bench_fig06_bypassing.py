@@ -1,0 +1,24 @@
+"""Figures 5/6: Talus vs optimal bypassing on the Sec. III example curve."""
+
+from repro.experiments import format_table, run_fig6
+
+
+def test_fig06_bypassing(run_once, capsys):
+    result = run_once(run_fig6)
+    with capsys.disabled():
+        print()
+        print(format_table(result, x_name="MB"))
+
+    s = result.summary
+    # The paper's numbers at 4 MB: original 12 MPKI, Talus 6 MPKI, optimal
+    # bypassing ~7-8 MPKI caching ~80% of accesses.
+    assert abs(s["original_mpki"] - 12.0) < 1e-9
+    assert abs(s["talus_mpki"] - 6.0) < 1e-9
+    assert 6.0 < s["optimal_bypass_mpki"] <= 8.5
+    assert 0.7 <= s["optimal_bypass_cached_fraction"] <= 0.9
+    # Corollary 8: bypassing never beats the hull (Talus).
+    talus = result.series_by_label("Talus")
+    bypass = result.series_by_label("Bypassing")
+    original = result.series_by_label("Original")
+    for t, b, o in zip(talus.y, bypass.y, original.y):
+        assert t <= b + 1e-9 <= o + 1e-9

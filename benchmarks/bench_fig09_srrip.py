@@ -1,0 +1,23 @@
+"""Figure 9: Talus smooths SRRIP's cliffs (policy agnosticism)."""
+
+import pytest
+
+from repro.experiments import format_table, run_fig9
+
+
+@pytest.mark.parametrize("workload", ["libquantum", "mcf"])
+def test_fig09_srrip(run_once, capsys, workload):
+    result = run_once(run_fig9, workload)
+    with capsys.disabled():
+        print()
+        print(format_table(result, x_name="LLC MB"))
+
+    srrip = result.series_by_label("SRRIP")
+    hull = result.series_by_label("SRRIP hull")
+    talus = result.series_by_label("Talus+W/SRRIP")
+    scale = max(max(srrip.y) - min(srrip.y), 1e-3)
+    for t, s, h in zip(talus.y, srrip.y, hull.y):
+        # Talus-on-SRRIP does not degrade SRRIP (beyond monitor/sampling
+        # noise) and approaches its hull.
+        assert t <= s + 0.15 * scale
+        assert t <= h + 0.40 * scale

@@ -1,0 +1,22 @@
+"""Figure 10: MPKI vs LLC size — Talus+V/LRU vs PDP, DRRIP, SRRIP, LRU."""
+
+import pytest
+
+from repro.experiments import format_table, run_fig10_benchmark
+from repro.workloads import FIG10_BENCHMARKS
+
+
+@pytest.mark.parametrize("workload", list(FIG10_BENCHMARKS))
+def test_fig10_policy_mpki(run_once, capsys, workload):
+    result = run_once(run_fig10_benchmark, workload)
+    with capsys.disabled():
+        print()
+        print(format_table(result, x_name="LLC MB"))
+
+    # Talus never regresses vs LRU (it only bridges non-convex regions);
+    # the empirical policies are allowed to (and on some benchmarks do).
+    assert result.summary["max_regression_vs_lru_Talus+V/LRU"] <= 1e-6
+
+    talus = result.series_by_label("Talus+V/LRU")
+    lru = result.series_by_label("LRU")
+    assert all(t <= l + 1e-6 for t, l in zip(talus.y, lru.y))

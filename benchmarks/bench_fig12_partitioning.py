@@ -1,0 +1,33 @@
+"""Figure 12: weighted & harmonic speedups over LRU for random 8-app mixes."""
+
+import pytest
+
+from repro.experiments import run_fig12
+
+
+@pytest.mark.parametrize("metric", ["weighted", "harmonic"])
+def test_fig12_partitioning(run_once, capsys, metric):
+    result = run_once(run_fig12, 8.0, 8, None, 2015, metric)
+    gmeans = {k.replace(f"gmean_{metric}_speedup_", ""): v
+              for k, v in result.summary.items()
+              if k.startswith(f"gmean_{metric}_speedup_")}
+    with capsys.disabled():
+        print()
+        print(f"== Figure 12: gmean {metric} speedup over unpartitioned LRU ==")
+        for label, value in gmeans.items():
+            print(f"  {label:22s} {100 * (value - 1):6.2f} %")
+
+    talus = gmeans["Talus+V/LRU (Hill)"]
+    lookahead = gmeans["Lookahead"]
+    hill_lru = gmeans["Hill LRU"]
+    tadrrip = gmeans["TA-DRRIP"]
+    # Headline claims (Sec. VII-D): Talus with naive hill climbing is
+    # competitive with (at least ~97% of) the expensive Lookahead heuristic,
+    # and clearly beats both hill climbing on plain LRU and TA-DRRIP.
+    assert talus >= 0.97 * lookahead
+    assert talus > tadrrip
+    if metric == "weighted":
+        assert lookahead > hill_lru * 0.99
+        assert talus > hill_lru
+    # Everything improves on the unpartitioned baseline on average.
+    assert min(gmeans.values()) > 1.0

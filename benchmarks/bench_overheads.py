@@ -1,0 +1,20 @@
+"""Section VI-D: hardware overhead accounting for the 8-core system."""
+
+from repro.experiments import run_overheads
+
+
+def test_overhead_analysis(run_once, capsys):
+    report = run_once(run_overheads)
+    with capsys.disabled():
+        print()
+        print("== Sec. VI-D: Talus hardware overheads (8-core, 8 MB LLC) ==")
+        print(f"  monitors          {report.monitor_kb:8.2f} KB")
+        print(f"  sampling functions{report.sampling_kb:8.2f} KB")
+        print(f"  partition state   {report.partition_state_kb:8.2f} KB")
+        print(f"  extra tag bits    {report.tag_bits_kb:8.2f} KB")
+        print(f"  total             {report.total_kb:8.2f} KB "
+              f"({100 * report.overhead_fraction:.2f}% of LLC)")
+
+    # The paper reports ~24 KB of extra state, ~0.3% of the 8 MB LLC.
+    assert 15.0 <= report.total_kb <= 60.0
+    assert report.overhead_fraction < 0.01

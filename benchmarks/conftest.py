@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one figure or analysis of the paper and prints
+the same rows/series the paper reports.  Expensive experiments run once per
+benchmark (``rounds=1``) — the interesting output is the reproduced data,
+not the wall-clock time.
+
+Set ``REPRO_FAST=0`` to run the full-size experiments (more sizes, more
+mixes, longer traces).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

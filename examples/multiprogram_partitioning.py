@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Shared-cache partitioning study: why convexity makes management simple.
+
+Eight SPEC-like applications share an 8 MB LLC.  We compare:
+
+* unpartitioned LRU (the baseline),
+* partitioned LRU with hill climbing (simple, but stuck on cliffs),
+* partitioned LRU with Lookahead (expensive heuristic),
+* Talus + hill climbing (simple *and* effective, because Talus's curves are
+  convex).
+
+This is a miniature of the paper's Fig. 12 experiment, runnable in a few
+seconds.
+
+Run with::
+
+    python examples/multiprogram_partitioning.py
+"""
+
+from repro.sim import SharedCacheExperiment
+from repro.workloads import WorkloadMix, get_profile
+
+
+def main() -> None:
+    apps = tuple(get_profile(name) for name in (
+        "omnetpp", "xalancbmk", "mcf", "sphinx3",
+        "lbm", "soplex", "hmmer", "libquantum"))
+    mix = WorkloadMix(name="example-mix", apps=apps)
+    experiment = SharedCacheExperiment(mix, total_mb=8.0)
+
+    baseline = experiment.evaluate("lru-shared")
+    schemes = ("lru-hill", "lru-lookahead", "talus-hill", "talus-fair")
+
+    print(f"{'scheme':>16s} {'weighted speedup':>18s} {'harmonic speedup':>18s} "
+          f"{'CoV of IPC':>12s}")
+    print(f"{'lru-shared':>16s} {'1.000 (baseline)':>18s} "
+          f"{'1.000 (baseline)':>18s} {baseline.cov_ipc:12.3f}")
+    for scheme in schemes:
+        result = experiment.evaluate(scheme)
+        print(f"{scheme:>16s} {result.weighted_speedup_over(baseline):18.3f} "
+              f"{result.harmonic_speedup_over(baseline):18.3f} "
+              f"{result.cov_ipc:12.3f}")
+
+    print("\nPer-app allocations under Talus + hill climbing:")
+    talus = experiment.evaluate("talus-hill")
+    for app in talus.apps:
+        print(f"  {app.name:12s} {app.allocation_mb:6.2f} MB "
+              f"-> {app.mpki:6.2f} MPKI, IPC {app.ipc:.3f}")
+
+    print("\nWith convex (Talus) curves, a trivial hill-climbing allocator "
+          "matches or beats\nthe quadratic Lookahead heuristic — the paper's "
+          "central system-level claim.")
+
+
+if __name__ == "__main__":
+    main()

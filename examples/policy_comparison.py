@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Compare replacement policies on a thrashing workload, with and without Talus.
+
+Runs LRU, SRRIP, DRRIP, DIP, PDP and Belady's MIN on a scanning workload
+that thrashes a small cache, then shows how Talus-on-LRU compares: Talus
+recovers most of what the high-performance policies get, while remaining
+predictable (its miss curve is just the convex hull of LRU's).
+
+Run with::
+
+    python examples/policy_comparison.py
+"""
+
+from repro.cache import BeladyMINPolicy, SetAssociativeCache, named_policy_factory
+from repro.core import convex_hull
+from repro.monitor import lru_miss_curve
+from repro.workloads import sequential_scan
+
+
+def main() -> None:
+    working_set = 1200   # lines
+    cache_lines = 1024   # smaller than the working set: LRU thrashes
+    ways = 16
+    trace = sequential_scan(working_set, n_accesses=60_000)
+
+    print(f"Scanning workload: {working_set} lines, cache {cache_lines} lines "
+          f"({ways}-way)\n")
+    print(f"{'policy':>10s} {'miss rate':>10s}")
+
+    num_sets = cache_lines // ways
+    for policy in ("LRU", "SRRIP", "DRRIP", "DIP", "PDP"):
+        cache = SetAssociativeCache(num_sets, ways,
+                                    named_policy_factory(policy, num_sets))
+        stats = cache.run(trace.addresses)
+        print(f"{policy:>10s} {stats.miss_rate:10.3f}")
+
+    # Belady's MIN (fully associative oracle) for reference.
+    min_policy = BeladyMINPolicy(cache_lines, trace.addresses)
+    min_misses = sum(0 if min_policy.access(t) else 1 for t in trace.addresses)
+    print(f"{'MIN':>10s} {min_misses / len(trace):10.3f}")
+
+    # Talus on LRU: the convex hull of LRU's miss curve at this size.
+    curve = lru_miss_curve(trace.addresses,
+                           sizes=[0, 256, 512, 768, 1024, 1200, 1400])
+    hull = convex_hull(curve)
+    print(f"{'Talus/LRU':>10s} {float(hull(cache_lines)) / len(trace):10.3f}"
+          f"   (predicted from LRU's miss curve alone)")
+
+    print("\nLRU thrashes (misses on every access); the empirical policies "
+          "resist thrashing\nto different degrees; Talus gets the convex-hull "
+          "miss rate out of plain LRU,\nwhile staying fully predictable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: remove a performance cliff from a miss curve with Talus.
+
+This example walks through the paper's Section III worked example using the
+public API only:
+
+1. build a miss curve with a plateau and a cliff,
+2. inspect the cliff,
+3. plan Talus shadow partitions for a 4 MB cache,
+4. compare the original, Talus and optimal-bypassing miss rates.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import (MissCurve, convex_hull, find_cliffs, optimal_bypass,
+                        plan_shadow_partitions, predicted_miss,
+                        talus_miss_curve)
+
+
+def main() -> None:
+    # The Sec. III example: 24 APKI, 12 MPKI plateau from 2 MB, cliff at 5 MB.
+    curve = MissCurve(
+        sizes=[0, 1, 2, 3, 4, 5, 6, 8, 10],
+        misses=[24, 18, 12, 12, 12, 3, 3, 3, 3],
+    )
+
+    print("Original miss curve (size MB -> MPKI):")
+    for size, misses in curve:
+        print(f"  {size:5.1f} MB -> {misses:5.1f} MPKI")
+
+    cliffs = find_cliffs(curve)
+    print("\nDetected cliffs:")
+    for cliff in cliffs:
+        print(f"  plateau+cliff spanning [{cliff.start_size:g}, "
+              f"{cliff.end_size:g}] MB, drop of {cliff.drop:g} MPKI, "
+              f"worst waste {cliff.max_gap:g} MPKI at {cliff.max_gap_size:g} MB")
+
+    # Plan Talus for a 4 MB cache.
+    target = 4.0
+    config = plan_shadow_partitions(curve, target)
+    print(f"\nTalus configuration at {target:g} MB:")
+    print(f"  alpha = {config.alpha:g} MB, beta = {config.beta:g} MB")
+    print(f"  sampling rate rho = {config.rho:.3f}")
+    print(f"  shadow partition sizes: s1 = {config.s1:.3f} MB, "
+          f"s2 = {config.s2:.3f} MB")
+    print(f"  emulated cache sizes: {config.emulated_sizes()[0]:.2f} MB and "
+          f"{config.emulated_sizes()[1]:.2f} MB")
+
+    talus_mpki = predicted_miss(curve, config)
+    bypass = optimal_bypass(curve, target)
+    print(f"\nAt {target:g} MB:")
+    print(f"  LRU               : {curve(target):5.1f} MPKI")
+    print(f"  Talus             : {talus_mpki:5.1f} MPKI  (the convex hull: "
+          f"{convex_hull(curve)(target):.1f})")
+    print(f"  optimal bypassing : {bypass.misses:5.1f} MPKI "
+          f"(caching {bypass.rho:.0%} of accesses)")
+
+    print("\nFull Talus miss curve (traces the convex hull):")
+    for size, misses in talus_miss_curve(curve):
+        print(f"  {size:5.1f} MB -> {misses:5.1f} MPKI")
+
+
+if __name__ == "__main__":
+    main()

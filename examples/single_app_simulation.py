@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Trace-driven Talus on a libquantum-like streaming workload.
+
+This example exercises the full hardware path rather than the analytic
+model: it generates a scanning workload (a scaled-down libquantum), measures
+its LRU miss curve with a UMON-style monitor, programs a Talus cache built
+on Vantage-like partitioning, and replays the trace at several cache sizes,
+comparing plain LRU against Talus.
+
+Run with::
+
+    python examples/single_app_simulation.py
+"""
+
+import numpy as np
+
+from repro.cache import TalusCache, VantagePartitionedCache, simulate_trace
+from repro.core import TalusConfig, convex_hull, plan_shadow_partitions
+from repro.monitor import CombinedUMON
+from repro.workloads import get_profile, lines_to_paper_mb, paper_mb_to_lines
+
+
+def measure_curve_with_umon(trace, llc_lines):
+    """Measure an LRU miss curve the way hardware would: with sampled UMONs."""
+    umon = CombinedUMON(llc_size=llc_lines, primary_rate=1.0 / 8.0)
+    umon.record_trace(trace.addresses)
+    raw = umon.miss_curve()
+    mpki = raw.misses * 1000.0 / trace.instructions
+    from repro.core import MissCurve
+    sizes_mb = np.array([lines_to_paper_mb(s) for s in raw.sizes])
+    return MissCurve(sizes_mb, mpki).monotone_envelope()
+
+
+def talus_mpki_at(trace, curve, size_mb):
+    """Program a Talus-on-Vantage cache for ``size_mb`` and replay the trace."""
+    lines = paper_mb_to_lines(size_mb)
+    base = VantagePartitionedCache(lines, num_partitions=2)
+    talus = TalusCache(base, num_logical=1)
+    config = plan_shadow_partitions(curve, size_mb, safety_margin=0.05)
+    factor = float(paper_mb_to_lines(1.0))
+    talus.configure(0, TalusConfig(
+        total_size=config.total_size * factor, alpha=config.alpha * factor,
+        beta=config.beta * factor, rho=config.rho,
+        s1=config.s1 * factor, s2=config.s2 * factor,
+        degenerate=config.degenerate))
+    stats = talus.run(trace.addresses, logical=0)
+    return 1000.0 * stats.misses / trace.instructions
+
+
+def main() -> None:
+    profile = get_profile("libquantum")
+    trace = profile.trace(n_accesses=80_000)
+    print(f"Workload: {profile.name} — {profile.description}")
+    print(f"  {trace.accesses} accesses, footprint "
+          f"{lines_to_paper_mb(trace.footprint):.1f} paper-MB, "
+          f"APKI {trace.apki:.1f}")
+
+    llc_mb = 40.0
+    curve = measure_curve_with_umon(trace, paper_mb_to_lines(llc_mb))
+    hull = convex_hull(curve)
+
+    print(f"\n{'size':>8s} {'LRU':>10s} {'Talus':>10s} {'hull':>10s}   (MPKI)")
+    for size_mb in (8.0, 16.0, 24.0, 32.0, 36.0):
+        lru_stats = simulate_trace(trace.addresses, paper_mb_to_lines(size_mb))
+        lru_mpki = 1000.0 * lru_stats.misses / trace.instructions
+        talus_mpki = talus_mpki_at(trace, curve, size_mb)
+        print(f"{size_mb:6.1f}MB {lru_mpki:10.2f} {talus_mpki:10.2f} "
+              f"{float(hull(size_mb)):10.2f}")
+
+    print("\nTalus turns the all-or-nothing cliff into smooth, proportional "
+          "gains,\nusing only the measured miss curve — no knowledge of "
+          "individual lines.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro: a reproduction of Talus (Beckmann & Sanchez, HPCA 2015).
+
+Talus removes performance cliffs in caches by splitting each logical cache
+partition into two *shadow partitions* that emulate a smaller and a larger
+cache, steering a hashed fraction of accesses to each so that the combined
+miss rate traces the convex hull of the underlying policy's miss curve.
+
+Package layout
+--------------
+``repro.core``
+    Miss curves, convex hulls, the Talus planner, bypassing analysis.
+``repro.cache``
+    Trace-driven set-associative cache simulator, replacement policies
+    (LRU, SRRIP, DRRIP, DIP, PDP, Belady MIN, Random), partitioning schemes
+    (way, set, Vantage-like, ideal), and the Talus hardware wrapper.
+``repro.monitor``
+    Stack-distance / UMON miss-curve monitors and multi-point monitors.
+``repro.workloads``
+    Synthetic access-stream generators and SPEC-CPU2006-like profiles.
+``repro.partitioning``
+    Software partitioning algorithms (hill climbing, Lookahead, fair,
+    optimal DP) and the Talus software wrapper.
+``repro.sim``
+    Simulation drivers, the analytic performance model, multi-programmed
+    shared-cache experiments, and metrics.
+``repro.experiments``
+    One harness per paper figure; used by the benchmark suite.
+"""
+
+from .core import (MissCurve, TalusConfig, convex_hull, plan_shadow_partitions,
+                   predicted_miss, talus_miss_curve)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MissCurve",
+    "TalusConfig",
+    "convex_hull",
+    "plan_shadow_partitions",
+    "predicted_miss",
+    "talus_miss_curve",
+    "__version__",
+]

@@ -1,0 +1,57 @@
+"""Trace-driven cache simulation substrate.
+
+Stands in for the paper's zsim memory hierarchy: set-associative caches,
+the replacement policies the paper evaluates, the partitioning schemes Talus
+runs on, and the Talus hardware wrapper itself (shadow partitions plus the
+H3 sampling function).
+"""
+
+from .cache import (CacheStats, SetAssociativeCache, lru_factory,
+                    policy_factory_from_class, simulate_trace)
+from .factory import POLICY_NAMES, named_policy_factory
+from .hashing import H3Hash, SamplingFunction, mix64, set_index
+from .partition import (FutilityScalingCache, IdealPartitionedCache,
+                        PartitionedCache, SetPartitionedCache,
+                        VantagePartitionedCache, WayPartitionedCache,
+                        make_partitioned_cache)
+from .replacement import (BIPPolicy, BRRIPPolicy, BeladyMINPolicy, DIPPolicy,
+                          DRRIPPolicy, EvictionPolicy, LIPPolicy, LRUPolicy,
+                          PDPPolicy, RandomPolicy, SRRIPPolicy, TADRRIPPolicy,
+                          make_policy)
+from .talus_cache import ShadowPair, TalusCache
+
+__all__ = [
+    "CacheStats",
+    "SetAssociativeCache",
+    "simulate_trace",
+    "lru_factory",
+    "policy_factory_from_class",
+    "named_policy_factory",
+    "POLICY_NAMES",
+    "H3Hash",
+    "SamplingFunction",
+    "mix64",
+    "set_index",
+    "PartitionedCache",
+    "IdealPartitionedCache",
+    "WayPartitionedCache",
+    "SetPartitionedCache",
+    "VantagePartitionedCache",
+    "FutilityScalingCache",
+    "make_partitioned_cache",
+    "EvictionPolicy",
+    "LRUPolicy",
+    "LIPPolicy",
+    "BIPPolicy",
+    "RandomPolicy",
+    "SRRIPPolicy",
+    "BRRIPPolicy",
+    "DRRIPPolicy",
+    "TADRRIPPolicy",
+    "DIPPolicy",
+    "PDPPolicy",
+    "BeladyMINPolicy",
+    "make_policy",
+    "TalusCache",
+    "ShadowPair",
+]

@@ -1,0 +1,62 @@
+"""Policy-factory construction by name, with correct set-dueling wiring.
+
+Dueling policies (DIP, DRRIP) need a PSEL counter *shared across sets* and a
+few dedicated leader sets; building them with one independent instance per
+set silently disables adaptation.  This module centralizes the wiring so
+experiments can just ask for a policy by name.
+"""
+
+from __future__ import annotations
+
+from .replacement import (BIPPolicy, BRRIPPolicy, DIPPolicy, DRRIPPolicy,
+                          LIPPolicy, LRUPolicy, PDPPolicy, RandomPolicy,
+                          SRRIPPolicy, TADRRIPPolicy)
+from .replacement.base import PolicyFactory
+from .replacement.dip import dip_factory
+from .replacement.rrip import drrip_factory
+
+__all__ = ["named_policy_factory", "POLICY_NAMES"]
+
+#: Policy names accepted by :func:`named_policy_factory`.
+POLICY_NAMES = ("LRU", "LIP", "BIP", "Random", "SRRIP", "BRRIP", "DRRIP",
+                "DIP", "PDP", "TA-DRRIP")
+
+
+def named_policy_factory(name: str, num_regions: int, **kwargs) -> PolicyFactory:
+    """Return a per-region policy factory for ``name``.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`POLICY_NAMES`.
+    num_regions:
+        Number of regions (sets) the cache will create.  Needed so dueling
+        policies can designate leader sets and share their PSEL counter.
+    kwargs:
+        Extra keyword arguments forwarded to the policy constructor
+        (e.g. ``epsilon`` for BIP/BRRIP).
+    """
+    if num_regions <= 0:
+        raise ValueError("num_regions must be positive")
+    simple = {
+        "LRU": LRUPolicy,
+        "LIP": LIPPolicy,
+        "BIP": BIPPolicy,
+        "Random": RandomPolicy,
+        "SRRIP": SRRIPPolicy,
+        "BRRIP": BRRIPPolicy,
+        "PDP": PDPPolicy,
+        "TA-DRRIP": TADRRIPPolicy,
+    }
+    if name in simple:
+        cls = simple[name]
+
+        def factory(region_index: int, capacity: int):
+            return cls(capacity, **kwargs)
+
+        return factory
+    if name == "DRRIP":
+        return drrip_factory(num_regions, **kwargs)
+    if name == "DIP":
+        return dip_factory(num_regions, **kwargs)
+    raise ValueError(f"unknown policy {name!r}; known: {POLICY_NAMES}")

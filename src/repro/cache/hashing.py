@@ -1,0 +1,132 @@
+"""Hash functions used by the cache substrate and by Talus's sampling logic.
+
+Talus steers accesses between shadow partitions with an inexpensive H3 hash
+(Carter & Wegman) of the line address compared against an 8-bit limit
+register (Sec. VI-B of the paper).  The cache itself also hashes addresses
+to set indices so that accesses spread evenly across sets (Assumption 3 —
+"statistically self-similar" sampled streams — relies on good hashing).
+
+Both hash families here are deterministic given a seed, so experiments are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["H3Hash", "SamplingFunction", "mix64", "set_index"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def mix64(value: int) -> int:
+    """A 64-bit finalizer (splitmix64) used for set-index hashing.
+
+    Cheap, stateless and well-mixed; good enough to emulate the hashed
+    indexing of a real LLC.
+    """
+    value &= _MASK64
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    z = value
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def set_index(address: int, num_sets: int, seed: int = 0) -> int:
+    """Map a line address to a set index using hashed indexing."""
+    if num_sets <= 0:
+        raise ValueError("num_sets must be positive")
+    return mix64(address ^ (seed * 0x9E3779B97F4A7C15)) % num_sets
+
+
+class H3Hash:
+    """An H3 universal hash: ``h(x) = XOR of rows of Q selected by bits of x``.
+
+    This is the hardware-friendly hash family the paper uses for the shadow
+    partition sampling function.  Each instance draws a random binary matrix
+    ``Q`` (one row per input bit) from a seeded RNG; hashing XORs together
+    the rows corresponding to the set bits of the input.
+
+    Parameters
+    ----------
+    out_bits:
+        Width of the hash output (the paper uses 8 bits).
+    in_bits:
+        Number of input address bits considered.
+    seed:
+        Seed for the matrix; different seeds give independent hash functions.
+    """
+
+    def __init__(self, out_bits: int = 8, in_bits: int = 48, seed: int = 1):
+        if out_bits <= 0 or out_bits > 32:
+            raise ValueError("out_bits must be in [1, 32]")
+        if in_bits <= 0 or in_bits > 64:
+            raise ValueError("in_bits must be in [1, 64]")
+        self.out_bits = out_bits
+        self.in_bits = in_bits
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self._rows = [int(v) for v in
+                      rng.integers(0, 1 << out_bits, size=in_bits, dtype=np.uint64)]
+        self._mask = (1 << out_bits) - 1
+
+    def __call__(self, value: int) -> int:
+        """Hash ``value`` to an integer in ``[0, 2**out_bits)``."""
+        result = 0
+        v = value & ((1 << self.in_bits) - 1)
+        bit = 0
+        while v:
+            if v & 1:
+                result ^= self._rows[bit]
+            v >>= 1
+            bit += 1
+        return result & self._mask
+
+    def hash_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized hash of an array of addresses (used by trace tooling)."""
+        values = np.asarray(values, dtype=np.uint64)
+        result = np.zeros(values.shape, dtype=np.uint64)
+        masked = values & np.uint64((1 << self.in_bits) - 1)
+        for bit in range(self.in_bits):
+            row = np.uint64(self._rows[bit])
+            has_bit = (masked >> np.uint64(bit)) & np.uint64(1)
+            result ^= has_bit * row
+        return result & np.uint64(self._mask)
+
+    def __repr__(self) -> str:
+        return f"H3Hash(out_bits={self.out_bits}, in_bits={self.in_bits}, seed={self.seed})"
+
+
+class SamplingFunction:
+    """Talus's hardware sampling function: H3 hash + limit register.
+
+    Each incoming address is hashed to ``out_bits`` bits; if the hash value
+    is below the limit register the access goes to the *alpha* shadow
+    partition, otherwise to the *beta* shadow partition (Fig. 7b).
+
+    The limit register quantizes the sampling rate ``rho`` to
+    ``2**out_bits`` levels, exactly as the 8-bit register in the paper does.
+    """
+
+    def __init__(self, rho: float = 0.0, out_bits: int = 8, seed: int = 1):
+        self.hash = H3Hash(out_bits=out_bits, seed=seed)
+        self.out_bits = out_bits
+        self._levels = 1 << out_bits
+        self.limit = 0
+        self.set_rate(rho)
+
+    def set_rate(self, rho: float) -> None:
+        """Program the limit register for a target sampling rate ``rho``."""
+        if not 0.0 <= rho <= 1.0:
+            raise ValueError(f"rho must be in [0, 1], got {rho}")
+        self.limit = int(round(rho * self._levels))
+
+    @property
+    def rate(self) -> float:
+        """The quantized sampling rate actually implemented by the register."""
+        return self.limit / self._levels
+
+    def goes_to_alpha(self, address: int) -> bool:
+        """Whether ``address`` is steered to the alpha shadow partition."""
+        return self.hash(address) < self.limit

@@ -1,0 +1,66 @@
+"""Cache partitioning schemes (hardware enforcement of capacity allocations)."""
+
+from .base import PartitionedCache
+from .futility import FutilityScalingCache
+from .ideal import IdealPartitionedCache
+from .setpart import SetPartitionedCache
+from .vantage import VantagePartitionedCache
+from .way import WayPartitionedCache
+
+__all__ = [
+    "PartitionedCache",
+    "IdealPartitionedCache",
+    "WayPartitionedCache",
+    "SetPartitionedCache",
+    "VantagePartitionedCache",
+    "FutilityScalingCache",
+    "SCHEME_REGISTRY",
+    "make_partitioned_cache",
+]
+
+#: Registry of partitioning schemes by the short names used in the paper's
+#: figures: V (Vantage), W (way), S (set), I (ideal), F (Futility Scaling).
+SCHEME_REGISTRY = {
+    "ideal": "I",
+    "way": "W",
+    "set": "S",
+    "vantage": "V",
+    "futility": "F",
+}
+
+
+def make_partitioned_cache(scheme: str, capacity_lines: int, num_partitions: int,
+                           policy_factory=None, ways: int = 16,
+                           **kwargs) -> PartitionedCache:
+    """Construct a partitioned cache by scheme name.
+
+    Parameters
+    ----------
+    scheme:
+        One of ``"ideal"``, ``"way"``, ``"set"``, ``"vantage"``.
+    capacity_lines:
+        Total capacity in lines.
+    num_partitions:
+        Number of partitions.
+    policy_factory:
+        Optional replacement-policy factory (default per-scheme LRU).
+    ways:
+        Associativity used by the way/set-partitioned organizations.
+    """
+    from ..cache import lru_factory
+    factory = policy_factory if policy_factory is not None else lru_factory
+    scheme = scheme.lower()
+    if scheme == "ideal":
+        return IdealPartitionedCache(capacity_lines, num_partitions, factory, **kwargs)
+    if scheme == "vantage":
+        return VantagePartitionedCache(capacity_lines, num_partitions, factory, **kwargs)
+    if scheme == "futility":
+        return FutilityScalingCache(capacity_lines, num_partitions, factory, **kwargs)
+    if scheme == "way":
+        num_sets = max(1, capacity_lines // ways)
+        return WayPartitionedCache(num_sets, ways, num_partitions, factory, **kwargs)
+    if scheme == "set":
+        num_sets = max(num_partitions, capacity_lines // ways)
+        return SetPartitionedCache(num_sets, ways, num_partitions, factory, **kwargs)
+    raise ValueError(f"unknown partitioning scheme {scheme!r}; "
+                     f"known: {sorted(SCHEME_REGISTRY)}")

@@ -1,0 +1,116 @@
+"""Partitioned-cache interface.
+
+A partitioned cache exposes ``num_partitions`` software-visible partitions,
+each with a capacity allocation expressed in lines.  Accesses are tagged with
+the partition they belong to (in the paper: the core, thread, or — for Talus
+— the shadow partition chosen by the sampling function).
+
+Concrete schemes differ in how strictly and at what granularity they enforce
+allocations:
+
+* :class:`~repro.cache.partition.ideal.IdealPartitionedCache` — exact line
+  granularity, fully associative (the paper's "idealized partitioning").
+* :class:`~repro.cache.partition.way.WayPartitionedCache` — allocations
+  rounded to whole ways per set.
+* :class:`~repro.cache.partition.setpart.SetPartitionedCache` — allocations
+  rounded to whole sets.
+* :class:`~repro.cache.partition.vantage.VantagePartitionedCache` — line
+  granularity over 90 % of the cache, with a shared unmanaged region.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from ..cache import CacheStats
+
+__all__ = ["PartitionedCache"]
+
+
+class PartitionedCache(ABC):
+    """Abstract base class for partitioned cache organizations."""
+
+    def __init__(self, capacity_lines: int, num_partitions: int):
+        if capacity_lines <= 0:
+            raise ValueError("capacity_lines must be positive")
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        self.capacity_lines = int(capacity_lines)
+        self.num_partitions = int(num_partitions)
+        self.partition_stats = [CacheStats() for _ in range(num_partitions)]
+
+    # ------------------------------------------------------------------ #
+    # Mandatory interface
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def set_allocations(self, sizes: Sequence[float]) -> list[int]:
+        """Set per-partition capacity targets (in lines).
+
+        ``sizes`` may be fractional (planners work in real numbers); the
+        scheme rounds them to whatever granularity it supports and returns
+        the *granted* allocations in lines.  The sum of requests must not
+        exceed the scheme's partitionable capacity.
+        """
+
+    @abstractmethod
+    def access(self, address: int, partition: int) -> bool:
+        """Perform one access on behalf of ``partition``; True on a hit."""
+
+    @abstractmethod
+    def granted_allocations(self) -> list[int]:
+        """Current per-partition allocations in lines (post-rounding)."""
+
+    @abstractmethod
+    def partition_occupancy(self, partition: int) -> int:
+        """Number of lines currently resident for ``partition``."""
+
+    # ------------------------------------------------------------------ #
+    # Shared behaviour
+    # ------------------------------------------------------------------ #
+    @property
+    def partitionable_lines(self) -> int:
+        """Lines the scheme can actually divide among partitions.
+
+        Equal to the full capacity except for schemes with an unmanaged
+        region (Vantage).
+        """
+        return self.capacity_lines
+
+    def _check_partition(self, partition: int) -> None:
+        if not 0 <= partition < self.num_partitions:
+            raise ValueError(
+                f"partition must be in [0, {self.num_partitions}), got {partition}")
+
+    def _check_requests(self, sizes: Sequence[float]) -> list[float]:
+        sizes = [float(s) for s in sizes]
+        if len(sizes) != self.num_partitions:
+            raise ValueError(
+                f"expected {self.num_partitions} sizes, got {len(sizes)}")
+        if any(s < 0 for s in sizes):
+            raise ValueError("allocations must be non-negative")
+        total = sum(sizes)
+        if total > self.partitionable_lines * (1 + 1e-9):
+            raise ValueError(
+                f"requested {total} lines exceeds partitionable capacity "
+                f"{self.partitionable_lines}")
+        return sizes
+
+    def record(self, partition: int, hit: bool) -> None:
+        """Update the per-partition statistics."""
+        self.partition_stats[partition].record(hit)
+
+    def total_stats(self) -> CacheStats:
+        """Aggregate statistics across all partitions."""
+        total = CacheStats()
+        for stats in self.partition_stats:
+            total = total.merge(stats)
+        return total
+
+    def reset_stats(self) -> None:
+        """Zero all per-partition statistics."""
+        self.partition_stats = [CacheStats() for _ in range(self.num_partitions)]
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(capacity={self.capacity_lines} lines, "
+                f"partitions={self.num_partitions})")

@@ -1,0 +1,115 @@
+"""Futility-Scaling-like fine-grained partitioning (Wang & Chen, MICRO 2014).
+
+The paper notes (Sec. VI-B) that using Futility Scaling instead of Vantage
+would avoid the unmanaged-region complication: Futility Scaling enforces
+per-partition sizes at line granularity over the *whole* cache by scaling
+each partition's "futility" (eviction priority) so that its occupancy tracks
+its target.
+
+This class is a functional stand-in with the same capacity semantics: every
+line belongs to a partition, each partition has a target size, and evictions
+are taken from whichever partition is most over its target (scaling its
+eviction pressure), falling back to the requesting partition when none is
+over target.  There is no unmanaged region, so the full capacity is
+partitionable — which is exactly the property the paper points to.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..cache import lru_factory
+from ..replacement.base import PolicyFactory
+from .base import PartitionedCache
+
+__all__ = ["FutilityScalingCache"]
+
+
+class FutilityScalingCache(PartitionedCache):
+    """Line-granularity partitioning over the full cache, no unmanaged region.
+
+    Parameters
+    ----------
+    capacity_lines:
+        Total cache capacity in lines.
+    num_partitions:
+        Number of software-visible partitions.
+    policy_factory:
+        Replacement policy per partition (default LRU); the policy orders
+        evictions *within* a partition, while the futility-scaling logic
+        decides *which* partition gives up a line.
+    """
+
+    def __init__(self, capacity_lines: int, num_partitions: int,
+                 policy_factory: PolicyFactory = lru_factory):
+        super().__init__(capacity_lines, num_partitions)
+        base = capacity_lines // num_partitions
+        self._regions = [policy_factory(i, capacity_lines)
+                         for i in range(num_partitions)]
+        # Targets are soft: regions are built with full-cache capacity and the
+        # scaling logic below keeps their occupancy near the target.
+        self._targets = [base] * num_partitions
+
+    # ------------------------------------------------------------------ #
+    def set_allocations(self, sizes: Sequence[float]) -> list[int]:
+        sizes = self._check_requests(sizes)
+        granted = [int(round(s)) for s in sizes]
+        while sum(granted) > self.capacity_lines:
+            granted[granted.index(max(granted))] -= 1
+        self._targets = granted
+        self._rebalance()
+        return list(granted)
+
+    def granted_allocations(self) -> list[int]:
+        return list(self._targets)
+
+    def partition_occupancy(self, partition: int) -> int:
+        self._check_partition(partition)
+        return len(self._regions[partition])
+
+    # ------------------------------------------------------------------ #
+    def _total_occupancy(self) -> int:
+        return sum(len(region) for region in self._regions)
+
+    def _most_over_target(self) -> int | None:
+        """Partition with the largest occupancy excess over its target."""
+        best = None
+        best_excess = 0
+        for index, (region, target) in enumerate(zip(self._regions, self._targets)):
+            excess = len(region) - target
+            if excess > best_excess:
+                best_excess = excess
+                best = index
+        return best
+
+    def _rebalance(self) -> None:
+        """Evict from over-target partitions until the cache fits."""
+        while self._total_occupancy() > self.capacity_lines:
+            victim_partition = self._most_over_target()
+            if victim_partition is None:
+                victim_partition = max(range(self.num_partitions),
+                                       key=lambda i: len(self._regions[i]))
+            if self._regions[victim_partition].evict_one() is None:
+                break
+
+    def access(self, address: int, partition: int) -> bool:
+        self._check_partition(partition)
+        region = self._regions[partition]
+        if address in region:
+            hit = region.access(address)
+            self.record(partition, hit)
+            return hit
+        # Miss: make room globally before inserting.  Evict from the most
+        # over-target partition (scaled eviction pressure); if nobody is over
+        # target, the requesting partition replaces within itself (or, if it
+        # is empty, the largest partition gives up a line).
+        if self._total_occupancy() >= self.capacity_lines:
+            victim_partition = self._most_over_target()
+            if victim_partition is None:
+                victim_partition = partition if len(region) > 0 else max(
+                    range(self.num_partitions),
+                    key=lambda i: len(self._regions[i]))
+            self._regions[victim_partition].evict_one()
+        region.access(address)
+        self.record(partition, False)
+        return False

@@ -1,0 +1,66 @@
+"""Idealized partitioning: exact line-granularity, fully-associative partitions.
+
+This corresponds to the "Talus+I" configuration of Fig. 8 in the paper — a
+partitioning scheme with no rounding, no associativity conflicts and no
+unmanaged region.  Each partition is simply an independent fully-associative
+region managed by its own replacement-policy instance, with a capacity equal
+to its allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..cache import lru_factory
+from ..replacement.base import PolicyFactory
+from .base import PartitionedCache
+
+__all__ = ["IdealPartitionedCache"]
+
+
+class IdealPartitionedCache(PartitionedCache):
+    """Exact, fully-associative partitioning.
+
+    Parameters
+    ----------
+    capacity_lines:
+        Total cache capacity in lines.
+    num_partitions:
+        Number of software-visible partitions.
+    policy_factory:
+        ``(partition_index, capacity) -> EvictionPolicy``; default LRU.
+        Called once per partition; capacities are later adjusted with
+        :meth:`set_allocations`.
+    """
+
+    def __init__(self, capacity_lines: int, num_partitions: int,
+                 policy_factory: PolicyFactory = lru_factory):
+        super().__init__(capacity_lines, num_partitions)
+        base = capacity_lines // num_partitions
+        self._regions = [policy_factory(i, base) for i in range(num_partitions)]
+        self._allocations = [base] * num_partitions
+
+    def set_allocations(self, sizes: Sequence[float]) -> list[int]:
+        sizes = self._check_requests(sizes)
+        granted = [int(round(s)) for s in sizes]
+        # Rounding can push the total one or two lines above capacity; trim
+        # the largest allocations until it fits.
+        while sum(granted) > self.capacity_lines:
+            granted[granted.index(max(granted))] -= 1
+        for region, lines in zip(self._regions, granted):
+            region.set_capacity(lines)
+        self._allocations = granted
+        return list(granted)
+
+    def access(self, address: int, partition: int) -> bool:
+        self._check_partition(partition)
+        hit = self._regions[partition].access(address)
+        self.record(partition, hit)
+        return hit
+
+    def granted_allocations(self) -> list[int]:
+        return list(self._allocations)
+
+    def partition_occupancy(self, partition: int) -> int:
+        self._check_partition(partition)
+        return len(self._regions[partition])

@@ -1,0 +1,97 @@
+"""Set partitioning: partitions own whole sets (page-coloring style).
+
+The worked example of Sec. III of the paper uses set partitioning: the cache
+is split by sets in a given ratio, and Talus distributes accesses between
+the two groups of sets in dis-proportion to their size.  Set partitioning
+can be realized in hardware (reconfigurable caches) or in software via page
+coloring; either way allocations are rounded to whole sets.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..cache import lru_factory
+from ..hashing import mix64
+from ..replacement.base import EvictionPolicy, PolicyFactory
+from .base import PartitionedCache
+
+__all__ = ["SetPartitionedCache"]
+
+
+class SetPartitionedCache(PartitionedCache):
+    """A set-associative cache whose sets are divided among partitions.
+
+    Each partition owns ``sets_p`` sets of the full associativity; an access
+    for partition ``p`` is hash-indexed *within that partition's sets*, so a
+    partition with more sets behaves exactly like a larger cache — which is
+    the property the Talus worked example relies on.
+    """
+
+    def __init__(self, num_sets: int, ways: int, num_partitions: int,
+                 policy_factory: PolicyFactory = lru_factory,
+                 index_seed: int = 0, hashed_index: bool = False):
+        if num_sets <= 0 or ways <= 0:
+            raise ValueError("num_sets and ways must be positive")
+        if num_partitions > num_sets:
+            raise ValueError(
+                f"cannot set-partition {num_sets} sets into {num_partitions} partitions")
+        super().__init__(num_sets * ways, num_partitions)
+        self.num_sets = num_sets
+        self.ways = ways
+        self.index_seed = index_seed
+        self.hashed_index = hashed_index
+        self._policy_factory = policy_factory
+        base_sets = num_sets // num_partitions
+        self._set_alloc = [base_sets] * num_partitions
+        self._set_alloc[0] += num_sets - base_sets * num_partitions
+        self._regions: list[list[EvictionPolicy]] = [
+            [policy_factory(p * num_sets + s, ways) for s in range(self._set_alloc[p])]
+            for p in range(num_partitions)
+        ]
+
+    def _round_to_sets(self, sizes: Sequence[float]) -> list[int]:
+        requested_sets = [s / self.ways for s in sizes]
+        granted = [max(1, int(round(r))) if r > 0 else 0 for r in requested_sets]
+        while sum(granted) > self.num_sets:
+            granted[granted.index(max(granted))] -= 1
+        return granted
+
+    def set_allocations(self, sizes: Sequence[float]) -> list[int]:
+        sizes = self._check_requests(sizes)
+        set_alloc = self._round_to_sets(sizes)
+        for p, sets_p in enumerate(set_alloc):
+            regions = self._regions[p]
+            if sets_p > len(regions):
+                regions.extend(self._policy_factory(p * self.num_sets + s, self.ways)
+                               for s in range(len(regions), sets_p))
+            elif sets_p < len(regions):
+                del regions[sets_p:]
+        self._set_alloc = set_alloc
+        return self.granted_allocations()
+
+    def granted_allocations(self) -> list[int]:
+        return [s * self.ways for s in self._set_alloc]
+
+    def set_allocations_in_sets(self) -> list[int]:
+        """Current per-partition set counts."""
+        return list(self._set_alloc)
+
+    def access(self, address: int, partition: int) -> bool:
+        self._check_partition(partition)
+        regions = self._regions[partition]
+        if not regions:
+            # A partition with zero sets holds nothing: every access misses.
+            self.record(partition, False)
+            return False
+        if self.hashed_index:
+            index = mix64(address ^ (self.index_seed * 0x9E3779B97F4A7C15)) % len(regions)
+        else:
+            index = address % len(regions)
+        hit = regions[index].access(address)
+        self.record(partition, hit)
+        return hit
+
+    def partition_occupancy(self, partition: int) -> int:
+        self._check_partition(partition)
+        return sum(len(region) for region in self._regions[partition])

@@ -1,0 +1,135 @@
+"""Way partitioning: each partition owns an integer number of ways per set.
+
+Way partitioning is the simplest and most widely deployed scheme (e.g. Intel
+CAT), but it is coarse: allocations are multiples of ``num_sets`` lines, and
+small partitions lose associativity.  The paper notes (Sec. VI-B) that this
+coarseness can violate Assumption 2, which is why Talus recomputes its
+sampling rate from the *granted* (coarsened) allocation — behaviour our
+:class:`~repro.cache.talus_cache.TalusCache` reproduces via
+:meth:`granted_allocations`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..cache import lru_factory
+from ..hashing import mix64
+from ..replacement.base import EvictionPolicy, PolicyFactory
+from .base import PartitionedCache
+
+__all__ = ["WayPartitionedCache"]
+
+
+class WayPartitionedCache(PartitionedCache):
+    """A set-associative cache whose ways are divided among partitions.
+
+    Each (set, partition) pair is an independent region with capacity equal
+    to the partition's way allocation; this models strict way partitioning
+    with no way sharing.
+
+    Parameters
+    ----------
+    num_sets, ways:
+        Geometry of the underlying cache (capacity = ``num_sets * ways``).
+    num_partitions:
+        Number of software-visible partitions.
+    policy_factory:
+        ``(region_index, capacity) -> EvictionPolicy``; default LRU.
+    min_ways_per_partition:
+        Partitions with a nonzero request are granted at least this many
+        ways (real systems cannot give a core zero ways without effectively
+        disabling its cache).
+    """
+
+    def __init__(self, num_sets: int, ways: int, num_partitions: int,
+                 policy_factory: PolicyFactory = lru_factory,
+                 index_seed: int = 0,
+                 min_ways_per_partition: int = 1,
+                 hashed_index: bool = False):
+        if num_sets <= 0 or ways <= 0:
+            raise ValueError("num_sets and ways must be positive")
+        if num_partitions > ways:
+            raise ValueError(
+                f"cannot way-partition {ways} ways into {num_partitions} partitions")
+        super().__init__(num_sets * ways, num_partitions)
+        self.num_sets = num_sets
+        self.ways = ways
+        self.index_seed = index_seed
+        self.hashed_index = hashed_index
+        self.min_ways = min_ways_per_partition
+        self._policy_factory = policy_factory
+        start_ways = self._round_to_ways([self.capacity_lines / num_partitions]
+                                         * num_partitions)
+        self._way_alloc = start_ways
+        # regions[partition][set]
+        self._regions: list[list[EvictionPolicy]] = [
+            [policy_factory(p * num_sets + s, start_ways[p])
+             for s in range(num_sets)]
+            for p in range(num_partitions)
+        ]
+
+    # ------------------------------------------------------------------ #
+    def _round_to_ways(self, sizes: Sequence[float]) -> list[int]:
+        """Convert line requests to integer ways per partition (sum <= ways)."""
+        requested_ways = [s / self.num_sets for s in sizes]
+        granted = [int(w) for w in requested_ways]
+        for i, req in enumerate(requested_ways):
+            if req > 0 and granted[i] < self.min_ways:
+                granted[i] = self.min_ways
+        # Distribute leftover ways by largest fractional remainder.
+        remainders = sorted(range(len(sizes)),
+                            key=lambda i: requested_ways[i] - int(requested_ways[i]),
+                            reverse=True)
+        spare = self.ways - sum(granted)
+        idx = 0
+        while spare > 0 and remainders:
+            granted[remainders[idx % len(remainders)]] += 1
+            spare -= 1
+            idx += 1
+        while sum(granted) > self.ways:
+            # Shrink the largest allocation (never below min_ways if nonzero).
+            order = sorted(range(len(granted)), key=lambda i: granted[i],
+                           reverse=True)
+            for i in order:
+                if granted[i] > self.min_ways or (granted[i] > 0 and sum(granted) - granted[i] >= self.ways):
+                    granted[i] -= 1
+                    break
+            else:
+                granted[order[0]] -= 1
+        return granted
+
+    def set_allocations(self, sizes: Sequence[float]) -> list[int]:
+        sizes = self._check_requests(sizes)
+        way_alloc = self._round_to_ways(sizes)
+        for p, ways_p in enumerate(way_alloc):
+            for region in self._regions[p]:
+                region.set_capacity(ways_p)
+        self._way_alloc = way_alloc
+        return self.granted_allocations()
+
+    def granted_allocations(self) -> list[int]:
+        return [w * self.num_sets for w in self._way_alloc]
+
+    def way_allocations(self) -> list[int]:
+        """Current per-partition way counts."""
+        return list(self._way_alloc)
+
+    def set_index(self, address: int) -> int:
+        """Set index of a line address (modulo by default, hashed if requested)."""
+        if self.num_sets == 1:
+            return 0
+        if self.hashed_index:
+            return mix64(address ^ (self.index_seed * 0x9E3779B97F4A7C15)) % self.num_sets
+        return address % self.num_sets
+
+    def access(self, address: int, partition: int) -> bool:
+        self._check_partition(partition)
+        region = self._regions[partition][self.set_index(address)]
+        hit = region.access(address)
+        self.record(partition, hit)
+        return hit
+
+    def partition_occupancy(self, partition: int) -> int:
+        self._check_partition(partition)
+        return sum(len(region) for region in self._regions[partition])

@@ -1,0 +1,166 @@
+"""Recency-based policies: LRU, MRU-insertion variants (LIP/BIP) and Random.
+
+LRU is the reference policy of the paper: its miss curve obeys the stack
+property, can be monitored cheaply (UMONs), and is what Talus is primarily
+applied to.  LIP and BIP are the thrash-resistant insertion variants that
+DIP (``repro.cache.replacement.dip``) duels between.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from typing import Iterable
+
+from .base import EvictionPolicy
+
+__all__ = ["LRUPolicy", "LIPPolicy", "BIPPolicy", "RandomPolicy"]
+
+
+class LRUPolicy(EvictionPolicy):
+    """Least Recently Used.
+
+    Lines are kept in an ordered map from least to most recently used; hits
+    move the line to the MRU position; misses insert at MRU and evict the
+    LRU line when full.
+    """
+
+    name = "LRU"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._lines: OrderedDict[int, None] = OrderedDict()
+
+    def access(self, tag: int) -> bool:
+        lines = self._lines
+        if tag in lines:
+            lines.move_to_end(tag)
+            return True
+        if self.capacity == 0:
+            return False
+        if len(lines) >= self.capacity:
+            lines.popitem(last=False)
+        lines[tag] = None
+        return False
+
+    def resident(self) -> Iterable[int]:
+        return self._lines.keys()
+
+    def evict_one(self) -> int | None:
+        if not self._lines:
+            return None
+        tag, _ = self._lines.popitem(last=False)
+        return tag
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def __contains__(self, tag: int) -> bool:
+        return tag in self._lines
+
+
+class LIPPolicy(LRUPolicy):
+    """LRU Insertion Policy: misses insert at the *LRU* position.
+
+    A newly inserted line is promoted to MRU only if it is reused before
+    being evicted.  This protects the resident working set against scanning
+    (thrash resistance), at the cost of never adapting when the working set
+    changes — which is why DIP duels it against plain LRU.
+    """
+
+    name = "LIP"
+
+    def access(self, tag: int) -> bool:
+        lines = self._lines
+        if tag in lines:
+            lines.move_to_end(tag)
+            return True
+        if self.capacity == 0:
+            return False
+        if len(lines) >= self.capacity:
+            lines.popitem(last=False)
+        lines[tag] = None
+        lines.move_to_end(tag, last=False)  # insert at LRU position
+        return False
+
+
+class BIPPolicy(LRUPolicy):
+    """Bimodal Insertion Policy: insert at MRU with small probability epsilon.
+
+    The paper (following DIP) uses epsilon = 1/32: most misses insert at the
+    LRU position (like LIP) but an occasional line is inserted at MRU so that
+    the policy eventually adapts when the working set changes.
+    """
+
+    name = "BIP"
+
+    def __init__(self, capacity: int, epsilon: float = 1.0 / 32.0, seed: int = 17):
+        super().__init__(capacity)
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        self.epsilon = epsilon
+        self._rng = random.Random(seed)
+
+    def access(self, tag: int) -> bool:
+        lines = self._lines
+        if tag in lines:
+            lines.move_to_end(tag)
+            return True
+        if self.capacity == 0:
+            return False
+        if len(lines) >= self.capacity:
+            lines.popitem(last=False)
+        lines[tag] = None
+        if self._rng.random() >= self.epsilon:
+            lines.move_to_end(tag, last=False)  # LRU insertion (the common case)
+        return False
+
+
+class RandomPolicy(EvictionPolicy):
+    """Random replacement: evict a uniformly random resident line on a miss."""
+
+    name = "Random"
+
+    def __init__(self, capacity: int, seed: int = 23):
+        super().__init__(capacity)
+        self._tags: list[int] = []
+        self._index: dict[int, int] = {}
+        self._rng = random.Random(seed)
+
+    def access(self, tag: int) -> bool:
+        if tag in self._index:
+            return True
+        if self.capacity == 0:
+            return False
+        if len(self._tags) >= self.capacity:
+            self._evict_random()
+        self._index[tag] = len(self._tags)
+        self._tags.append(tag)
+        return False
+
+    def _evict_random(self) -> int:
+        pos = self._rng.randrange(len(self._tags))
+        return self._remove_at(pos)
+
+    def _remove_at(self, pos: int) -> int:
+        victim = self._tags[pos]
+        last = self._tags[-1]
+        self._tags[pos] = last
+        self._index[last] = pos
+        self._tags.pop()
+        del self._index[victim]
+        return victim
+
+    def resident(self) -> Iterable[int]:
+        return list(self._tags)
+
+    def evict_one(self) -> int | None:
+        if not self._tags:
+            return None
+        return self._evict_random()
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def __contains__(self, tag: int) -> bool:
+        return tag in self._index

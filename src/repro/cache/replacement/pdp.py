@@ -1,0 +1,192 @@
+"""PDP: Protecting Distance based Policy (Duong et al., MICRO 2012).
+
+PDP protects each inserted or promoted line for a *protecting distance*
+``dp`` — a number of accesses to the region during which the line cannot be
+evicted.  When no unprotected line exists, the incoming line is bypassed
+(sent straight to memory), which is what makes PDP thrash resistant and
+closely related to the optimal-bypassing analysis of Sec. V-C of the Talus
+paper.
+
+The protecting distance is recomputed periodically from a sampled
+reuse-distance distribution by maximizing a hit-rate-per-occupancy objective
+(the "cache efficacy" E(dp) of the PDP paper):
+
+    E(dp) = hits(dp) / (sum_{d <= dp} d * N_d  +  dp * misses(dp))
+
+where ``N_d`` counts accesses with reuse distance ``d``, ``hits(dp)`` counts
+accesses with distance at most ``dp``, and ``misses(dp)`` the rest.  The
+numerator is the hit count achieved if every line is protected for ``dp``
+accesses; the denominator is the cache space-time those lines occupy.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+from .base import EvictionPolicy
+
+__all__ = ["PDPPolicy", "select_protecting_distance"]
+
+
+def select_protecting_distance(reuse_histogram: dict[int, int],
+                               max_distance: int,
+                               total_accesses: int) -> int:
+    """Choose the protecting distance maximizing the PDP efficacy objective.
+
+    Parameters
+    ----------
+    reuse_histogram:
+        Map from observed reuse distance (in accesses to the region) to the
+        number of accesses with that distance.
+    max_distance:
+        Largest candidate protecting distance to consider (typically a small
+        multiple of the region capacity).
+    total_accesses:
+        Total sampled accesses (so accesses that never reused count as
+        misses at every candidate distance).
+
+    Returns
+    -------
+    int
+        The protecting distance with the highest efficacy; at least 1.
+    """
+    if max_distance < 1:
+        raise ValueError("max_distance must be >= 1")
+    if total_accesses <= 0:
+        return max_distance
+    distances = sorted(d for d in reuse_histogram if d <= max_distance)
+    best_dp = max_distance
+    best_score = -1.0
+    hits = 0
+    weighted = 0
+    idx = 0
+    for dp in range(1, max_distance + 1):
+        while idx < len(distances) and distances[idx] <= dp:
+            d = distances[idx]
+            count = reuse_histogram[d]
+            hits += count
+            weighted += d * count
+            idx += 1
+        misses = total_accesses - hits
+        occupancy = weighted + dp * misses
+        if occupancy <= 0:
+            continue
+        score = hits / occupancy
+        if score > best_score:
+            best_score = score
+            best_dp = dp
+    return best_dp
+
+
+class PDPPolicy(EvictionPolicy):
+    """Protecting-distance policy with bypassing.
+
+    Each resident line records the access count (local to this region) at
+    which its protection expires.  On a miss with no unprotected victim the
+    incoming line is bypassed.  The protecting distance is re-estimated every
+    ``recompute_interval`` accesses from an online reuse-distance sample.
+    """
+
+    name = "PDP"
+
+    def __init__(self, capacity: int,
+                 recompute_interval: int | None = None,
+                 max_distance_factor: float = 3.0,
+                 initial_distance: int | None = None):
+        super().__init__(capacity)
+        if recompute_interval is None:
+            # Scale the recompute interval with the region size so that
+            # per-set regions (tens of lines) adapt after a few hundred
+            # accesses while large fully-associative partitions do not churn.
+            recompute_interval = max(128, 16 * max(capacity, 1))
+        if recompute_interval < 16:
+            raise ValueError("recompute_interval must be >= 16")
+        if max_distance_factor <= 0:
+            raise ValueError("max_distance_factor must be positive")
+        self.recompute_interval = recompute_interval
+        self.max_distance_factor = max_distance_factor
+        self._clock = 0
+        self._dp = initial_distance if initial_distance else max(1, capacity)
+        # tag -> access count at which protection expires
+        self._expires: dict[int, int] = {}
+        # LRU order among lines, used to break ties among unprotected lines.
+        self._order: OrderedDict[int, None] = OrderedDict()
+        # Reuse-distance sampling state.
+        self._last_seen: dict[int, int] = {}
+        self._reuse_hist: dict[int, int] = {}
+        self._sample_count = 0
+
+    @property
+    def protecting_distance(self) -> int:
+        """The current protecting distance ``dp``."""
+        return self._dp
+
+    # -- reuse-distance sampling ------------------------------------------ #
+    def _record_reuse(self, tag: int) -> None:
+        last = self._last_seen.get(tag)
+        if last is not None:
+            distance = self._clock - last
+            self._reuse_hist[distance] = self._reuse_hist.get(distance, 0) + 1
+        self._last_seen[tag] = self._clock
+        self._sample_count += 1
+        if self._sample_count % self.recompute_interval == 0:
+            self._recompute_dp()
+
+    def _recompute_dp(self) -> None:
+        max_dp = max(1, int(self.max_distance_factor * max(self.capacity, 1)))
+        if self._reuse_hist:
+            self._dp = select_protecting_distance(
+                self._reuse_hist, max_dp, self._sample_count)
+        # Decay the sample so the policy adapts to phase changes.
+        self._reuse_hist = {d: (c + 1) // 2 for d, c in self._reuse_hist.items() if c > 1}
+        if len(self._last_seen) > 8 * max(self.capacity, 64):
+            self._last_seen.clear()
+
+    # -- policy ------------------------------------------------------------ #
+    def _find_victim(self) -> int | None:
+        """Oldest unprotected line, or None if every line is protected."""
+        for tag in self._order:
+            if self._expires[tag] <= self._clock:
+                return tag
+        return None
+
+    def access(self, tag: int) -> bool:
+        self._clock += 1
+        self._record_reuse(tag)
+        if tag in self._expires:
+            # Hit: renew protection and recency.
+            self._expires[tag] = self._clock + self._dp
+            self._order.move_to_end(tag)
+            return True
+        if self.capacity == 0:
+            return False
+        if len(self._expires) >= self.capacity:
+            victim = self._find_victim()
+            if victim is None:
+                # All lines protected: bypass the incoming line.
+                return False
+            del self._expires[victim]
+            del self._order[victim]
+        self._expires[tag] = self._clock + self._dp
+        self._order[tag] = None
+        return False
+
+    def resident(self) -> Iterable[int]:
+        return list(self._order.keys())
+
+    def evict_one(self) -> int | None:
+        if not self._order:
+            return None
+        victim = self._find_victim()
+        if victim is None:
+            victim = next(iter(self._order))
+        del self._expires[victim]
+        del self._order[victim]
+        return victim
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, tag: int) -> bool:
+        return tag in self._expires

@@ -1,0 +1,191 @@
+"""The Talus hardware wrapper: shadow partitions plus a sampling function.
+
+Talus extends an existing partitioning scheme by (Sec. VI-B of the paper):
+
+1. doubling the number of hardware partitions,
+2. using two *shadow partitions* (alpha and beta) per logical
+   (software-visible) partition, and
+3. adding one configurable sampling function per logical partition — an H3
+   hash compared against an 8-bit limit register — that steers each access
+   to the alpha or beta shadow partition.
+
+:class:`TalusCache` wraps any :class:`~repro.cache.partition.base.PartitionedCache`
+built with ``2 * num_logical`` partitions and exposes the logical-partition
+interface.  Configurations come from the planner in :mod:`repro.core.talus`
+(directly, or via the software wrapper in
+:mod:`repro.partitioning.talus_wrap`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.misscurve import MissCurve
+from ..core.talus import TalusConfig, plan_shadow_partitions
+from .cache import CacheStats
+from .hashing import SamplingFunction
+from .partition.base import PartitionedCache
+
+__all__ = ["TalusCache", "ShadowPair"]
+
+
+@dataclass
+class ShadowPair:
+    """Bookkeeping for one logical partition's pair of shadow partitions."""
+
+    logical: int
+    alpha_index: int
+    beta_index: int
+    sampler: SamplingFunction
+    config: TalusConfig | None = None
+
+
+class TalusCache:
+    """Talus on top of an arbitrary partitioned cache.
+
+    Parameters
+    ----------
+    base:
+        A partitioned cache with exactly ``2 * num_logical`` partitions.
+        Even partition indices are alpha shadow partitions, odd indices are
+        beta shadow partitions (logical partition ``p`` owns hardware
+        partitions ``2p`` and ``2p + 1``).
+    num_logical:
+        Number of software-visible partitions.
+    sampler_bits:
+        Width of the sampling hash / limit register (paper: 8 bits).
+    seed:
+        Seed for the per-partition H3 hash functions.
+    """
+
+    def __init__(self, base: PartitionedCache, num_logical: int,
+                 sampler_bits: int = 8, seed: int = 7):
+        if base.num_partitions != 2 * num_logical:
+            raise ValueError(
+                f"base cache must have {2 * num_logical} partitions "
+                f"(2 per logical partition), got {base.num_partitions}")
+        self.base = base
+        self.num_logical = num_logical
+        self._pairs = [
+            ShadowPair(logical=p, alpha_index=2 * p, beta_index=2 * p + 1,
+                       sampler=SamplingFunction(0.0, out_bits=sampler_bits,
+                                                seed=seed + p))
+            for p in range(num_logical)
+        ]
+        self.logical_stats = [CacheStats() for _ in range(num_logical)]
+
+    # ------------------------------------------------------------------ #
+    # Configuration
+    # ------------------------------------------------------------------ #
+    def configure(self, logical: int, config: TalusConfig) -> TalusConfig:
+        """Apply a Talus configuration to one logical partition.
+
+        The shadow partition sizes are requested from the underlying scheme;
+        if the scheme coarsens them (e.g. way partitioning), the sampling
+        rate is recomputed from the granted alpha size (``rho = s1 / alpha``,
+        Sec. VI-B) so that the alpha partition still emulates a cache of
+        size ``alpha``.
+
+        Returns the configuration actually in effect (post-coarsening).
+        """
+        self._check_logical(logical)
+        pair = self._pairs[logical]
+        requests = self._build_requests(logical, config)
+        granted = self.base.set_allocations(requests)
+        granted_s1 = granted[pair.alpha_index]
+        granted_s2 = granted[pair.beta_index]
+
+        if config.degenerate:
+            rho = 0.0
+        elif config.alpha <= 0:
+            # alpha = 0: the alpha shadow partition holds nothing and the
+            # planned fraction of accesses is effectively bypassed; the
+            # coarsening correction (rho = s1/alpha) does not apply.
+            rho = config.rho
+        else:
+            rho = min(1.0, granted_s1 / config.alpha)
+        pair.sampler.set_rate(rho)
+        effective = TalusConfig(
+            total_size=float(granted_s1 + granted_s2),
+            alpha=config.alpha, beta=config.beta,
+            rho=pair.sampler.rate,
+            s1=float(granted_s1), s2=float(granted_s2),
+            degenerate=config.degenerate,
+        )
+        pair.config = effective
+        return effective
+
+    def configure_from_curve(self, logical: int, curve: MissCurve,
+                             total_size: float,
+                             safety_margin: float = 0.0) -> TalusConfig:
+        """Plan (Theorem 6) and apply a configuration in one step."""
+        config = plan_shadow_partitions(curve, total_size,
+                                        safety_margin=safety_margin)
+        return self.configure(logical, config)
+
+    def _build_requests(self, logical: int, config: TalusConfig) -> list[float]:
+        """Allocation request vector for the underlying partitioned cache.
+
+        Keeps the other logical partitions' current requests unchanged.
+        """
+        requests = [0.0] * self.base.num_partitions
+        for pair in self._pairs:
+            if pair.logical == logical:
+                requests[pair.alpha_index] = config.s1
+                requests[pair.beta_index] = config.s2
+            elif pair.config is not None:
+                requests[pair.alpha_index] = pair.config.s1
+                requests[pair.beta_index] = pair.config.s2
+        return requests
+
+    # ------------------------------------------------------------------ #
+    # Access path
+    # ------------------------------------------------------------------ #
+    def access(self, address: int, logical: int = 0) -> bool:
+        """Perform one access on behalf of a logical partition."""
+        self._check_logical(logical)
+        pair = self._pairs[logical]
+        if pair.sampler.goes_to_alpha(address):
+            target = pair.alpha_index
+        else:
+            target = pair.beta_index
+        hit = self.base.access(address, target)
+        self.logical_stats[logical].record(hit)
+        return hit
+
+    def run(self, trace, logical: int = 0, instructions: int = 0) -> CacheStats:
+        """Replay a trace on behalf of one logical partition."""
+        for address in trace:
+            self.access(int(address), logical)
+        if instructions:
+            self.logical_stats[logical].instructions += instructions
+        return self.logical_stats[logical]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def shadow_pair(self, logical: int) -> ShadowPair:
+        """The shadow-partition bookkeeping for a logical partition."""
+        self._check_logical(logical)
+        return self._pairs[logical]
+
+    def total_stats(self) -> CacheStats:
+        """Aggregate hit/miss statistics across all logical partitions."""
+        total = CacheStats()
+        for stats in self.logical_stats:
+            total = total.merge(stats)
+        return total
+
+    def reset_stats(self) -> None:
+        """Zero logical and underlying partition statistics."""
+        self.logical_stats = [CacheStats() for _ in range(self.num_logical)]
+        self.base.reset_stats()
+
+    def _check_logical(self, logical: int) -> None:
+        if not 0 <= logical < self.num_logical:
+            raise ValueError(
+                f"logical partition must be in [0, {self.num_logical}), got {logical}")
+
+    def __repr__(self) -> str:
+        return (f"TalusCache(base={type(self.base).__name__}, "
+                f"logical_partitions={self.num_logical})")

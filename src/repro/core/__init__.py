@@ -1,0 +1,45 @@
+"""Core Talus machinery: miss curves, convex hulls, and shadow-partition planning.
+
+This subpackage contains the paper's primary analytical contribution
+(Sections III–V): everything needed to go from a measured miss curve to a
+Talus shadow-partition configuration, plus the bypassing comparison and
+cliff diagnostics.
+"""
+
+from .bypass import BypassChoice, bypass_miss_value, optimal_bypass, optimal_bypass_curve
+from .convexhull import (HullSegment, convex_hull, hull_neighbors,
+                         hull_segments, is_convex, lower_convex_hull_points)
+from .convexity import Cliff, convexity_gap, find_cliffs, total_convexity_gap
+from .misscurve import MissCurve
+from .sampling import (emulated_size, sampled_miss_curve, sampled_miss_value,
+                       shadow_miss_rate)
+from .talus import (DEFAULT_SAFETY_MARGIN, TalusConfig, convexified_curve,
+                    plan_shadow_partitions, predicted_miss, talus_miss_curve)
+
+__all__ = [
+    "MissCurve",
+    "convex_hull",
+    "lower_convex_hull_points",
+    "hull_neighbors",
+    "hull_segments",
+    "is_convex",
+    "HullSegment",
+    "Cliff",
+    "find_cliffs",
+    "convexity_gap",
+    "total_convexity_gap",
+    "sampled_miss_value",
+    "sampled_miss_curve",
+    "shadow_miss_rate",
+    "emulated_size",
+    "TalusConfig",
+    "plan_shadow_partitions",
+    "predicted_miss",
+    "talus_miss_curve",
+    "convexified_curve",
+    "DEFAULT_SAFETY_MARGIN",
+    "BypassChoice",
+    "bypass_miss_value",
+    "optimal_bypass",
+    "optimal_bypass_curve",
+]

@@ -1,0 +1,113 @@
+"""Optimal bypassing analysis (Sec. V-C and Corollary 8).
+
+Bypassing sends a fraction ``1 - rho`` of accesses straight to memory and
+caches only the remaining fraction ``rho``.  By Theorem 4 the cached fraction
+behaves like a cache of size ``s / rho``, so bypassing trades guaranteed
+misses on the bypassed accesses for a larger effective cache for the rest:
+
+    m_bypass(s; rho) = rho * m(s / rho) + (1 - rho) * m(0)       (Eq. 6)
+
+Corollary 8 shows this can never beat the convex hull of ``m`` — i.e. Talus
+is always at least as good as optimal bypassing on the same policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .misscurve import MissCurve
+
+__all__ = [
+    "bypass_miss_value",
+    "optimal_bypass",
+    "optimal_bypass_curve",
+    "BypassChoice",
+]
+
+
+def bypass_miss_value(curve: MissCurve, size: float, rho: float) -> float:
+    """Miss value at ``size`` when caching a fraction ``rho`` of accesses.
+
+    Implements Eq. 6.  ``rho = 1`` is "no bypassing" and returns the original
+    curve's value.  ``rho = 0`` bypasses everything and returns ``m(0)``.
+    """
+    if not 0.0 <= rho <= 1.0:
+        raise ValueError(f"rho must be in [0, 1], got {rho}")
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    m0 = float(curve(0.0))
+    if rho == 0.0:
+        return m0
+    return rho * float(curve(size / rho)) + (1.0 - rho) * m0
+
+
+@dataclass(frozen=True)
+class BypassChoice:
+    """Result of optimizing the bypass fraction at one cache size.
+
+    Attributes
+    ----------
+    size:
+        Cache capacity being optimized for.
+    rho:
+        Optimal fraction of accesses to cache (``1 - rho`` bypassed).
+    misses:
+        Miss value achieved with that fraction.
+    target_size:
+        The larger cache size the non-bypassed stream emulates (``size/rho``).
+    """
+
+    size: float
+    rho: float
+    misses: float
+
+    @property
+    def bypass_fraction(self) -> float:
+        """Fraction of accesses bypassed."""
+        return 1.0 - self.rho
+
+    @property
+    def target_size(self) -> float:
+        """Effective cache size experienced by non-bypassed accesses."""
+        return self.size / self.rho if self.rho > 0 else 0.0
+
+
+def optimal_bypass(curve: MissCurve, size: float) -> BypassChoice:
+    """Find the bypass fraction minimizing misses at ``size``.
+
+    The optimum always emulates some size ``s0 = size / rho`` that is a
+    sample point of the curve at or beyond ``size`` (the objective is linear
+    in ``m`` between sample points), so we evaluate Eq. 6 with ``s0`` swept
+    over sample points ``>= size`` plus ``size`` itself (no bypassing) and
+    take the best.
+    """
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    best_rho = 1.0
+    best_miss = bypass_miss_value(curve, size, 1.0)
+    if size > 0:
+        candidate_sizes = curve.sizes[curve.sizes >= size]
+        for s0 in candidate_sizes:
+            rho = size / float(s0) if s0 > 0 else 1.0
+            miss = bypass_miss_value(curve, size, rho)
+            if miss < best_miss - 1e-12:
+                best_miss = miss
+                best_rho = rho
+    return BypassChoice(size=float(size), rho=float(best_rho),
+                        misses=float(best_miss))
+
+
+def optimal_bypass_curve(curve: MissCurve,
+                         sizes: np.ndarray | None = None) -> MissCurve:
+    """Miss curve achieved by optimal bypassing at every size.
+
+    By Corollary 8 this curve lies on or above the convex hull of ``curve``
+    (and on or below the original curve).
+    """
+    if sizes is None:
+        sizes = curve.sizes
+    sizes = np.asarray(sizes, dtype=float)
+    misses = np.array([optimal_bypass(curve, float(s)).misses for s in sizes])
+    return MissCurve(sizes, misses)

@@ -1,0 +1,115 @@
+"""Cliff detection and convexity diagnostics for miss curves.
+
+A *performance cliff* is a region where the miss curve is flat (a plateau)
+followed by a sudden drop.  Equivalently, cliffs are the non-convex regions
+of the curve — the spans the convex hull bridges.  This module quantifies
+them, which is useful both for reporting (e.g. "libquantum has a cliff at
+32 MB") and for deciding whether Talus has any work to do at a given size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .convexhull import convex_hull, hull_segments
+from .misscurve import MissCurve
+
+__all__ = ["Cliff", "find_cliffs", "convexity_gap", "total_convexity_gap"]
+
+
+@dataclass(frozen=True)
+class Cliff:
+    """A non-convex region of a miss curve.
+
+    The region spans ``(start_size, end_size)``: the two hull vertices whose
+    connecting hull segment lies strictly below the original curve somewhere
+    in between.  ``drop`` is the miss reduction across the region and
+    ``max_gap`` the largest vertical distance between curve and hull inside
+    it (how much performance the cliff wastes at the worst point).
+    """
+
+    start_size: float
+    end_size: float
+    start_misses: float
+    end_misses: float
+    max_gap: float
+    max_gap_size: float
+
+    @property
+    def span(self) -> float:
+        """Width of the non-convex region along the size axis."""
+        return self.end_size - self.start_size
+
+    @property
+    def drop(self) -> float:
+        """Total miss reduction from the start to the end of the region."""
+        return self.start_misses - self.end_misses
+
+
+def convexity_gap(curve: MissCurve, size: float) -> float:
+    """Vertical distance between the curve and its convex hull at ``size``.
+
+    Zero wherever the curve is already convex; positive inside cliffs.  This
+    is exactly the miss reduction Talus's analytic model promises at that
+    size (before the safety margin).
+    """
+    hull = convex_hull(curve)
+    return float(curve(size)) - float(hull(size))
+
+
+def total_convexity_gap(curve: MissCurve) -> float:
+    """Integral of the curve-minus-hull gap over the measured size range.
+
+    A scalar summary of "how non-convex" a curve is; zero iff the curve is
+    convex.  Uses the trapezoid rule over the union of curve and hull sample
+    points.
+    """
+    hull = convex_hull(curve)
+    sizes = np.union1d(curve.sizes, hull.sizes)
+    gap = curve(sizes) - hull(sizes)
+    gap = np.maximum(gap, 0.0)
+    return float(np.trapezoid(gap, sizes))
+
+
+def find_cliffs(curve: MissCurve,
+                min_gap: float = 1e-9) -> List[Cliff]:
+    """Identify the non-convex regions (cliffs) of a miss curve.
+
+    Parameters
+    ----------
+    curve:
+        The miss curve to analyze.
+    min_gap:
+        Regions whose maximum curve-to-hull gap is below this threshold are
+        ignored (filters numerical noise).
+
+    Returns
+    -------
+    list of Cliff
+        One entry per hull segment under which the original curve rises
+        above the hull by more than ``min_gap``, ordered by size.
+    """
+    cliffs: List[Cliff] = []
+    for seg in hull_segments(curve):
+        inside = (curve.sizes > seg.start_size) & (curve.sizes < seg.end_size)
+        sizes_inside = curve.sizes[inside]
+        if sizes_inside.size == 0:
+            continue
+        hull_vals = np.array([seg.interpolate(s) for s in sizes_inside])
+        gaps = curve.misses[inside] - hull_vals
+        max_idx = int(np.argmax(gaps))
+        max_gap = float(gaps[max_idx])
+        if max_gap <= min_gap:
+            continue
+        cliffs.append(Cliff(
+            start_size=seg.start_size,
+            end_size=seg.end_size,
+            start_misses=seg.start_misses,
+            end_misses=seg.end_misses,
+            max_gap=max_gap,
+            max_gap_size=float(sizes_inside[max_idx]),
+        ))
+    return cliffs

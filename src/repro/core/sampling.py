@@ -1,0 +1,112 @@
+"""Theorem 4: miss curves of pseudo-randomly sampled access streams.
+
+The key analytical tool of Talus is the relation between the miss curve of a
+full access stream, ``m(s)``, and the miss curve of a pseudo-randomly sampled
+fraction ``rho`` of that stream, ``m'(s')``:
+
+    m'(s') = rho * m(s' / rho)                                   (Eq. 1)
+
+Intuitively, a partition that receives a fraction ``rho`` of accesses and has
+capacity ``s'`` behaves like a proportionally larger cache of size
+``s' / rho`` serving the full stream — it just sees fewer of everything.
+
+This module provides that transform, its inverse, and the two-partition
+shadow miss rate of Eq. 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .misscurve import MissCurve
+
+__all__ = [
+    "sampled_miss_value",
+    "sampled_miss_curve",
+    "shadow_miss_rate",
+    "emulated_size",
+]
+
+
+def sampled_miss_value(curve: MissCurve, size: float, rho: float) -> float:
+    """Miss value of a partition of ``size`` receiving a fraction ``rho`` of accesses.
+
+    Implements Eq. 1: ``m'(size) = rho * m(size / rho)``.
+
+    Parameters
+    ----------
+    curve:
+        Full-stream miss curve ``m``.
+    size:
+        Capacity of the sampled partition (same units as ``curve.sizes``).
+    rho:
+        Fraction of the access stream sent to the partition, in ``(0, 1]``.
+        ``rho == 0`` is allowed only with ``size == 0`` and returns 0 misses
+        (an empty partition receiving no accesses).
+    """
+    if not 0.0 <= rho <= 1.0:
+        raise ValueError(f"rho must be in [0, 1], got {rho}")
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    if rho == 0.0:
+        if size > 0:
+            raise ValueError("a partition receiving no accesses (rho=0) "
+                             "must have size 0")
+        return 0.0
+    return rho * float(curve(size / rho))
+
+
+def sampled_miss_curve(curve: MissCurve, rho: float,
+                       sizes: np.ndarray | None = None) -> MissCurve:
+    """Return the miss curve of a stream sampled at rate ``rho``.
+
+    The returned curve is sampled at ``sizes`` (default: the original sample
+    sizes scaled by ``rho``, which maps each original point exactly).
+    """
+    if not 0.0 < rho <= 1.0:
+        raise ValueError(f"rho must be in (0, 1], got {rho}")
+    if sizes is None:
+        sizes = curve.sizes * rho
+    sizes = np.asarray(sizes, dtype=float)
+    misses = np.array([sampled_miss_value(curve, s, rho) for s in sizes])
+    return MissCurve(sizes, misses)
+
+
+def emulated_size(partition_size: float, rho: float) -> float:
+    """Size of the full-stream cache a sampled partition emulates (``s'/rho``)."""
+    if rho <= 0:
+        raise ValueError("rho must be positive")
+    return partition_size / rho
+
+
+def shadow_miss_rate(curve: MissCurve, total_size: float,
+                     s1: float, rho: float) -> float:
+    """Miss rate of a Talus shadow-partitioned cache (Eq. 2).
+
+    A cache of ``total_size`` is split into two shadow partitions of sizes
+    ``s1`` and ``total_size - s1``; a fraction ``rho`` of accesses goes to the
+    first and ``1 - rho`` to the second.  The combined miss rate is::
+
+        m_shadow = rho * m(s1 / rho) + (1 - rho) * m((s - s1) / (1 - rho))
+
+    Degenerate sampling rates (``rho`` of exactly 0 or 1) are handled by
+    sending everything to the other partition.
+    """
+    if total_size < 0:
+        raise ValueError("total_size must be non-negative")
+    if not 0.0 <= rho <= 1.0:
+        raise ValueError(f"rho must be in [0, 1], got {rho}")
+    s2 = total_size - s1
+    if s1 < -1e-12 or s2 < -1e-12:
+        raise ValueError(
+            f"partition sizes must be non-negative (s1={s1}, s2={s2})")
+    s1 = max(s1, 0.0)
+    s2 = max(s2, 0.0)
+    first = sampled_miss_value(curve, s1, rho) if rho > 0 else 0.0
+    second = sampled_miss_value(curve, s2, 1.0 - rho) if rho < 1 else 0.0
+    if rho == 0.0 and s1 > 0:
+        # Capacity assigned to a partition receiving no accesses is wasted,
+        # not an error at this level: it simply contributes no misses and no
+        # hits.  The second partition still only has s2.
+        first = 0.0
+    return first + second

@@ -1,0 +1,50 @@
+"""Per-figure experiment harnesses.
+
+Each module reproduces one figure (or analysis section) of the paper's
+evaluation and returns plain data (:class:`~repro.experiments.common.FigureResult`)
+that the benchmark suite prints.  See DESIGN.md for the experiment index.
+"""
+
+from .ablations import (run_min_convexity_check, run_monitor_coverage_ablation,
+                        run_safety_margin_ablation,
+                        run_unmanaged_fraction_ablation)
+from .common import FigureResult, Series, format_table
+from .fig1_libquantum import run_fig1
+from .fig3_example import paper_example_curve, run_fig3
+from .fig6_bypass import run_fig6
+from .fig8_schemes import FIG8_SCHEMES, run_fig8
+from .fig9_srrip import run_fig9, srrip_curve_from_monitor
+from .fig10_policies import FIG10_POLICIES, run_fig10, run_fig10_benchmark
+from .fig11_ipc import FIG11_POLICIES, run_fig11
+from .fig12_multiprogram import FIG12_SCHEMES, run_fig12
+from .fig13_fairness import FIG13_SCHEMES, run_fig13
+from .overheads import OverheadReport, run_overheads
+
+__all__ = [
+    "FigureResult",
+    "Series",
+    "format_table",
+    "run_fig1",
+    "run_fig3",
+    "paper_example_curve",
+    "run_fig6",
+    "run_fig8",
+    "FIG8_SCHEMES",
+    "run_fig9",
+    "srrip_curve_from_monitor",
+    "run_fig10",
+    "run_fig10_benchmark",
+    "FIG10_POLICIES",
+    "run_fig11",
+    "FIG11_POLICIES",
+    "run_fig12",
+    "FIG12_SCHEMES",
+    "run_fig13",
+    "FIG13_SCHEMES",
+    "run_overheads",
+    "OverheadReport",
+    "run_safety_margin_ablation",
+    "run_monitor_coverage_ablation",
+    "run_unmanaged_fraction_ablation",
+    "run_min_convexity_check",
+]

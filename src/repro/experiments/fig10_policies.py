@@ -1,0 +1,78 @@
+"""Figure 10: MPKI vs LLC size for Talus+V/LRU and high-performance policies.
+
+The paper compares Talus on LRU against SRRIP, DRRIP and PDP (with LRU for
+reference) on six representative SPEC CPU2006 benchmarks over 128 KB–16 MB.
+The qualitative claims to reproduce:
+
+* Talus+V/LRU eliminates LRU's cliffs and is competitive with the
+  high-performance policies;
+* Talus never does worse than LRU (it only bridges non-convex regions),
+  while the empirical policies sometimes do (e.g. RRIP on lbm-like
+  streaming workloads, PDP on perlbench/cactusADM-like shapes).
+
+LRU curves come from exact stack-distance analysis, Talus from the planner's
+predicted curve with the 5 % safety margin, and SRRIP/DRRIP/PDP from
+trace-driven simulation at each size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.talus import talus_miss_curve
+from ..sim.engine import lru_mpki_curve, simulated_mpki_curve
+from ..workloads.spec_profiles import FIG10_BENCHMARKS, get_profile
+from .common import FigureResult, Series, fast_mode, trace_length
+
+__all__ = ["run_fig10", "run_fig10_benchmark", "FIG10_POLICIES"]
+
+#: Simulated comparison policies, in the paper's legend order.
+FIG10_POLICIES = ("PDP", "DRRIP", "SRRIP")
+
+
+def run_fig10_benchmark(benchmark: str,
+                        min_mb: float = 0.125, max_mb: float = 16.0,
+                        num_sizes: int | None = None,
+                        safety_margin: float = 0.05,
+                        n_accesses: int | None = None,
+                        policies: tuple[str, ...] = FIG10_POLICIES,
+                        ) -> FigureResult:
+    """Reproduce one panel of Fig. 10 (one benchmark, all policies)."""
+    profile = get_profile(benchmark)
+    if num_sizes is None:
+        num_sizes = 6 if fast_mode() else 12
+    n = n_accesses if n_accesses is not None else trace_length()
+    trace = profile.trace(n_accesses=n)
+
+    sizes_mb = np.geomspace(min_mb, max_mb, num_sizes)
+    lru = lru_mpki_curve(trace, np.concatenate(([0.0], sizes_mb,
+                                                [max_mb * 2.5])))
+    talus = talus_miss_curve(lru, safety_margin=safety_margin)
+
+    sizes = tuple(float(s) for s in sizes_mb)
+    series = [
+        Series("Talus+V/LRU", sizes, tuple(float(talus(s)) for s in sizes)),
+        Series("LRU", sizes, tuple(float(lru(s)) for s in sizes)),
+    ]
+    for policy in policies:
+        curve = simulated_mpki_curve(trace, sizes_mb, policy)
+        series.append(Series(policy, sizes,
+                             tuple(float(curve(s)) for s in sizes)))
+
+    # Summary: worst-case regression of each policy vs LRU (positive means
+    # the policy is worse than LRU somewhere), plus Talus's.
+    summary = {}
+    for s in series:
+        if s.label == "LRU":
+            continue
+        worst = max(y - float(lru(x)) for x, y in zip(s.x, s.y))
+        summary[f"max_regression_vs_lru_{s.label}"] = float(worst)
+    return FigureResult(figure="Figure 10",
+                        title=f"MPKI vs LLC size ({benchmark})",
+                        series=tuple(series), summary=summary)
+
+
+def run_fig10(benchmarks: tuple[str, ...] = FIG10_BENCHMARKS,
+              **kwargs) -> dict[str, FigureResult]:
+    """Reproduce all panels of Fig. 10 (one per benchmark)."""
+    return {b: run_fig10_benchmark(b, **kwargs) for b in benchmarks}

@@ -1,0 +1,97 @@
+"""Figure 13: fairness case studies — eight copies of one benchmark.
+
+Eight copies of libquantum, omnetpp or xalancbmk share the LLC as its size
+sweeps from 1 MB to 72 MB.  Schemes: fair (equal) partitioning on
+Talus+V/LRU, fair partitioning on LRU, Lookahead on LRU, and TA-DRRIP; the
+baseline for execution time is unpartitioned LRU with a 1 MB LLC.  The
+paper reports execution time (left panels, lower is better) and the
+coefficient of variation of per-core IPC (right panels, lower is fairer).
+
+Claims to reproduce:
+
+* fair partitioning on plain LRU gives no speedup until each copy's whole
+  working set fits (cliffs make equal shares useless);
+* Lookahead improves performance but by giving the cache to a few copies —
+  large CoV (unfair);
+* Talus with naive equal allocations gets steady gains with increasing LLC
+  size *and* near-zero CoV.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.multicore import SharedCacheExperiment
+from ..workloads.mixes import homogeneous_mix
+from ..workloads.spec_profiles import get_profile
+from .common import FigureResult, Series, fast_mode
+
+__all__ = ["run_fig13", "FIG13_SCHEMES"]
+
+FIG13_SCHEMES = {
+    "talus-fair": "Talus+V/LRU (Fair)",
+    "lru-lookahead": "Lookahead",
+    "ta-drrip": "TA-DRRIP",
+    "lru-fair": "Fair LRU",
+}
+
+
+def run_fig13(benchmark: str = "libquantum", copies: int = 8,
+              sizes_mb: tuple[float, ...] | None = None,
+              ) -> tuple[FigureResult, FigureResult]:
+    """Reproduce one row of Fig. 13.
+
+    Returns two figures: normalized execution time vs LLC size, and CoV of
+    per-core IPC vs LLC size.
+    """
+    profile = get_profile(benchmark)
+    if sizes_mb is None:
+        if fast_mode():
+            sizes_mb = (1.0, 4.0, 8.0, 16.0, 24.0, 32.0, 48.0, 72.0)
+        else:
+            sizes_mb = (1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 24.0, 32.0, 40.0,
+                        48.0, 56.0, 64.0, 72.0)
+    mix = homogeneous_mix(benchmark, copies=copies)
+
+    # Baseline: unpartitioned LRU at the smallest size (1 MB in the paper).
+    base_experiment = SharedCacheExperiment(mix, total_mb=sizes_mb[0],
+                                            curve_max_mb=4 * max(sizes_mb))
+    base_ipc = float(np.mean(base_experiment.evaluate("lru-shared").ipcs))
+
+    exec_time: dict[str, list[float]] = {k: [] for k in FIG13_SCHEMES}
+    cov: dict[str, list[float]] = {k: [] for k in FIG13_SCHEMES}
+    for size in sizes_mb:
+        experiment = SharedCacheExperiment(mix, total_mb=size,
+                                           curve_max_mb=4 * max(sizes_mb))
+        for key in FIG13_SCHEMES:
+            result = experiment.evaluate(key)
+            # Fixed work per thread: normalized execution time is the ratio
+            # of baseline IPC to the mix's average IPC (lower is better).
+            exec_time[key].append(base_ipc / float(np.mean(result.ipcs)))
+            cov[key].append(result.cov_ipc)
+
+    x = tuple(float(s) for s in sizes_mb)
+    time_series = tuple(Series(label, x, tuple(exec_time[key]))
+                        for key, label in FIG13_SCHEMES.items())
+    cov_series = tuple(Series(label, x, tuple(cov[key]))
+                       for key, label in FIG13_SCHEMES.items())
+
+    cliff = profile.cliff_mb or 0.0
+    time_summary = {
+        "cliff_mb": float(cliff),
+        **{f"exec_time_at_max_{label}": values[-1]
+           for label, values in ((FIG13_SCHEMES[k], exec_time[k])
+                                 for k in FIG13_SCHEMES)},
+    }
+    cov_summary = {
+        **{f"max_cov_{label}": float(np.max(values))
+           for label, values in ((FIG13_SCHEMES[k], cov[k])
+                                 for k in FIG13_SCHEMES)},
+    }
+    time_fig = FigureResult(figure="Figure 13 (execution time)",
+                            title=f"8x {benchmark}: execution time vs LLC size",
+                            series=time_series, summary=time_summary)
+    cov_fig = FigureResult(figure="Figure 13 (CoV of IPC)",
+                           title=f"8x {benchmark}: unfairness vs LLC size",
+                           series=cov_series, summary=cov_summary)
+    return time_fig, cov_fig

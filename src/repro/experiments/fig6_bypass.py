@@ -1,0 +1,47 @@
+"""Figures 5 and 6: optimal bypassing versus Talus.
+
+Bypassing a fraction of accesses makes the remaining accesses behave as in a
+larger cache (Theorem 4), so it can cut into a cliff — but Corollary 8 shows
+it can never beat the miss curve's convex hull, which Talus traces.  On the
+Sec. III example at 4 MB, optimal bypassing reaches roughly 8 MPKI while
+Talus reaches 6 MPKI.
+"""
+
+from __future__ import annotations
+
+from ..core.bypass import optimal_bypass, optimal_bypass_curve
+from ..core.talus import talus_miss_curve
+from .common import FigureResult, Series
+from .fig3_example import paper_example_curve
+
+__all__ = ["run_fig6"]
+
+
+def run_fig6(target_mb: float = 4.0) -> FigureResult:
+    """Reproduce Fig. 6: original curve, Talus (convex hull), optimal bypassing.
+
+    The summary records the Fig. 5 numbers at ``target_mb``: the optimal
+    bypass fraction, the bypass miss rate, and Talus's miss rate.
+    """
+    curve = paper_example_curve()
+    talus = talus_miss_curve(curve)
+    bypass = optimal_bypass_curve(curve)
+    choice = optimal_bypass(curve, target_mb)
+
+    sizes = tuple(float(s) for s in curve.sizes)
+    series = (
+        Series("Original", sizes, tuple(float(m) for m in curve.misses)),
+        Series("Talus", sizes, tuple(float(m) for m in talus.misses)),
+        Series("Bypassing", sizes, tuple(float(m) for m in bypass.misses)),
+    )
+    summary = {
+        "target_mb": float(target_mb),
+        "original_mpki": float(curve(target_mb)),
+        "talus_mpki": float(talus(target_mb)),
+        "optimal_bypass_mpki": float(choice.misses),
+        "optimal_bypass_cached_fraction": float(choice.rho),
+        "bypass_minus_talus": float(choice.misses - talus(target_mb)),
+    }
+    return FigureResult(figure="Figure 6",
+                        title="Talus (convex hull) vs optimal bypassing",
+                        series=series, summary=summary)

@@ -1,0 +1,19 @@
+"""Miss-curve monitoring: stack-distance analysis, UMONs, multi-point monitors.
+
+These are the software equivalents of the hardware monitors of Sec. VI-C of
+the paper: they turn an access stream into the miss curves Talus plans with.
+"""
+
+from .multipoint import MultiPointMonitor
+from .stack_distance import (StackDistanceMonitor, lru_miss_curve,
+                             stack_distance_histogram)
+from .umon import UMON, CombinedUMON
+
+__all__ = [
+    "StackDistanceMonitor",
+    "lru_miss_curve",
+    "stack_distance_histogram",
+    "UMON",
+    "CombinedUMON",
+    "MultiPointMonitor",
+]

@@ -1,0 +1,175 @@
+"""Utility monitors (UMONs) — hardware-style sampled LRU miss-curve monitors.
+
+A UMON (Qureshi & Patt, MICRO 2006) is a small auxiliary tag array that
+samples a subset of accesses and exploits LRU's stack property to measure
+the whole miss curve at once.  The Talus paper uses:
+
+* a conventional UMON covering sizes up to the LLC capacity, and
+* a second, lower-rate *sampled* UMON that — by Theorem 4 — models a
+  proportionally larger cache, extending curve coverage to 4x the LLC size
+  with 1/16 of the sampling rate (Sec. VI-C).  This matters for benchmarks
+  whose cliffs lie beyond the LLC (libquantum).
+
+Sampling is by address hash, which per Assumption 3 yields a statistically
+self-similar stream, so the measured curve scales back up by the sampling
+factor on both axes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.misscurve import MissCurve
+from ..cache.hashing import mix64
+from .stack_distance import StackDistanceMonitor
+
+__all__ = ["UMON", "CombinedUMON"]
+
+
+class UMON:
+    """An address-sampled LRU miss-curve monitor.
+
+    Parameters
+    ----------
+    sampling_rate:
+        Fraction of accesses the monitor observes (1/64 is a typical
+        hardware rate; 1.0 observes everything, useful for exact curves).
+    max_size:
+        Largest cache size (in lines of the *full* cache) the monitor should
+        report.  Internally the monitor only needs ``max_size *
+        sampling_rate`` tag entries, which is what makes UMONs cheap.
+    points:
+        Number of evenly spaced sizes at which :meth:`miss_curve` samples
+        the curve (the paper's UMONs have 64 ways -> 64 points).
+    seed:
+        Seed of the sampling hash.
+    """
+
+    def __init__(self, sampling_rate: float = 1.0 / 64.0,
+                 max_size: int = 1 << 14,
+                 points: int = 64,
+                 seed: int = 11):
+        if not 0.0 < sampling_rate <= 1.0:
+            raise ValueError("sampling_rate must be in (0, 1]")
+        if max_size <= 0:
+            raise ValueError("max_size must be positive")
+        if points < 2:
+            raise ValueError("points must be >= 2")
+        self.sampling_rate = sampling_rate
+        self.max_size = max_size
+        self.points = points
+        self.seed = seed
+        self._threshold = int(sampling_rate * (1 << 30))
+        self._monitor = StackDistanceMonitor(capacity_hint=1 << 12)
+        self._observed = 0
+        self._total = 0
+
+    # ------------------------------------------------------------------ #
+    def _sampled(self, address: int) -> bool:
+        return (mix64(address ^ (self.seed * 0x9E3779B97F4A7C15)) % (1 << 30)
+                < self._threshold)
+
+    def record(self, address: int) -> None:
+        """Observe one access (the monitor decides whether to sample it)."""
+        self._total += 1
+        if self._sampled(address):
+            self._observed += 1
+            self._monitor.record(address)
+
+    def record_trace(self, trace: Iterable[int]) -> None:
+        """Observe every access of a trace."""
+        for address in trace:
+            self.record(int(address))
+
+    @property
+    def total_accesses(self) -> int:
+        """Accesses seen (sampled or not)."""
+        return self._total
+
+    @property
+    def sampled_accesses(self) -> int:
+        """Accesses actually sampled into the monitor."""
+        return self._observed
+
+    # ------------------------------------------------------------------ #
+    def miss_curve(self, sizes: Sequence[float] | None = None) -> MissCurve:
+        """Estimated full-stream LRU miss curve.
+
+        The monitor's internal curve covers sampled sizes up to
+        ``max_size * sampling_rate``; Theorem 4 scales it back up: sizes are
+        divided by the sampling rate and miss counts are multiplied by the
+        inverse rate.
+        """
+        if sizes is None:
+            sizes = np.linspace(0, self.max_size, self.points)
+        sizes = np.asarray(sizes, dtype=float)
+        sampled_sizes = sizes * self.sampling_rate
+        sampled_curve = self._monitor.miss_curve(sizes=sampled_sizes)
+        scale = 1.0 / self.sampling_rate if self._observed else 1.0
+        misses = sampled_curve.misses * scale
+        # Guard against sampling noise: the curve should not exceed the
+        # total access count.
+        misses = np.minimum(misses, self._total)
+        return MissCurve(sizes, misses)
+
+
+class CombinedUMON:
+    """The paper's two-monitor arrangement: full-rate plus low-rate coverage.
+
+    The primary UMON covers sizes up to the LLC; the secondary samples at a
+    fraction ``coverage_ratio`` of the primary's rate and therefore covers
+    ``1 / coverage_ratio`` times the size range.  :meth:`miss_curve` splices
+    the two: primary below the LLC size, secondary above.
+    """
+
+    def __init__(self, llc_size: int,
+                 primary_rate: float = 1.0 / 64.0,
+                 coverage_ratio: float = 1.0 / 16.0,
+                 points: int = 64,
+                 seed: int = 11):
+        if llc_size <= 0:
+            raise ValueError("llc_size must be positive")
+        if not 0.0 < coverage_ratio < 1.0:
+            raise ValueError("coverage_ratio must be in (0, 1)")
+        self.llc_size = llc_size
+        self.coverage_ratio = coverage_ratio
+        self.primary = UMON(sampling_rate=primary_rate, max_size=llc_size,
+                            points=points, seed=seed)
+        extended = int(round(llc_size / coverage_ratio))
+        self.secondary = UMON(sampling_rate=primary_rate * coverage_ratio,
+                              max_size=extended, points=points, seed=seed + 1)
+
+    def record(self, address: int) -> None:
+        """Observe one access with both monitors."""
+        self.primary.record(address)
+        self.secondary.record(address)
+
+    def record_trace(self, trace: Iterable[int]) -> None:
+        """Observe every access of a trace."""
+        for address in trace:
+            self.record(int(address))
+
+    @property
+    def max_size(self) -> int:
+        """Largest size covered (the secondary monitor's range)."""
+        return self.secondary.max_size
+
+    def miss_curve(self, sizes: Sequence[float] | None = None) -> MissCurve:
+        """Spliced miss curve covering up to ``llc_size / coverage_ratio``."""
+        if sizes is None:
+            sizes = np.linspace(0, self.max_size, 2 * self.primary.points)
+        sizes = np.asarray(sizes, dtype=float)
+        primary_curve = self.primary.miss_curve(
+            sizes=sizes[sizes <= self.llc_size])
+        secondary_curve = self.secondary.miss_curve(
+            sizes=sizes[sizes > self.llc_size])
+        all_sizes = np.concatenate([primary_curve.sizes, secondary_curve.sizes])
+        all_misses = np.concatenate([primary_curve.misses, secondary_curve.misses])
+        if all_sizes.size == 0:
+            raise ValueError("no sizes requested")
+        curve = MissCurve(all_sizes, all_misses)
+        # Splicing two independently sampled monitors can introduce a small
+        # upward step at the boundary; enforce monotonicity.
+        return curve.monotone_envelope()

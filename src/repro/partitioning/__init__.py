@@ -1,0 +1,29 @@
+"""Software cache-partitioning algorithms and the Talus wrapper."""
+
+from .base import Allocation, PartitioningProblem, total_misses
+from .fair import fair
+from .hill_climbing import hill_climbing
+from .lookahead import lookahead
+from .optimal import optimal_dp
+from .talus_wrap import TalusOutcome, TalusPartitioning
+
+__all__ = [
+    "PartitioningProblem",
+    "Allocation",
+    "total_misses",
+    "hill_climbing",
+    "lookahead",
+    "fair",
+    "optimal_dp",
+    "TalusPartitioning",
+    "TalusOutcome",
+    "ALGORITHMS",
+]
+
+#: Registry of plain partitioning algorithms by name.
+ALGORITHMS = {
+    "hill_climbing": hill_climbing,
+    "lookahead": lookahead,
+    "fair": fair,
+    "optimal_dp": optimal_dp,
+}

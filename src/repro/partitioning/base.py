@@ -1,0 +1,91 @@
+"""Shared definitions for software partitioning algorithms.
+
+A partitioning algorithm takes one miss curve per partition (core, thread,
+or application) and a total capacity, and returns an allocation vector.
+All algorithms here work on :class:`~repro.core.misscurve.MissCurve` objects
+in arbitrary but consistent units (the experiments use paper-MB / MPKI).
+
+Allocations are computed on a discrete grid of ``granularity`` units
+(e.g. 0.25 MB steps), mirroring the way-granularity or bucket-granularity
+decisions real partitioning hardware exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.misscurve import MissCurve
+
+__all__ = ["PartitioningProblem", "Allocation", "total_misses"]
+
+
+@dataclass(frozen=True)
+class PartitioningProblem:
+    """A capacity-partitioning problem instance.
+
+    Attributes
+    ----------
+    curves:
+        One miss curve per partition.  Miss values must be in commensurable
+        units across partitions (e.g. all MPKI weighted by access rate, or
+        all absolute misses) since algorithms sum them.
+    total_size:
+        Total capacity to distribute, in the curves' size units.
+    granularity:
+        Allocation step.  All allocations are integer multiples of this.
+    minimum:
+        Minimum allocation per partition (default 0).
+    """
+
+    curves: tuple[MissCurve, ...]
+    total_size: float
+    granularity: float
+    minimum: float = 0.0
+
+    def __post_init__(self):
+        if not self.curves:
+            raise ValueError("at least one miss curve is required")
+        if self.total_size < 0:
+            raise ValueError("total_size must be non-negative")
+        if self.granularity <= 0:
+            raise ValueError("granularity must be positive")
+        if self.minimum < 0:
+            raise ValueError("minimum must be non-negative")
+        if self.minimum * len(self.curves) > self.total_size + 1e-9:
+            raise ValueError("minimum allocations exceed total capacity")
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.curves)
+
+    @property
+    def steps(self) -> int:
+        """Number of granularity units available to distribute."""
+        return int(self.total_size / self.granularity + 1e-9)
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """The result of a partitioning algorithm."""
+
+    sizes: tuple[float, ...]
+    total_misses: float
+    algorithm: str
+
+    def __post_init__(self):
+        if any(s < -1e-9 for s in self.sizes):
+            raise ValueError("allocations must be non-negative")
+
+    def __iter__(self):
+        return iter(self.sizes)
+
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+
+def total_misses(curves: Sequence[MissCurve], sizes: Sequence[float]) -> float:
+    """Sum of per-partition misses at the given allocation."""
+    if len(curves) != len(sizes):
+        raise ValueError("curves and sizes must have the same length")
+    return float(sum(curve(size) for curve, size in zip(curves, sizes)))

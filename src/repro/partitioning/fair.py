@@ -1,0 +1,35 @@
+"""Fair (equal) partitioning.
+
+The paper's fairness case studies (Fig. 13) partition the cache equally
+among the eight identical applications.  With convex miss curves (Talus),
+equal allocations are simultaneously the most fair and — for homogeneous
+threads — the maximum-utility point (Sec. II-D); with cliffy curves they
+can be useless (all copies stuck on the plateau).
+"""
+
+from __future__ import annotations
+
+from .base import Allocation, PartitioningProblem, total_misses
+
+__all__ = ["fair"]
+
+
+def fair(problem: PartitioningProblem) -> Allocation:
+    """Equal allocations, rounded down to the granularity grid.
+
+    Leftover capacity (from rounding) is distributed one unit at a time,
+    lowest partition index first, so the result never exceeds the total.
+    """
+    step = problem.granularity
+    per_partition_units = int(problem.total_size / step / problem.num_partitions + 1e-9)
+    sizes = [per_partition_units * step] * problem.num_partitions
+    leftover_units = problem.steps - per_partition_units * problem.num_partitions
+    for i in range(leftover_units):
+        sizes[i % problem.num_partitions] += step
+    sizes = [max(s, problem.minimum) for s in sizes]
+    # Enforcing the minimum may overshoot the total; shave from the largest.
+    while sum(sizes) > problem.total_size + 1e-9:
+        sizes[sizes.index(max(sizes))] -= step
+    return Allocation(sizes=tuple(sizes),
+                      total_misses=total_misses(problem.curves, sizes),
+                      algorithm="fair")

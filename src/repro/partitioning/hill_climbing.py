@@ -1,0 +1,48 @@
+"""Hill climbing (marginal-utility greedy) partitioning.
+
+The simplest possible allocator: hand out capacity one granularity unit at a
+time, always to the partition whose miss curve drops the most for that unit.
+Its implementation really is "a trivial linear-time for-loop" (Sec. VII-D).
+
+Hill climbing is *optimal* when all miss curves are convex — which is
+exactly what Talus guarantees — but it gets stuck in local optima on
+non-convex (cliffy) curves, which is why plain LRU partitioning sees little
+benefit from it (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from .base import Allocation, PartitioningProblem, total_misses
+
+__all__ = ["hill_climbing"]
+
+
+def hill_climbing(problem: PartitioningProblem) -> Allocation:
+    """Greedy marginal-utility allocation.
+
+    At each step the next ``granularity`` units go to the partition with the
+    largest miss reduction for that increment.  Ties go to the lowest
+    partition index (deterministic).
+    """
+    sizes = [problem.minimum] * problem.num_partitions
+    budget = problem.total_size - problem.minimum * problem.num_partitions
+    step = problem.granularity
+    current_misses = [float(curve(size))
+                      for curve, size in zip(problem.curves, sizes)]
+    remaining_steps = int(budget / step + 1e-9)
+    for _ in range(remaining_steps):
+        best_index = -1
+        best_gain = -1.0
+        for i, curve in enumerate(problem.curves):
+            gain = current_misses[i] - float(curve(sizes[i] + step))
+            if gain > best_gain + 1e-15:
+                best_gain = gain
+                best_index = i
+        if best_index < 0:
+            break
+        sizes[best_index] += step
+        current_misses[best_index] = float(
+            problem.curves[best_index](sizes[best_index]))
+    return Allocation(sizes=tuple(sizes),
+                      total_misses=total_misses(problem.curves, sizes),
+                      algorithm="hill_climbing")

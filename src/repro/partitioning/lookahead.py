@@ -1,0 +1,62 @@
+"""The Lookahead partitioning algorithm (Qureshi & Patt, MICRO 2006).
+
+Lookahead is the quadratic heuristic UCP uses to cope with non-convex miss
+curves: instead of considering only the next granularity unit (hill
+climbing), each round considers, for every partition, the best *multi-unit*
+jump — the allocation increase with the highest miss reduction per unit —
+and grants the winning jump in full.  This lets it leap across plateaus to
+the far side of a cliff, at the price of "all-or-nothing" allocations
+(Sec. VII-D of the Talus paper) and O(P · N²) work.
+"""
+
+from __future__ import annotations
+
+from .base import Allocation, PartitioningProblem, total_misses
+
+__all__ = ["lookahead"]
+
+
+def _best_jump(curve, current: float, budget: float, step: float) -> tuple[float, float]:
+    """Best (utility-per-unit, jump_size) for one partition.
+
+    Scans every candidate jump of 1..K granularity units within ``budget``
+    and returns the one with the highest miss reduction per unit of space.
+    """
+    best_rate = 0.0
+    best_jump = 0.0
+    base = float(curve(current))
+    units = int(budget / step + 1e-9)
+    for k in range(1, units + 1):
+        jump = k * step
+        gain = base - float(curve(current + jump))
+        if gain <= 0:
+            continue
+        rate = gain / jump
+        if rate > best_rate + 1e-15:
+            best_rate = rate
+            best_jump = jump
+    return best_rate, best_jump
+
+
+def lookahead(problem: PartitioningProblem) -> Allocation:
+    """UCP Lookahead allocation over possibly non-convex curves."""
+    sizes = [problem.minimum] * problem.num_partitions
+    budget = problem.total_size - problem.minimum * problem.num_partitions
+    step = problem.granularity
+    while budget >= step - 1e-9:
+        best_index = -1
+        best_rate = 0.0
+        best_jump = 0.0
+        for i, curve in enumerate(problem.curves):
+            rate, jump = _best_jump(curve, sizes[i], budget, step)
+            if jump > 0 and rate > best_rate + 1e-15:
+                best_rate = rate
+                best_jump = jump
+                best_index = i
+        if best_index < 0:
+            break  # nobody benefits from more capacity
+        sizes[best_index] += best_jump
+        budget -= best_jump
+    return Allocation(sizes=tuple(sizes),
+                      total_misses=total_misses(problem.curves, sizes),
+                      algorithm="lookahead")

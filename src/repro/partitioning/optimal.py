@@ -1,0 +1,63 @@
+"""Optimal partitioning by dynamic programming.
+
+Minimizing total misses over arbitrary (possibly non-convex) miss curves is
+NP-complete in general formulations, but on a fixed granularity grid it
+admits an exact O(P · N²) dynamic program over "capacity given to the first
+k partitions".  The paper uses such exhaustive solutions only implicitly
+(as the target Lookahead approximates); here the DP serves as the reference
+optimum in tests and ablations — e.g. verifying that hill climbing on convex
+hulls matches the DP's total misses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Allocation, PartitioningProblem, total_misses
+
+__all__ = ["optimal_dp"]
+
+
+def optimal_dp(problem: PartitioningProblem) -> Allocation:
+    """Exact minimum-miss allocation on the granularity grid."""
+    step = problem.granularity
+    units = problem.steps
+    min_units = int(problem.minimum / step + 1e-9)
+    num = problem.num_partitions
+
+    # miss[i][u] = misses of partition i when given u units.
+    miss = np.empty((num, units + 1))
+    for i, curve in enumerate(problem.curves):
+        for u in range(units + 1):
+            miss[i, u] = float(curve(u * step))
+
+    # dp[u] = minimal total misses using exactly u units over partitions
+    # processed so far; choice[i][u] = units given to partition i.
+    dp = np.full(units + 1, np.inf)
+    dp[0] = 0.0
+    choice = np.zeros((num, units + 1), dtype=int)
+    for i in range(num):
+        new_dp = np.full(units + 1, np.inf)
+        for u in range(units + 1):
+            if not np.isfinite(dp[u]):
+                continue
+            for give in range(min_units, units - u + 1):
+                total = dp[u] + miss[i, give]
+                if total < new_dp[u + give]:
+                    new_dp[u + give] = total
+                    choice[i, u + give] = give
+        dp = new_dp
+
+    # The best end state is the one with minimal misses over all used-unit
+    # counts (unused capacity is allowed, though it never helps with
+    # monotone curves).
+    best_units = int(np.argmin(dp))
+    sizes = [0.0] * num
+    remaining = best_units
+    for i in range(num - 1, -1, -1):
+        give = int(choice[i, remaining])
+        sizes[i] = give * step
+        remaining -= give
+    return Allocation(sizes=tuple(sizes),
+                      total_misses=total_misses(problem.curves, sizes),
+                      algorithm="optimal_dp")

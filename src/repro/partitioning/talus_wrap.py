@@ -1,0 +1,90 @@
+"""The Talus software wrapper around a partitioning algorithm (Fig. 7a).
+
+Talus does not propose its own partitioning algorithm.  Instead it wraps the
+system's algorithm with two steps:
+
+* **pre-processing** — replace each partition's measured miss curve with its
+  convex hull, so the algorithm can safely assume convexity (and therefore a
+  simple algorithm like hill climbing is optimal), and
+* **post-processing** — turn the algorithm's allocations into shadow
+  partition sizes and sampling rates via Theorem 6
+  (:func:`repro.core.talus.plan_shadow_partitions`).
+
+:class:`TalusPartitioning` packages both steps; the result carries the
+allocations, the per-partition :class:`~repro.core.talus.TalusConfig`, and
+the miss values Talus commits to (hull values), ready either for analytic
+performance models or to program a
+:class:`~repro.cache.talus_cache.TalusCache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.convexhull import convex_hull
+from ..core.misscurve import MissCurve
+from ..core.talus import TalusConfig, plan_shadow_partitions
+from .base import Allocation, PartitioningProblem
+from .hill_climbing import hill_climbing
+
+__all__ = ["TalusPartitioning", "TalusOutcome"]
+
+Algorithm = Callable[[PartitioningProblem], Allocation]
+
+
+@dataclass(frozen=True)
+class TalusOutcome:
+    """Everything the Talus wrapper produces for one reconfiguration."""
+
+    allocation: Allocation
+    configs: tuple[TalusConfig, ...]
+    expected_misses: tuple[float, ...]
+
+    @property
+    def sizes(self) -> tuple[float, ...]:
+        """Per-partition capacity allocations."""
+        return self.allocation.sizes
+
+    @property
+    def total_expected_misses(self) -> float:
+        """Sum of the hull miss values Talus commits to."""
+        return float(sum(self.expected_misses))
+
+
+class TalusPartitioning:
+    """Pre-/post-processing wrapper making any partitioning algorithm convex.
+
+    Parameters
+    ----------
+    algorithm:
+        The system's partitioning algorithm (default: hill climbing, which
+        convexity makes optimal).
+    safety_margin:
+        Sampling-rate safety margin passed to the planner (Sec. VI-B; the
+        hardware implementation uses 0.05).
+    """
+
+    def __init__(self, algorithm: Algorithm = hill_climbing,
+                 safety_margin: float = 0.0):
+        if safety_margin < 0 or safety_margin >= 1:
+            raise ValueError("safety_margin must be in [0, 1)")
+        self.algorithm = algorithm
+        self.safety_margin = safety_margin
+
+    def partition(self, curves: Sequence[MissCurve], total_size: float,
+                  granularity: float, minimum: float = 0.0) -> TalusOutcome:
+        """Run the wrapped algorithm on convex hulls and plan shadow partitions."""
+        hulls = tuple(convex_hull(curve) for curve in curves)
+        problem = PartitioningProblem(curves=hulls, total_size=total_size,
+                                      granularity=granularity, minimum=minimum)
+        allocation = self.algorithm(problem)
+        configs = []
+        expected = []
+        for curve, hull, size in zip(curves, hulls, allocation.sizes):
+            config = plan_shadow_partitions(curve, size,
+                                            safety_margin=self.safety_margin)
+            configs.append(config)
+            expected.append(float(hull(size)))
+        return TalusOutcome(allocation=allocation, configs=tuple(configs),
+                            expected_misses=tuple(expected))

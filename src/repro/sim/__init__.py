@@ -1,0 +1,34 @@
+"""System-level simulation: drivers, performance model, multi-core experiments."""
+
+from .config import MULTI_PROGRAMMED, SINGLE_THREADED, SystemConfig
+from .engine import (lru_mpki_curve, simulate_policy_at_size,
+                     simulated_mpki_curve, talus_simulated_mpki_curve)
+from .metrics import (coefficient_of_variation, gmean, harmonic_speedup,
+                      weighted_speedup)
+from .multicore import (SCHEMES, MixResult, SharedCacheExperiment,
+                        shared_cache_equilibrium)
+from .perf_model import AppPerformance, execution_time, ipc_from_mpki
+from .reconfigure import IntervalRecord, ReconfiguringTalusRun
+
+__all__ = [
+    "SystemConfig",
+    "SINGLE_THREADED",
+    "MULTI_PROGRAMMED",
+    "lru_mpki_curve",
+    "simulated_mpki_curve",
+    "simulate_policy_at_size",
+    "talus_simulated_mpki_curve",
+    "weighted_speedup",
+    "harmonic_speedup",
+    "coefficient_of_variation",
+    "gmean",
+    "ipc_from_mpki",
+    "execution_time",
+    "AppPerformance",
+    "SharedCacheExperiment",
+    "MixResult",
+    "SCHEMES",
+    "shared_cache_equilibrium",
+    "ReconfiguringTalusRun",
+    "IntervalRecord",
+]

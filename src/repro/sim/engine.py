@@ -1,0 +1,165 @@
+"""Single-application simulation drivers: miss-curve sweeps and Talus runs.
+
+These helpers connect the workload, cache and core layers:
+
+* exact LRU miss curves via stack distance (fast path — one pass);
+* simulated miss curves for arbitrary replacement policies (one simulation
+  per size, as the paper's non-stack policies require);
+* simulated Talus miss curves on a chosen partitioning scheme, either with a
+  static configuration planned from a measured curve or with the full
+  interval-based reconfiguration loop (:mod:`repro.sim.reconfigure`).
+
+Curves produced here are in (paper MB, MPKI) units so they can be compared
+directly with the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..cache.cache import SetAssociativeCache
+from ..cache.factory import named_policy_factory
+from ..cache.partition import make_partitioned_cache
+from ..cache.replacement.base import PolicyFactory
+from ..cache.talus_cache import TalusCache
+from ..core.misscurve import MissCurve
+from ..core.talus import plan_shadow_partitions
+from ..monitor.stack_distance import lru_miss_curve
+from ..workloads.access import Trace
+from ..workloads.scale import paper_mb_to_lines
+from ..workloads.spec_profiles import AppProfile
+
+__all__ = [
+    "lru_mpki_curve",
+    "simulated_mpki_curve",
+    "talus_simulated_mpki_curve",
+    "simulate_policy_at_size",
+]
+
+#: Default associativity of simulated caches (scaled stand-in for the
+#: paper's 32-way LLC).
+DEFAULT_WAYS = 16
+
+
+def _mpki(misses: float, trace: Trace) -> float:
+    return 1000.0 * misses / trace.instructions
+
+
+def lru_mpki_curve(trace: Trace, sizes_mb: Sequence[float]) -> MissCurve:
+    """Exact (fully-associative) LRU MPKI curve of a trace via stack distance."""
+    sizes_mb = np.asarray(list(sizes_mb), dtype=float)
+    sizes_lines = np.array([paper_mb_to_lines(mb) for mb in sizes_mb], dtype=float)
+    raw = lru_miss_curve(trace.addresses, sizes=sizes_lines)
+    return MissCurve(sizes_mb, raw.misses * 1000.0 / trace.instructions)
+
+
+def simulate_policy_at_size(trace: Trace, size_mb: float, policy: str,
+                            ways: int = DEFAULT_WAYS) -> float:
+    """MPKI of ``policy`` on ``trace`` at one cache size (paper MB)."""
+    lines = paper_mb_to_lines(size_mb)
+    if lines <= 0:
+        return _mpki(len(trace), trace)
+    if lines < ways:
+        num_sets, eff_ways = 1, lines
+    else:
+        num_sets, eff_ways = lines // ways, ways
+    factory = named_policy_factory(policy, num_sets)
+    cache = SetAssociativeCache(num_sets, eff_ways, factory)
+    stats = cache.run(trace.addresses)
+    return _mpki(stats.misses, trace)
+
+
+def simulated_mpki_curve(trace: Trace, sizes_mb: Sequence[float], policy: str,
+                         ways: int = DEFAULT_WAYS) -> MissCurve:
+    """Simulated MPKI curve of an arbitrary policy (one run per size)."""
+    sizes_mb = sorted(set(float(s) for s in sizes_mb))
+    mpki = [simulate_policy_at_size(trace, mb, policy, ways=ways)
+            for mb in sizes_mb]
+    return MissCurve(np.asarray(sizes_mb), np.asarray(mpki))
+
+
+def talus_simulated_mpki_curve(profile: AppProfile,
+                               sizes_mb: Sequence[float],
+                               scheme: str = "vantage",
+                               policy: str = "LRU",
+                               planning_curve: MissCurve | None = None,
+                               safety_margin: float = 0.05,
+                               n_accesses: int | None = None,
+                               seed: int = 0,
+                               ways: int = DEFAULT_WAYS,
+                               policy_factory: PolicyFactory | None = None,
+                               scheme_kwargs: dict | None = None,
+                               ) -> MissCurve:
+    """Simulated Talus MPKI curve on a partitioning scheme (Fig. 8 / Fig. 9).
+
+    For each target size, a Talus configuration is planned from
+    ``planning_curve`` (default: the profile's exact LRU curve — the role the
+    UMONs play in hardware), programmed into a :class:`TalusCache` built on
+    ``scheme``, and the profile's trace is replayed through it.
+
+    Parameters
+    ----------
+    profile:
+        Application profile supplying the trace.
+    sizes_mb:
+        Target cache sizes, paper MB.
+    scheme:
+        Partitioning scheme name ("ideal", "way", "set", "vantage").
+    policy:
+        Replacement policy inside the shadow partitions.
+    planning_curve:
+        Miss curve used for planning, in (paper MB, MPKI).  When monitoring
+        a non-LRU policy, pass a curve measured with
+        :class:`~repro.monitor.multipoint.MultiPointMonitor`.
+    safety_margin:
+        Sampling-rate margin (the paper's implementation uses 5 %).
+    """
+    sizes_mb = sorted(set(float(s) for s in sizes_mb))
+    trace = profile.trace(n_accesses=n_accesses) if n_accesses else profile.trace(seed=seed)
+    if planning_curve is None:
+        max_mb = max(max(sizes_mb) * 1.5, 1.0)
+        planning_curve = profile.lru_curve(max_mb=max_mb)
+    mpki_values = []
+    for size_mb in sizes_mb:
+        lines = paper_mb_to_lines(size_mb)
+        if lines <= 0:
+            mpki_values.append(_mpki(len(trace), trace))
+            continue
+        factory = policy_factory
+        if factory is None:
+            # Two shadow partitions: dueling-by-set is unavailable, so use
+            # the standalone variants of each policy.
+            factory = named_policy_factory(policy, 2)
+        base = make_partitioned_cache(scheme, lines, 2,
+                                      policy_factory=factory, ways=ways,
+                                      **(scheme_kwargs or {}))
+        talus = TalusCache(base, num_logical=1)
+        # Plan in MB on the planning curve, then convert the shadow sizes to
+        # lines for the hardware.
+        partitionable_mb = base.partitionable_lines / paper_mb_to_lines(1.0)
+        config = plan_shadow_partitions(planning_curve,
+                                        min(size_mb, partitionable_mb)
+                                        if partitionable_mb > 0 else size_mb,
+                                        safety_margin=safety_margin)
+        config_lines = _config_to_lines(config)
+        talus.configure(0, config_lines)
+        stats = talus.run(trace.addresses, logical=0)
+        mpki_values.append(_mpki(stats.misses, trace))
+    return MissCurve(np.asarray(sizes_mb), np.asarray(mpki_values))
+
+
+def _config_to_lines(config):
+    """Convert a TalusConfig planned in paper MB to one in simulated lines."""
+    from ..core.talus import TalusConfig
+    factor = float(paper_mb_to_lines(1.0))
+    return TalusConfig(
+        total_size=config.total_size * factor,
+        alpha=config.alpha * factor,
+        beta=config.beta * factor,
+        rho=config.rho,
+        s1=config.s1 * factor,
+        s2=config.s2 * factor,
+        degenerate=config.degenerate,
+    )

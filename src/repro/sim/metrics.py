@@ -1,0 +1,69 @@
+"""System-level metrics used in the paper's evaluation.
+
+* **weighted speedup** — ``(sum_i IPC_i / IPC_i,base) / N``: throughput with
+  some fairness weighting (Sec. VII-A).
+* **harmonic speedup** — ``1 / sum_i (IPC_i,base / IPC_i)``: emphasizes
+  fairness; an application that is starved drags the harmonic mean down.
+* **coefficient of variation of per-core IPC** — the paper's unfairness
+  measure in Fig. 13 (standard deviation over mean; lower is fairer).
+* **gmean** — geometric mean, used for cross-benchmark IPC summaries
+  (Fig. 11) and cross-mix speedup summaries (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["weighted_speedup", "harmonic_speedup", "coefficient_of_variation",
+           "gmean"]
+
+
+def _check_pair(ipcs: Sequence[float], baseline: Sequence[float]) -> None:
+    if len(ipcs) != len(baseline):
+        raise ValueError("ipcs and baseline must have the same length")
+    if len(ipcs) == 0:
+        raise ValueError("need at least one application")
+    if any(x <= 0 for x in ipcs) or any(x <= 0 for x in baseline):
+        raise ValueError("IPC values must be positive")
+
+
+def weighted_speedup(ipcs: Sequence[float], baseline: Sequence[float]) -> float:
+    """``(sum_i IPC_i / IPC_i,baseline) / N`` — the paper's throughput metric."""
+    _check_pair(ipcs, baseline)
+    ratios = [ipc / base for ipc, base in zip(ipcs, baseline)]
+    return float(sum(ratios) / len(ratios))
+
+
+def harmonic_speedup(ipcs: Sequence[float], baseline: Sequence[float]) -> float:
+    """``N / sum_i (IPC_i,baseline / IPC_i)`` — the paper's fairness-weighted metric.
+
+    The paper writes it as ``1 / sum_i (IPC_i,LRU / IPC_i)``; normalizing by
+    ``N`` (as done here and in common usage) makes the no-change value 1.0,
+    which is how Fig. 12(b)'s axis reads.
+    """
+    _check_pair(ipcs, baseline)
+    inverse = [base / ipc for ipc, base in zip(ipcs, baseline)]
+    return float(len(ipcs) / sum(inverse))
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Standard deviation divided by mean (population std); 0 when all equal."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one value")
+    mean = arr.mean()
+    if mean == 0:
+        return 0.0
+    return float(arr.std() / mean)
+
+
+def gmean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one value")
+    if np.any(arr <= 0):
+        raise ValueError("gmean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))

@@ -1,0 +1,275 @@
+"""Multi-programmed shared-LLC experiments (Figs. 12 and 13).
+
+The paper runs 8-core mixes under zsim with a fixed-work methodology and
+reports weighted/harmonic speedups over unpartitioned LRU.  Here the same
+comparisons are made with a miss-curve-driven system model:
+
+* **Partitioned schemes** (LRU + hill climbing, LRU + Lookahead, fair
+  partitioning, Talus + hill climbing, Talus + fair): each application's
+  MPKI is its miss curve evaluated at its allocation — for Talus, the convex
+  hull, which is what Talus guarantees to deliver (Sec. VII-B).  Talus on
+  Vantage can only partition 90 % of the cache, which is modelled
+  explicitly.
+* **Unpartitioned LRU** and **TA-DRRIP**: capacity sharing is resolved with
+  a fixed-point occupancy model — each application's occupancy is
+  proportional to the rate at which it inserts lines (misses per cycle),
+  the classic LRU sharing approximation.  TA-DRRIP's thrash resistance is
+  modelled by giving each application its *optimal-bypass* curve (Sec. V-C)
+  instead of its raw LRU curve, since BRRIP insertion approximates
+  bypassing.  These substitutions are documented in DESIGN.md.
+
+IPC comes from the analytic core model (:mod:`repro.sim.perf_model`), and
+the aggregate metrics are exactly the paper's (weighted/harmonic speedup,
+CoV of per-core IPC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.bypass import optimal_bypass_curve
+from ..core.convexhull import convex_hull
+from ..core.misscurve import MissCurve
+from ..partitioning import (PartitioningProblem, fair, hill_climbing,
+                            lookahead)
+from ..partitioning.talus_wrap import TalusPartitioning
+from ..workloads.mixes import WorkloadMix
+from .metrics import coefficient_of_variation, harmonic_speedup, weighted_speedup
+from .perf_model import AppPerformance, ipc_from_mpki
+
+__all__ = ["SharedCacheExperiment", "MixResult", "SCHEMES",
+           "shared_cache_equilibrium"]
+
+#: Scheme names accepted by :meth:`SharedCacheExperiment.evaluate`.
+SCHEMES = (
+    "lru-shared",       # unpartitioned LRU (the baseline of Figs. 12/13)
+    "ta-drrip",         # thread-aware DRRIP (unpartitioned, hardware-adaptive)
+    "lru-hill",         # partitioned LRU, hill climbing
+    "lru-lookahead",    # partitioned LRU, Lookahead
+    "lru-fair",         # partitioned LRU, equal allocations
+    "talus-hill",       # Talus (+Vantage/LRU), hill climbing
+    "talus-fair",       # Talus (+Vantage/LRU), equal allocations
+)
+
+#: Fraction of the cache Talus-on-Vantage can partition (Sec. VI-B).
+TALUS_PARTITIONABLE_FRACTION = 0.9
+
+
+@dataclass(frozen=True)
+class MixResult:
+    """Outcome of one scheme on one mix."""
+
+    scheme: str
+    apps: tuple[AppPerformance, ...]
+
+    @property
+    def ipcs(self) -> List[float]:
+        """Per-core IPCs in core order."""
+        return [app.ipc for app in self.apps]
+
+    @property
+    def mpkis(self) -> List[float]:
+        """Per-core MPKIs in core order."""
+        return [app.mpki for app in self.apps]
+
+    @property
+    def cov_ipc(self) -> float:
+        """Coefficient of variation of per-core IPC (the Fig. 13 unfairness metric)."""
+        return coefficient_of_variation(self.ipcs)
+
+    def weighted_speedup_over(self, baseline: "MixResult") -> float:
+        """Weighted speedup of this scheme relative to ``baseline``."""
+        return weighted_speedup(self.ipcs, baseline.ipcs)
+
+    def harmonic_speedup_over(self, baseline: "MixResult") -> float:
+        """Harmonic speedup of this scheme relative to ``baseline``."""
+        return harmonic_speedup(self.ipcs, baseline.ipcs)
+
+
+def shared_cache_equilibrium(curves: Sequence[MissCurve],
+                             profiles,
+                             total_mb: float,
+                             iterations: int = 200,
+                             damping: float = 0.5,
+                             perturbation: float = 0.05,
+                             seed: int = 1) -> List[float]:
+    """Fixed-point occupancy model for an unpartitioned shared cache.
+
+    Each application's steady-state occupancy is proportional to its line
+    insertion rate (misses per cycle): apps that miss more and run faster
+    insert more lines and therefore occupy more of a shared LRU cache.  The
+    fixed point is found by damped iteration from a slightly perturbed equal
+    split; the perturbation lets homogeneous mixes settle into the
+    asymmetric equilibria the paper observes ("one or a few unlucky cores"
+    in Sec. VII-D).
+
+    Returns the per-application effective capacities (paper MB).
+    """
+    n = len(curves)
+    if n == 0:
+        raise ValueError("need at least one application")
+    if len(profiles) != n:
+        raise ValueError("curves and profiles must have the same length")
+    rng = np.random.default_rng(seed)
+    sizes = np.full(n, total_mb / n)
+    if perturbation > 0:
+        noise = 1.0 + perturbation * (rng.random(n) - 0.5)
+        sizes = sizes * noise
+        sizes *= total_mb / sizes.sum()
+    for _ in range(iterations):
+        weights = np.empty(n)
+        for i, (curve, profile) in enumerate(zip(curves, profiles)):
+            mpki = float(curve(sizes[i]))
+            ipc = ipc_from_mpki(profile, mpki)
+            # Misses per cycle: how fast this app inserts new lines.
+            weights[i] = (mpki / 1000.0) * ipc + 1e-9
+        target = total_mb * weights / weights.sum()
+        sizes = damping * sizes + (1.0 - damping) * target
+    return [float(s) for s in sizes]
+
+
+class SharedCacheExperiment:
+    """Evaluate cache-management schemes on one workload mix.
+
+    Parameters
+    ----------
+    mix:
+        The applications sharing the LLC (one per core).
+    total_mb:
+        Shared LLC capacity in paper MB.
+    curve_max_mb:
+        Coverage of the per-application miss curves.  Defaults to four times
+        the LLC size, mirroring the paper's extended-coverage UMONs
+        (Sec. VI-C) — necessary so Talus can see cliffs beyond the LLC.
+    curve_points:
+        Sample points of the fine (up-to-LLC) portion of each miss curve.
+        The paper's primary UMONs have 64 ways; the low-rate secondary
+        monitor covers the extended range at coarser resolution, which is
+        what the non-uniform grid used here reproduces.
+    granularity_mb:
+        Allocation granularity of the partitioning algorithms.  Defaults to
+        1/64 of the LLC.
+    vantage_fraction:
+        Fraction of the cache the partitioning hardware manages (all
+        partitioned schemes run on Vantage in the paper's methodology, so
+        the same fraction applies to every partitioned scheme).
+    """
+
+    def __init__(self, mix: WorkloadMix, total_mb: float,
+                 curve_max_mb: float | None = None,
+                 curve_points: int = 65,
+                 granularity_mb: float | None = None,
+                 safety_margin: float = 0.0,
+                 equilibrium_seed: int = 1,
+                 vantage_fraction: float = TALUS_PARTITIONABLE_FRACTION):
+        if total_mb <= 0:
+            raise ValueError("total_mb must be positive")
+        if not 0.0 < vantage_fraction <= 1.0:
+            raise ValueError("vantage_fraction must be in (0, 1]")
+        self.mix = mix
+        self.total_mb = float(total_mb)
+        self.curve_max_mb = float(curve_max_mb if curve_max_mb is not None
+                                  else 4.0 * total_mb)
+        self.curve_points = int(curve_points)
+        self.granularity_mb = float(granularity_mb if granularity_mb is not None
+                                    else total_mb / 64.0)
+        self.safety_margin = safety_margin
+        self.equilibrium_seed = equilibrium_seed
+        self.vantage_fraction = float(vantage_fraction)
+        self.profiles = list(mix.apps)
+        sizes_mb = self._curve_grid()
+        self.curves = [p.lru_curve(sizes_mb=sizes_mb) for p in self.profiles]
+
+    def _curve_grid(self) -> np.ndarray:
+        """UMON-like size grid: fine up to the LLC, coarse beyond it."""
+        fine = np.linspace(0.0, self.total_mb, self.curve_points)
+        if self.curve_max_mb <= self.total_mb:
+            return fine
+        coarse_points = max(2, self.curve_points // 4)
+        coarse = np.linspace(self.total_mb, self.curve_max_mb, coarse_points)
+        return np.union1d(fine, coarse)
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, scheme: str) -> MixResult:
+        """Evaluate one scheme; returns per-app allocations, MPKIs and IPCs."""
+        if scheme == "lru-shared":
+            return self._equilibrium_result(scheme, self.curves)
+        if scheme == "ta-drrip":
+            bypass_curves = [optimal_bypass_curve(c) for c in self.curves]
+            return self._equilibrium_result(scheme, bypass_curves)
+        if scheme == "lru-hill":
+            return self._partitioned_result(scheme, hill_climbing,
+                                            use_talus=False)
+        if scheme == "lru-lookahead":
+            return self._partitioned_result(scheme, lookahead, use_talus=False)
+        if scheme == "lru-fair":
+            return self._partitioned_result(scheme, fair, use_talus=False)
+        if scheme == "talus-hill":
+            return self._partitioned_result(scheme, hill_climbing,
+                                            use_talus=True)
+        if scheme == "talus-fair":
+            return self._partitioned_result(scheme, fair, use_talus=True)
+        raise ValueError(f"unknown scheme {scheme!r}; known: {SCHEMES}")
+
+    def evaluate_all(self, schemes: Sequence[str] = SCHEMES) -> Dict[str, MixResult]:
+        """Evaluate several schemes at once."""
+        return {scheme: self.evaluate(scheme) for scheme in schemes}
+
+    # ------------------------------------------------------------------ #
+    def _equilibrium_result(self, scheme: str,
+                            curves: Sequence[MissCurve]) -> MixResult:
+        sizes = shared_cache_equilibrium(curves, self.profiles, self.total_mb,
+                                         seed=self.equilibrium_seed)
+        apps = []
+        for profile, curve, size in zip(self.profiles, curves, sizes):
+            mpki = float(curve(size))
+            apps.append(AppPerformance(name=profile.name, allocation_mb=size,
+                                       mpki=mpki,
+                                       ipc=ipc_from_mpki(profile, mpki)))
+        return MixResult(scheme=scheme, apps=tuple(apps))
+
+    def _partitioned_result(self, scheme: str, algorithm,
+                            use_talus: bool) -> MixResult:
+        # All partitioned schemes run on Vantage (as in the paper's
+        # methodology): the algorithm plans over the managed fraction of the
+        # cache, and the unmanaged region — which still holds lines demoted
+        # from each partition, so hits there count — is modelled as each
+        # partition recovering a share of it proportional to its allocation.
+        partitionable = self.total_mb * self.vantage_fraction
+        unmanaged = self.total_mb - partitionable
+
+        def effective_size(size: float) -> float:
+            share = size / partitionable if partitionable > 0 else 0.0
+            return size + unmanaged * share
+
+        if use_talus:
+            wrapper = TalusPartitioning(algorithm=algorithm,
+                                        safety_margin=self.safety_margin)
+            outcome = wrapper.partition(self.curves, partitionable,
+                                        granularity=self.granularity_mb)
+            sizes = outcome.sizes
+            hulls = [convex_hull(curve) for curve in self.curves]
+            mpkis = tuple(float(hull(effective_size(size)))
+                          for hull, size in zip(hulls, sizes))
+        else:
+            problem = PartitioningProblem(curves=tuple(self.curves),
+                                          total_size=partitionable,
+                                          granularity=self.granularity_mb)
+            allocation = algorithm(problem)
+            sizes = allocation.sizes
+            mpkis = tuple(float(curve(effective_size(size)))
+                          for curve, size in zip(self.curves, sizes))
+        apps = []
+        for profile, size, mpki in zip(self.profiles, sizes, mpkis):
+            apps.append(AppPerformance(name=profile.name, allocation_mb=float(size),
+                                       mpki=float(mpki),
+                                       ipc=ipc_from_mpki(profile, float(mpki))))
+        return MixResult(scheme=scheme, apps=tuple(apps))
+
+    # ------------------------------------------------------------------ #
+    def hull_curves(self) -> List[MissCurve]:
+        """Convex hulls of the per-application curves (Talus pre-processing)."""
+        return [convex_hull(curve) for curve in self.curves]

@@ -1,0 +1,136 @@
+"""Access traces: the unit of work fed to the cache substrate.
+
+A :class:`Trace` is a sequence of line addresses plus the metadata needed to
+report paper-style metrics: the number of instructions the accesses
+correspond to (so misses convert to MPKI) and a human-readable name.
+
+Traces are deliberately plain (a numpy array plus scalars) so that
+generators can build them quickly and simulators can iterate them without
+overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Trace", "interleave", "concatenate"]
+
+
+@dataclass
+class Trace:
+    """A line-address trace with MPKI bookkeeping.
+
+    Attributes
+    ----------
+    addresses:
+        Line addresses (int64).  These are *line* numbers — byte addresses
+        already divided by the line size.
+    instructions:
+        Number of instructions the trace represents.  Together with the
+        access count this fixes the APKI (accesses per kilo-instruction)
+        and lets simulation results be reported as MPKI.
+    name:
+        Label used in reports.
+    """
+
+    addresses: np.ndarray
+    instructions: int
+    name: str = "trace"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.addresses = np.asarray(self.addresses, dtype=np.int64)
+        if self.addresses.ndim != 1:
+            raise ValueError("addresses must be one-dimensional")
+        if self.instructions <= 0:
+            raise ValueError("instructions must be positive")
+
+    def __len__(self) -> int:
+        return int(self.addresses.size)
+
+    def __iter__(self):
+        return iter(self.addresses.tolist())
+
+    @property
+    def accesses(self) -> int:
+        """Number of accesses in the trace."""
+        return len(self)
+
+    @property
+    def apki(self) -> float:
+        """Accesses per kilo-instruction."""
+        return 1000.0 * self.accesses / self.instructions
+
+    @property
+    def footprint(self) -> int:
+        """Number of distinct lines touched."""
+        return int(np.unique(self.addresses).size)
+
+    def mpki_from_misses(self, misses: float) -> float:
+        """Convert a miss count over this trace to MPKI."""
+        return 1000.0 * misses / self.instructions
+
+    def with_offset(self, offset: int) -> "Trace":
+        """Return a copy with all addresses shifted by ``offset`` lines.
+
+        Used to place multiple synthetic streams in disjoint address ranges.
+        """
+        return Trace(self.addresses + int(offset), self.instructions,
+                     name=self.name, metadata=dict(self.metadata))
+
+    def truncated(self, n_accesses: int) -> "Trace":
+        """Return the first ``n_accesses`` accesses (instructions pro-rated)."""
+        if n_accesses <= 0:
+            raise ValueError("n_accesses must be positive")
+        n = min(n_accesses, self.accesses)
+        instructions = max(1, int(round(self.instructions * n / self.accesses)))
+        return Trace(self.addresses[:n], instructions, name=self.name,
+                     metadata=dict(self.metadata))
+
+    def __repr__(self) -> str:
+        return (f"Trace({self.name!r}, {self.accesses} accesses, "
+                f"{self.instructions} instructions, "
+                f"APKI={self.apki:.1f}, footprint={self.footprint} lines)")
+
+
+def concatenate(traces: list[Trace], name: str = "concat") -> Trace:
+    """Concatenate traces back to back (phase behaviour)."""
+    if not traces:
+        raise ValueError("traces must not be empty")
+    addresses = np.concatenate([t.addresses for t in traces])
+    instructions = sum(t.instructions for t in traces)
+    return Trace(addresses, instructions, name=name)
+
+
+def interleave(traces: list[Trace], weights: list[float] | None = None,
+               seed: int = 0, name: str = "interleave") -> Trace:
+    """Probabilistically interleave several traces into one access stream.
+
+    Each output access is drawn from trace ``i`` with probability
+    ``weights[i]`` (default: proportional to trace length), consuming that
+    trace's accesses in order and wrapping around when exhausted.  The
+    output length is the total input length; instructions are summed.
+    """
+    if not traces:
+        raise ValueError("traces must not be empty")
+    if weights is None:
+        weights = [float(len(t)) for t in traces]
+    if len(weights) != len(traces):
+        raise ValueError("weights must match traces")
+    if any(w < 0 for w in weights) or sum(weights) <= 0:
+        raise ValueError("weights must be non-negative and not all zero")
+    rng = np.random.default_rng(seed)
+    total = sum(len(t) for t in traces)
+    probs = np.asarray(weights, dtype=float)
+    probs = probs / probs.sum()
+    choices = rng.choice(len(traces), size=total, p=probs)
+    cursors = [0] * len(traces)
+    out = np.empty(total, dtype=np.int64)
+    for i, which in enumerate(choices):
+        trace = traces[which]
+        out[i] = trace.addresses[cursors[which] % len(trace)]
+        cursors[which] += 1
+    instructions = sum(t.instructions for t in traces)
+    return Trace(out, instructions, name=name)

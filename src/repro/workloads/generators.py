@@ -1,0 +1,175 @@
+"""Synthetic access-stream generators.
+
+These produce the canonical LLC access patterns whose LRU miss curves have
+the shapes the paper studies:
+
+* **sequential scans** — flat miss curve with a cliff exactly at the working
+  set size (libquantum's behaviour, Fig. 1);
+* **uniform random working sets** — linearly declining (weakly convex) miss
+  curves;
+* **Zipfian / hot-cold mixtures** — smooth convex curves;
+* **mixtures** — e.g. the Sec. III example (2 MB random + 3 MB sequential)
+  whose LRU curve has a plateau followed by a cliff.
+
+All generators work in *line* units and take an ``apki`` parameter so the
+resulting :class:`~repro.workloads.access.Trace` carries the instruction
+count needed for MPKI reporting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .access import Trace, interleave
+
+__all__ = [
+    "sequential_scan",
+    "uniform_random",
+    "zipfian",
+    "hot_cold",
+    "strided_scan",
+    "mixture",
+    "scan_plus_random",
+]
+
+
+def _instructions_for(n_accesses: int, apki: float) -> int:
+    if apki <= 0:
+        raise ValueError("apki must be positive")
+    return max(1, int(round(1000.0 * n_accesses / apki)))
+
+
+def sequential_scan(working_set_lines: int, n_accesses: int,
+                    apki: float = 24.0, offset: int = 0,
+                    name: str | None = None) -> Trace:
+    """Repeatedly scan ``working_set_lines`` lines in order.
+
+    Under LRU this misses on every access when the cache is smaller than
+    the working set and hits on (almost) every access once it fits — the
+    canonical performance cliff.
+    """
+    if working_set_lines <= 0 or n_accesses <= 0:
+        raise ValueError("working_set_lines and n_accesses must be positive")
+    addresses = (np.arange(n_accesses, dtype=np.int64) % working_set_lines) + offset
+    return Trace(addresses, _instructions_for(n_accesses, apki),
+                 name=name or f"scan({working_set_lines})",
+                 metadata={"pattern": "scan", "working_set": working_set_lines})
+
+
+def strided_scan(working_set_lines: int, n_accesses: int, stride: int = 2,
+                 apki: float = 24.0, offset: int = 0,
+                 name: str | None = None) -> Trace:
+    """Scan with a stride (in lines), wrapping within the working set."""
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    if working_set_lines <= 0 or n_accesses <= 0:
+        raise ValueError("working_set_lines and n_accesses must be positive")
+    addresses = ((np.arange(n_accesses, dtype=np.int64) * stride)
+                 % working_set_lines) + offset
+    return Trace(addresses, _instructions_for(n_accesses, apki),
+                 name=name or f"stride({working_set_lines},{stride})",
+                 metadata={"pattern": "strided", "working_set": working_set_lines})
+
+
+def uniform_random(working_set_lines: int, n_accesses: int,
+                   apki: float = 24.0, offset: int = 0, seed: int = 0,
+                   name: str | None = None) -> Trace:
+    """Uniform random accesses over a working set.
+
+    LRU's miss rate is roughly ``1 - size / working_set`` for caches smaller
+    than the working set — a straight (weakly convex) line.
+    """
+    if working_set_lines <= 0 or n_accesses <= 0:
+        raise ValueError("working_set_lines and n_accesses must be positive")
+    rng = np.random.default_rng(seed)
+    addresses = rng.integers(0, working_set_lines, size=n_accesses,
+                             dtype=np.int64) + offset
+    return Trace(addresses, _instructions_for(n_accesses, apki),
+                 name=name or f"random({working_set_lines})",
+                 metadata={"pattern": "random", "working_set": working_set_lines})
+
+
+def zipfian(n_items: int, n_accesses: int, exponent: float = 0.8,
+            apki: float = 24.0, offset: int = 0, seed: int = 0,
+            name: str | None = None) -> Trace:
+    """Zipf-distributed accesses over ``n_items`` lines (smooth convex curve).
+
+    Item ``k`` (0-based) is accessed with probability proportional to
+    ``1 / (k + 1) ** exponent``.
+    """
+    if n_items <= 0 or n_accesses <= 0:
+        raise ValueError("n_items and n_accesses must be positive")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n_items + 1, dtype=float)
+    probs = ranks ** (-exponent)
+    probs /= probs.sum()
+    addresses = rng.choice(n_items, size=n_accesses, p=probs).astype(np.int64) + offset
+    return Trace(addresses, _instructions_for(n_accesses, apki),
+                 name=name or f"zipf({n_items},{exponent})",
+                 metadata={"pattern": "zipf", "working_set": n_items})
+
+
+def hot_cold(hot_lines: int, cold_lines: int, hot_fraction: float,
+             n_accesses: int, apki: float = 24.0, offset: int = 0,
+             seed: int = 0, name: str | None = None) -> Trace:
+    """Two-level working set: a hot region receiving ``hot_fraction`` of accesses.
+
+    Produces a miss curve with two slopes — steep until the hot set fits,
+    shallow afterwards — a common SPEC-like shape.
+    """
+    if hot_lines <= 0 or cold_lines <= 0 or n_accesses <= 0:
+        raise ValueError("line counts and n_accesses must be positive")
+    if not 0.0 < hot_fraction < 1.0:
+        raise ValueError("hot_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    is_hot = rng.random(n_accesses) < hot_fraction
+    hot = rng.integers(0, hot_lines, size=n_accesses, dtype=np.int64)
+    cold = rng.integers(0, cold_lines, size=n_accesses, dtype=np.int64) + hot_lines
+    addresses = np.where(is_hot, hot, cold) + offset
+    return Trace(addresses, _instructions_for(n_accesses, apki),
+                 name=name or f"hotcold({hot_lines},{cold_lines})",
+                 metadata={"pattern": "hot_cold",
+                           "working_set": hot_lines + cold_lines})
+
+
+def mixture(components: list[Trace], weights: list[float] | None = None,
+            apki: float | None = None, seed: int = 0,
+            name: str = "mixture") -> Trace:
+    """Probabilistic interleaving of component traces.
+
+    A thin wrapper over :func:`repro.workloads.access.interleave` that can
+    also override the APKI of the result (re-deriving the instruction
+    count), which is convenient when composing profiles with a known LLC
+    access intensity.
+    """
+    result = interleave(components, weights=weights, seed=seed, name=name)
+    if apki is not None:
+        instructions = _instructions_for(len(result), apki)
+        result = Trace(result.addresses, instructions, name=name,
+                       metadata=dict(result.metadata))
+    return result
+
+
+def scan_plus_random(random_lines: int, scan_lines: int, n_accesses: int,
+                     random_fraction: float = 0.4, apki: float = 24.0,
+                     seed: int = 0, name: str | None = None) -> Trace:
+    """The Sec. III example: a random working set plus a sequential scan.
+
+    With ``random_lines`` = 2 MB worth of lines and ``scan_lines`` = 3 MB
+    worth, the LRU miss curve declines until the random set fits, stays flat
+    (plateau), then drops off a cliff once the scan also fits — exactly the
+    Fig. 3 shape.
+    """
+    if n_accesses <= 0:
+        raise ValueError("n_accesses must be positive")
+    rng = np.random.default_rng(seed)
+    is_random = rng.random(n_accesses) < random_fraction
+    rand_part = rng.integers(0, random_lines, size=n_accesses, dtype=np.int64)
+    scan_part = (np.arange(n_accesses, dtype=np.int64) % scan_lines) + random_lines
+    addresses = np.where(is_random, rand_part, scan_part)
+    return Trace(addresses, _instructions_for(n_accesses, apki),
+                 name=name or f"scan+random({random_lines}+{scan_lines})",
+                 metadata={"pattern": "scan_plus_random",
+                           "working_set": random_lines + scan_lines})

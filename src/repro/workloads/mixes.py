@@ -1,0 +1,66 @@
+"""Multi-programmed workload mixes (paper Sec. VII-A and VII-D).
+
+The paper evaluates shared-cache management on 100 random mixes of the 18
+most memory-intensive SPEC CPU2006 applications, eight apps per mix, plus
+homogeneous 8-copy "fairness" mixes.  This module builds the equivalent
+mixes from the synthetic profiles.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .spec_profiles import AppProfile, get_profile, memory_intensive_profiles
+
+__all__ = ["WorkloadMix", "random_mixes", "homogeneous_mix"]
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A named collection of application profiles sharing a cache."""
+
+    name: str
+    apps: tuple[AppProfile, ...]
+
+    def __len__(self) -> int:
+        return len(self.apps)
+
+    @property
+    def app_names(self) -> List[str]:
+        """Benchmark names in core order."""
+        return [app.name for app in self.apps]
+
+    def __repr__(self) -> str:
+        return f"WorkloadMix({self.name!r}, apps={self.app_names})"
+
+
+def random_mixes(num_mixes: int, apps_per_mix: int = 8,
+                 seed: int = 2015,
+                 pool: Sequence[AppProfile] | None = None) -> List[WorkloadMix]:
+    """Random mixes drawn (with replacement) from the memory-intensive pool.
+
+    Sampling with replacement mirrors the paper's methodology, where the
+    same benchmark can appear multiple times in a mix.
+    """
+    if num_mixes <= 0 or apps_per_mix <= 0:
+        raise ValueError("num_mixes and apps_per_mix must be positive")
+    pool = list(pool) if pool is not None else memory_intensive_profiles()
+    if not pool:
+        raise ValueError("profile pool is empty")
+    rng = random.Random(seed)
+    mixes = []
+    for i in range(num_mixes):
+        apps = tuple(rng.choice(pool) for _ in range(apps_per_mix))
+        mixes.append(WorkloadMix(name=f"mix{i:03d}", apps=apps))
+    return mixes
+
+
+def homogeneous_mix(benchmark: str, copies: int = 8) -> WorkloadMix:
+    """``copies`` instances of the same benchmark (Fig. 13 case studies)."""
+    if copies <= 0:
+        raise ValueError("copies must be positive")
+    profile = get_profile(benchmark)
+    return WorkloadMix(name=f"{benchmark}x{copies}",
+                       apps=tuple(profile for _ in range(copies)))

@@ -1,0 +1,44 @@
+"""Scaling between paper units (MB) and simulated units (cache lines).
+
+The paper's experiments use 1 MB – 72 MB last-level caches with 64 B lines.
+Simulating millions of lines per cache in pure Python is infeasible, so the
+whole reproduction runs in a scaled universe: every *paper megabyte* maps to
+:data:`LINES_PER_PAPER_MB` simulated cache lines.  Working-set sizes,
+cache capacities and miss-curve axes all use the same factor, so every
+cliff, plateau and crossover sits at the same place on the "MB" axis as in
+the paper — only the absolute number of lines differs.
+
+Analytic computations (convex hulls, Talus planning, partitioning
+algorithms, the IPC model) are scale invariant, so this factor only affects
+trace-driven simulations.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "LINE_SIZE_BYTES",
+    "LINES_PER_PAPER_MB",
+    "paper_mb_to_lines",
+    "lines_to_paper_mb",
+]
+
+#: Cache line size, matching the paper's 64 B lines.
+LINE_SIZE_BYTES = 64
+
+#: Simulated lines per paper megabyte.  256 lines = 16 KB of simulated
+#: capacity standing in for 1 MB of paper capacity (a 64x linear scale-down).
+LINES_PER_PAPER_MB = 256
+
+
+def paper_mb_to_lines(mb: float) -> int:
+    """Convert a capacity in paper megabytes to simulated lines."""
+    if mb < 0:
+        raise ValueError("mb must be non-negative")
+    return int(round(mb * LINES_PER_PAPER_MB))
+
+
+def lines_to_paper_mb(lines: float) -> float:
+    """Convert a simulated line count back to paper megabytes."""
+    if lines < 0:
+        raise ValueError("lines must be non-negative")
+    return lines / LINES_PER_PAPER_MB

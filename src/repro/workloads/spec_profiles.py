@@ -1,0 +1,399 @@
+"""Synthetic stand-ins for the SPEC CPU2006 applications used in the paper.
+
+The paper's evaluation runs SPEC CPU2006 binaries under zsim.  Those
+binaries (and the machine time to run 10 B-instruction simulations) are not
+available here, so each application is replaced by a *profile*: a synthetic
+access-stream generator whose LRU miss curve reproduces the qualitative
+shape the paper reports for that benchmark — cliff positions, plateau
+heights and overall memory intensity are taken from Figs. 1, 8, 10, 11 and
+13.  The substitution is sound for Talus's purposes because Talus consumes
+only miss curves (Assumptions 2 and 3): any workload with the same curve
+shape exercises the same decisions.
+
+Each profile also carries the parameters of the analytic core model
+(:mod:`repro.sim.perf_model`): a peak IPC and an average exposed miss
+penalty, which determine how MPKI changes translate into IPC changes in
+Figs. 11–13.
+
+Working-set sizes are expressed in *paper megabytes* and converted to
+simulated lines with :mod:`repro.workloads.scale`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..core.misscurve import MissCurve
+from .access import Trace
+from .generators import (hot_cold, mixture, scan_plus_random, sequential_scan,
+                         uniform_random, zipfian)
+from .scale import lines_to_paper_mb, paper_mb_to_lines
+
+__all__ = [
+    "AppProfile",
+    "SPEC_PROFILES",
+    "get_profile",
+    "profile_names",
+    "memory_intensive_profiles",
+    "FIG10_BENCHMARKS",
+    "FIG13_BENCHMARKS",
+]
+
+#: Default trace length used when profiles generate traces / miss curves.
+DEFAULT_TRACE_ACCESSES = 150_000
+
+# Module-level cache of computed LRU curves, keyed by
+# (profile name, max_mb, points, n_accesses, seed).
+_CURVE_CACHE: dict[tuple, MissCurve] = {}
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """A synthetic SPEC-like application profile.
+
+    Attributes
+    ----------
+    name:
+        Benchmark name (matching the paper's figures).
+    apki:
+        LLC accesses per kilo-instruction; also the MPKI when nothing hits.
+    ipc_peak:
+        IPC when every LLC access hits (core-bound performance).
+    miss_penalty_cycles:
+        Average *exposed* stall cycles per LLC miss (memory latency divided
+        by the application's memory-level parallelism).
+    memory_intensive:
+        Whether the app belongs to the paper's "18 most memory intensive"
+        set used for multi-programmed mixes.
+    cliff_mb:
+        Nominal position (paper MB) of the main LRU performance cliff, or
+        None for convex-ish applications.
+    description:
+        One-line description of the synthetic recipe and what it mimics.
+    """
+
+    name: str
+    apki: float
+    ipc_peak: float
+    miss_penalty_cycles: float
+    memory_intensive: bool
+    cliff_mb: float | None
+    description: str
+    _builder: Callable[[int, int], Trace] = field(repr=False, compare=False)
+
+    # ------------------------------------------------------------------ #
+    def trace(self, n_accesses: int = DEFAULT_TRACE_ACCESSES,
+              seed: int = 0) -> Trace:
+        """Generate an access trace of ``n_accesses`` accesses."""
+        if n_accesses <= 0:
+            raise ValueError("n_accesses must be positive")
+        trace = self._builder(n_accesses, seed)
+        # Re-stamp instructions so the trace's APKI matches the profile.
+        instructions = max(1, int(round(1000.0 * n_accesses / self.apki)))
+        return Trace(trace.addresses, instructions, name=self.name,
+                     metadata={"profile": self.name, **trace.metadata})
+
+    def lru_curve(self, max_mb: float = 48.0, points: int = 97,
+                  n_accesses: int = DEFAULT_TRACE_ACCESSES,
+                  seed: int = 0,
+                  sizes_mb: Sequence[float] | None = None) -> MissCurve:
+        """Exact LRU miss curve of the profile, in (paper MB, MPKI) units.
+
+        Computed with one stack-distance pass over a generated trace and
+        cached, so repeated calls are cheap.
+
+        Parameters
+        ----------
+        max_mb, points:
+            Default sampling: ``points`` evenly spaced sizes in
+            ``[0, max_mb]``.
+        sizes_mb:
+            Explicit sample sizes (paper MB); overrides ``max_mb``/``points``.
+            Use a non-uniform grid (fine near zero, coarse beyond the LLC)
+            to mirror the resolution of the paper's UMON arrangement.
+        """
+        if sizes_mb is None:
+            sizes_array = np.linspace(0.0, max_mb, points)
+        else:
+            sizes_array = np.asarray(sorted(set(float(s) for s in sizes_mb)))
+            if sizes_array.size == 0:
+                raise ValueError("sizes_mb must not be empty")
+        key = (self.name, tuple(np.round(sizes_array, 9)), int(n_accesses),
+               int(seed))
+        if key in _CURVE_CACHE:
+            return _CURVE_CACHE[key]
+        from ..monitor.stack_distance import lru_miss_curve
+        trace = self.trace(n_accesses=n_accesses, seed=seed)
+        sizes_lines = np.array([paper_mb_to_lines(mb) for mb in sizes_array],
+                               dtype=float)
+        raw = lru_miss_curve(trace.addresses, sizes=sizes_lines)
+        mpki = raw.misses * 1000.0 / trace.instructions
+        curve = MissCurve(sizes_array, mpki).monotone_envelope()
+        _CURVE_CACHE[key] = curve
+        return curve
+
+    def ipc(self, mpki: float) -> float:
+        """Analytic IPC at a given LLC MPKI (see :mod:`repro.sim.perf_model`)."""
+        if mpki < 0:
+            raise ValueError("mpki must be non-negative")
+        cpi = 1.0 / self.ipc_peak + (mpki / 1000.0) * self.miss_penalty_cycles
+        return 1.0 / cpi
+
+
+# --------------------------------------------------------------------------- #
+# Profile recipes
+# --------------------------------------------------------------------------- #
+def _mb(mb: float) -> int:
+    return max(1, paper_mb_to_lines(mb))
+
+
+def _libquantum(n: int, seed: int) -> Trace:
+    # Pure streaming over a 32 MB vector: the Fig. 1 cliff.
+    return sequential_scan(_mb(32.0), n, apki=33.0)
+
+
+def _gobmk(n: int, seed: int) -> Trace:
+    # Low-intensity, small footprint with mild tapering reuse (Fig. 8b).
+    return mixture([
+        zipfian(_mb(1.0), n * 3 // 4, exponent=0.9, seed=seed),
+        sequential_scan(_mb(3.0), n // 4, offset=_mb(8.0)),
+    ], weights=[3.0, 1.0], seed=seed, name="gobmk")
+
+
+def _perlbench(n: int, seed: int) -> Trace:
+    # Convex region (hot working set) followed by a cliff near 2.5 MB; the
+    # shape where PDP-style bypassing does poorly (Sec. VII-C).
+    return mixture([
+        zipfian(_mb(0.5), n // 2, exponent=1.0, seed=seed),
+        sequential_scan(_mb(2.5), n // 2, offset=_mb(4.0)),
+    ], weights=[1.0, 1.0], seed=seed, name="perlbench")
+
+
+def _mcf(n: int, seed: int) -> Trace:
+    # Large, mostly convex footprint: pointer chasing over tens of MB.
+    return mixture([
+        zipfian(_mb(24.0), n * 2 // 3, exponent=0.7, seed=seed),
+        uniform_random(_mb(6.0), n // 3, seed=seed + 1, offset=_mb(32.0)),
+    ], weights=[2.0, 1.0], seed=seed, name="mcf")
+
+
+def _cactusadm(n: int, seed: int) -> Trace:
+    # Convex region from a random set, then a cliff when the grid fits (~3 MB).
+    return mixture([
+        uniform_random(_mb(1.25), n // 2, seed=seed),
+        sequential_scan(_mb(3.0), n // 2, offset=_mb(4.0)),
+    ], weights=[1.0, 1.0], seed=seed, name="cactusADM")
+
+
+def _lbm(n: int, seed: int) -> Trace:
+    # Streaming over a ~5 MB lattice plus a small hot set: a long plateau at
+    # high MPKI followed by the cliff when the lattice fits.
+    return mixture([
+        sequential_scan(_mb(5.0), n * 7 // 8),
+        zipfian(_mb(0.25), n // 8, exponent=1.0, seed=seed, offset=_mb(8.0)),
+    ], weights=[7.0, 1.0], seed=seed, name="lbm")
+
+
+def _xalancbmk(n: int, seed: int) -> Trace:
+    # Small hot DOM nodes plus a 6 MB scanned structure: a short convex
+    # region, then a plateau ending in the 6 MB cliff (Fig. 13c).
+    return mixture([
+        zipfian(_mb(0.4), n // 4, exponent=1.0, seed=seed),
+        sequential_scan(_mb(6.0), n * 3 // 4, offset=_mb(8.0)),
+    ], weights=[1.0, 3.0], seed=seed, name="xalancbmk")
+
+
+def _omnetpp(n: int, seed: int) -> Trace:
+    # Event queue with a 2 MB working set: cliff at 2 MB (Fig. 13b).
+    return mixture([
+        zipfian(_mb(0.25), n // 5, exponent=1.0, seed=seed),
+        sequential_scan(_mb(2.0), n * 4 // 5, offset=_mb(4.0)),
+    ], weights=[1.0, 4.0], seed=seed, name="omnetpp")
+
+
+def _gemsfdtd(n: int, seed: int) -> Trace:
+    # Scanned grids at two scales: a 1 MB cliff and a second one at ~6 MB,
+    # with a plateau in between.
+    return mixture([
+        sequential_scan(_mb(1.0), n // 2),
+        sequential_scan(_mb(5.0), n // 2, offset=_mb(2.0)),
+    ], weights=[1.0, 1.0], seed=seed, name="GemsFDTD")
+
+
+def _sphinx3(n: int, seed: int) -> Trace:
+    # Acoustic model lookups: convex curve that saturates by a few MB.
+    return zipfian(_mb(4.0), n, exponent=0.7, seed=seed, name="sphinx3")
+
+
+def _soplex(n: int, seed: int) -> Trace:
+    # Hot basis columns plus a scanned constraint matrix: convex knee then a
+    # plateau ending at ~4 MB.
+    return mixture([
+        zipfian(_mb(0.75), n // 2, exponent=1.0, seed=seed + 1),
+        sequential_scan(_mb(3.5), n // 2, offset=_mb(6.0)),
+    ], weights=[1.0, 1.0], seed=seed, name="soplex")
+
+
+def _milc(n: int, seed: int) -> Trace:
+    # Lattice QCD streaming: footprint far beyond any LLC size studied.
+    return sequential_scan(_mb(64.0), n, name="milc")
+
+
+def _bwaves(n: int, seed: int) -> Trace:
+    # Streaming with a cliff beyond the LLC (like libquantum but larger).
+    return sequential_scan(_mb(40.0), n, name="bwaves")
+
+
+def _gcc(n: int, seed: int) -> Trace:
+    return hot_cold(_mb(0.5), _mb(3.0), 0.8, n, seed=seed, name="gcc")
+
+
+def _zeusmp(n: int, seed: int) -> Trace:
+    return uniform_random(_mb(2.0), n, seed=seed, name="zeusmp")
+
+
+def _astar(n: int, seed: int) -> Trace:
+    return zipfian(_mb(4.0), n, exponent=0.8, seed=seed, name="astar")
+
+
+def _hmmer(n: int, seed: int) -> Trace:
+    return uniform_random(_mb(0.5), n, seed=seed, name="hmmer")
+
+
+def _h264ref(n: int, seed: int) -> Trace:
+    return zipfian(_mb(0.6), n, exponent=1.1, seed=seed, name="h264ref")
+
+
+def _dealii(n: int, seed: int) -> Trace:
+    return zipfian(_mb(3.0), n, exponent=0.9, seed=seed, name="dealII")
+
+
+def _calculix(n: int, seed: int) -> Trace:
+    return hot_cold(_mb(0.25), _mb(1.5), 0.85, n, seed=seed, name="calculix")
+
+
+def _sjeng(n: int, seed: int) -> Trace:
+    return zipfian(_mb(0.4), n, exponent=1.2, seed=seed, name="sjeng")
+
+
+def _povray(n: int, seed: int) -> Trace:
+    return zipfian(_mb(0.1), n, exponent=1.3, seed=seed, name="povray")
+
+
+def _tonto(n: int, seed: int) -> Trace:
+    return zipfian(_mb(0.15), n, exponent=1.2, seed=seed, name="tonto")
+
+
+def _wrf(n: int, seed: int) -> Trace:
+    return mixture([
+        sequential_scan(_mb(1.5), n // 2),
+        zipfian(_mb(4.0), n // 2, exponent=0.8, seed=seed, offset=_mb(2.0)),
+    ], weights=[1.0, 1.0], seed=seed, name="wrf")
+
+
+def _leslie3d(n: int, seed: int) -> Trace:
+    return mixture([
+        sequential_scan(_mb(3.0), n * 2 // 3),
+        uniform_random(_mb(4.0), n // 3, seed=seed, offset=_mb(4.0)),
+    ], weights=[2.0, 1.0], seed=seed, name="leslie3d")
+
+
+def _bzip2(n: int, seed: int) -> Trace:
+    return hot_cold(_mb(1.0), _mb(4.0), 0.7, n, seed=seed, name="bzip2")
+
+
+# --------------------------------------------------------------------------- #
+# Profile registry
+# --------------------------------------------------------------------------- #
+def _profile(name: str, apki: float, ipc_peak: float, penalty: float,
+             intensive: bool, cliff: float | None, description: str,
+             builder: Callable[[int, int], Trace]) -> AppProfile:
+    return AppProfile(name=name, apki=apki, ipc_peak=ipc_peak,
+                      miss_penalty_cycles=penalty, memory_intensive=intensive,
+                      cliff_mb=cliff, description=description,
+                      _builder=builder)
+
+
+SPEC_PROFILES: Dict[str, AppProfile] = {p.name: p for p in [
+    _profile("libquantum", 33.0, 0.85, 30.0, True, 32.0,
+             "32 MB sequential streaming; the Fig. 1 cliff.", _libquantum),
+    _profile("gobmk", 1.0, 1.40, 120.0, False, None,
+             "Low-intensity game tree search with ~1 MB hot set.", _gobmk),
+    _profile("perlbench", 2.0, 1.50, 150.0, False, 2.5,
+             "Hot interpreter state plus a 2.5 MB scanned structure.", _perlbench),
+    _profile("mcf", 22.0, 0.60, 90.0, True, None,
+             "Pointer chasing over tens of MB; convex, high MPKI.", _mcf),
+    _profile("cactusADM", 9.0, 0.90, 110.0, True, 3.0,
+             "Convex region then a cliff at ~3 MB.", _cactusadm),
+    _profile("lbm", 32.0, 0.80, 35.0, True, 5.0,
+             "Lattice streaming with a ~5 MB working set.", _lbm),
+    _profile("xalancbmk", 28.0, 0.95, 70.0, True, 6.0,
+             "XSLT processing; cliff at ~6 MB (Fig. 13c).", _xalancbmk),
+    _profile("omnetpp", 22.0, 0.80, 90.0, True, 2.0,
+             "Event simulation; cliff at ~2 MB (Fig. 13b).", _omnetpp),
+    _profile("GemsFDTD", 12.0, 0.85, 80.0, True, 1.0,
+             "Small scanned grid plus large random halo.", _gemsfdtd),
+    _profile("sphinx3", 13.0, 1.00, 90.0, True, None,
+             "Speech decoding; smooth convex curve.", _sphinx3),
+    _profile("soplex", 25.0, 0.80, 80.0, True, None,
+             "LP solving over ~5 MB.", _soplex),
+    _profile("milc", 25.0, 0.75, 40.0, True, None,
+             "Streaming far beyond LLC sizes; flat curve.", _milc),
+    _profile("bwaves", 18.0, 0.85, 45.0, True, 40.0,
+             "Streaming with a cliff beyond the LLC (40 MB).", _bwaves),
+    _profile("gcc", 6.0, 1.30, 120.0, True, None,
+             "Hot/cold compiler working sets.", _gcc),
+    _profile("zeusmp", 5.0, 1.20, 100.0, True, None,
+             "Random accesses over ~2 MB.", _zeusmp),
+    _profile("astar", 8.0, 1.10, 130.0, True, None,
+             "Path-finding with a ~4 MB convex footprint.", _astar),
+    _profile("hmmer", 3.0, 1.60, 100.0, True, None,
+             "Small random working set; cache friendly.", _hmmer),
+    _profile("h264ref", 2.0, 1.55, 110.0, True, None,
+             "Video encoding; sub-MB hot set.", _h264ref),
+    _profile("dealII", 4.0, 1.30, 110.0, False, None,
+             "FEM assembly; convex ~3 MB footprint.", _dealii),
+    _profile("calculix", 1.5, 1.50, 120.0, False, None,
+             "Mostly cache-resident FEM solver.", _calculix),
+    _profile("sjeng", 1.2, 1.45, 130.0, False, None,
+             "Chess search; small hot set.", _sjeng),
+    _profile("povray", 0.1, 1.70, 150.0, False, None,
+             "Ray tracing; negligible LLC traffic (<0.1 MPKI).", _povray),
+    _profile("tonto", 0.1, 1.60, 150.0, False, None,
+             "Quantum chemistry; negligible LLC traffic.", _tonto),
+    _profile("wrf", 7.0, 1.05, 90.0, False, 1.5,
+             "Weather modelling; small scan plus convex tail.", _wrf),
+    _profile("leslie3d", 14.0, 0.90, 70.0, True, 3.0,
+             "CFD streaming with a ~3 MB cliff.", _leslie3d),
+    _profile("bzip2", 5.0, 1.25, 110.0, False, None,
+             "Compression; hot/cold blocks.", _bzip2),
+]}
+
+#: Benchmarks shown in Fig. 10 of the paper (MPKI vs size, 128 KB – 16 MB).
+FIG10_BENCHMARKS = ("perlbench", "mcf", "cactusADM", "libquantum", "lbm",
+                    "xalancbmk")
+
+#: Benchmarks used for the Fig. 13 fairness case studies.
+FIG13_BENCHMARKS = ("libquantum", "omnetpp", "xalancbmk")
+
+
+def get_profile(name: str) -> AppProfile:
+    """Look up a profile by benchmark name."""
+    try:
+        return SPEC_PROFILES[name]
+    except KeyError:
+        raise ValueError(f"unknown profile {name!r}; "
+                         f"known: {sorted(SPEC_PROFILES)}") from None
+
+
+def profile_names() -> List[str]:
+    """All registered benchmark names."""
+    return sorted(SPEC_PROFILES)
+
+
+def memory_intensive_profiles() -> List[AppProfile]:
+    """The paper's pool of memory-intensive apps used for random mixes."""
+    return [p for p in SPEC_PROFILES.values() if p.memory_intensive]

@@ -1,0 +1,48 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.core import MissCurve
+
+
+@pytest.fixture
+def example_curve() -> MissCurve:
+    """The Sec. III worked-example curve (plateau at 12 MPKI, cliff at 5 MB)."""
+    return MissCurve([0, 1, 2, 3, 4, 5, 6, 8, 10],
+                     [24, 18, 12, 12, 12, 3, 3, 3, 3])
+
+
+@pytest.fixture
+def convex_curve() -> MissCurve:
+    """A strictly convex miss curve."""
+    sizes = np.linspace(0, 16, 33)
+    misses = 20.0 * np.exp(-sizes / 4.0)
+    return MissCurve(sizes, misses)
+
+
+def miss_curves(min_points: int = 3, max_points: int = 12,
+                max_size: float = 64.0, max_miss: float = 100.0):
+    """Hypothesis strategy generating monotone non-increasing miss curves."""
+
+    @st.composite
+    def _curves(draw):
+        n = draw(st.integers(min_points, max_points))
+        raw_sizes = draw(st.lists(
+            st.floats(0.125, max_size, allow_nan=False, allow_infinity=False),
+            min_size=n, max_size=n, unique=True))
+        sizes = [0.0] + sorted(raw_sizes)
+        drops = draw(st.lists(
+            st.floats(0.0, max_miss / n, allow_nan=False, allow_infinity=False),
+            min_size=n, max_size=n))
+        start = draw(st.floats(1.0, max_miss, allow_nan=False,
+                               allow_infinity=False))
+        misses = [start]
+        for d in drops:
+            misses.append(max(0.0, misses[-1] - d))
+        return MissCurve(sizes, misses)
+
+    return _curves()

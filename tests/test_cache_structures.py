@@ -1,0 +1,310 @@
+"""Tests for caches, hashing, partitioned organizations and the Talus cache."""
+
+import numpy as np
+import pytest
+
+from repro.cache import (CacheStats, H3Hash, IdealPartitionedCache, LRUPolicy,
+                         SamplingFunction, SetAssociativeCache,
+                         SetPartitionedCache, TalusCache,
+                         VantagePartitionedCache, WayPartitionedCache,
+                         make_partitioned_cache, named_policy_factory,
+                         simulate_trace)
+from repro.core import MissCurve, TalusConfig, plan_shadow_partitions
+
+
+class TestHashing:
+    def test_h3_deterministic_and_in_range(self):
+        h = H3Hash(out_bits=8, seed=3)
+        values = [h(i) for i in range(256)]
+        assert values == [h(i) for i in range(256)]
+        assert all(0 <= v < 256 for v in values)
+
+    def test_h3_roughly_uniform(self):
+        h = H3Hash(out_bits=4, seed=5)
+        counts = np.bincount([h(i) for i in range(4096)], minlength=16)
+        assert counts.min() > 4096 / 16 * 0.5
+        assert counts.max() < 4096 / 16 * 1.5
+
+    def test_h3_hash_array_matches_scalar(self):
+        h = H3Hash(out_bits=8, seed=7)
+        addresses = np.arange(100, dtype=np.uint64)
+        vector = h.hash_array(addresses)
+        assert [h(int(a)) for a in addresses] == vector.tolist()
+
+    def test_h3_validation(self):
+        with pytest.raises(ValueError):
+            H3Hash(out_bits=0)
+        with pytest.raises(ValueError):
+            H3Hash(in_bits=100)
+
+    def test_sampling_function_rates(self):
+        sampler = SamplingFunction(0.25, out_bits=8, seed=1)
+        assert sampler.rate == pytest.approx(0.25, abs=1 / 256)
+        fraction = np.mean([sampler.goes_to_alpha(a) for a in range(20000)])
+        assert fraction == pytest.approx(0.25, abs=0.03)
+        sampler.set_rate(1.0)
+        assert all(sampler.goes_to_alpha(a) for a in range(100))
+        with pytest.raises(ValueError):
+            sampler.set_rate(1.5)
+
+
+class TestCacheStats:
+    def test_counters_and_rates(self):
+        stats = CacheStats()
+        stats.record(True)
+        stats.record(False)
+        stats.record(False)
+        assert stats.accesses == 3
+        assert stats.hit_rate == pytest.approx(1 / 3)
+        assert stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_mpki_requires_instructions(self):
+        stats = CacheStats(misses=10)
+        with pytest.raises(ValueError):
+            _ = stats.mpki
+        stats.instructions = 1000
+        assert stats.mpki == pytest.approx(10.0)
+
+    def test_merge(self):
+        a = CacheStats(accesses=10, hits=6, misses=4)
+        b = CacheStats(accesses=5, hits=1, misses=4)
+        merged = a.merge(b)
+        assert merged.accesses == 15 and merged.hits == 7 and merged.misses == 8
+
+
+class TestSetAssociativeCache:
+    def test_scan_cliff_with_modulo_indexing(self):
+        scan = np.tile(np.arange(1000), 20)
+        small = simulate_trace(scan, 800, ways=16)
+        large = simulate_trace(scan, 1024, ways=16)
+        assert small.miss_rate > 0.99          # thrash below the working set
+        assert large.miss_rate < 0.1           # fits above it
+
+    def test_hashed_indexing_option(self):
+        scan = np.tile(np.arange(1000), 20)
+        hashed = simulate_trace(scan, 1024, ways=16, hashed_index=True)
+        # Hashed indexing spreads lines unevenly, so some conflict misses
+        # appear, but the cache still captures a large fraction of hits.
+        assert 0.0 < hashed.miss_rate < 0.9
+
+    def test_zero_and_tiny_capacity(self):
+        trace = np.arange(100)
+        assert simulate_trace(trace, 0).miss_rate == 1.0
+        tiny = simulate_trace(np.tile(np.arange(4), 50), 8, ways=16)
+        assert tiny.miss_rate < 0.2
+
+    def test_occupancy_and_reset(self):
+        cache = SetAssociativeCache(4, 4)
+        cache.run(np.arange(8))
+        assert cache.occupancy() == 8
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 4)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(4, 0)
+
+    def test_named_policy_factory_validation(self):
+        with pytest.raises(ValueError):
+            named_policy_factory("NOPE", 4)
+        with pytest.raises(ValueError):
+            named_policy_factory("LRU", 0)
+
+
+def _fill(cache, partition, tags):
+    for tag in tags:
+        cache.access(tag, partition)
+
+
+class TestIdealPartitionedCache:
+    def test_partitions_are_isolated(self):
+        cache = IdealPartitionedCache(100, 2)
+        cache.set_allocations([60, 40])
+        _fill(cache, 0, range(0, 60))
+        _fill(cache, 1, range(1000, 1040))
+        assert cache.partition_occupancy(0) == 60
+        assert cache.partition_occupancy(1) == 40
+        # Partition 1 cannot evict partition 0's lines.
+        _fill(cache, 1, range(2000, 2100))
+        assert cache.partition_occupancy(0) == 60
+        assert cache.partition_occupancy(1) <= 40
+
+    def test_set_allocations_respects_capacity(self):
+        cache = IdealPartitionedCache(100, 2)
+        with pytest.raises(ValueError):
+            cache.set_allocations([80, 40])
+        granted = cache.set_allocations([70.4, 29.6])
+        assert sum(granted) <= 100
+
+    def test_stats_per_partition(self):
+        cache = IdealPartitionedCache(10, 2)
+        cache.set_allocations([5, 5])
+        cache.access(1, 0)
+        cache.access(1, 0)
+        cache.access(2, 1)
+        assert cache.partition_stats[0].hits == 1
+        assert cache.partition_stats[1].misses == 1
+        assert cache.total_stats().accesses == 3
+
+    def test_partition_index_validation(self):
+        cache = IdealPartitionedCache(10, 2)
+        with pytest.raises(ValueError):
+            cache.access(1, 2)
+
+
+class TestWayPartitionedCache:
+    def test_allocations_rounded_to_ways(self):
+        cache = WayPartitionedCache(num_sets=16, ways=8, num_partitions=2)
+        granted = cache.set_allocations([16 * 5.4, 16 * 2.6])
+        assert granted == [16 * w for w in cache.way_allocations()]
+        assert sum(cache.way_allocations()) <= 8
+
+    def test_min_ways_respected(self):
+        cache = WayPartitionedCache(num_sets=8, ways=8, num_partitions=2,
+                                    min_ways_per_partition=1)
+        granted = cache.set_allocations([8 * 8 * 0.99 - 8, 8])
+        assert all(w >= 1 for w in cache.way_allocations())
+        assert sum(granted) <= cache.capacity_lines
+
+    def test_too_many_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            WayPartitionedCache(num_sets=4, ways=2, num_partitions=3)
+
+    def test_partition_isolation(self):
+        cache = WayPartitionedCache(num_sets=4, ways=4, num_partitions=2)
+        cache.set_allocations([8, 8])
+        _fill(cache, 0, range(8))
+        before = cache.partition_occupancy(0)
+        _fill(cache, 1, range(100, 200))
+        assert cache.partition_occupancy(0) == before
+
+
+class TestSetPartitionedCache:
+    def test_allocations_rounded_to_sets(self):
+        cache = SetPartitionedCache(num_sets=16, ways=4, num_partitions=2)
+        cache.set_allocations([40, 24])
+        sets = cache.set_allocations_in_sets()
+        assert sum(sets) <= 16
+        assert cache.granted_allocations() == [s * 4 for s in sets]
+
+    def test_zero_set_partition_misses_everything(self):
+        cache = SetPartitionedCache(num_sets=8, ways=4, num_partitions=2)
+        cache.set_allocations([32, 0])
+        for tag in range(10):
+            assert cache.access(tag, 1) is False
+
+    def test_too_many_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            SetPartitionedCache(num_sets=2, ways=4, num_partitions=3)
+
+
+class TestVantagePartitionedCache:
+    def test_unmanaged_region_sizing(self):
+        cache = VantagePartitionedCache(1000, 2, unmanaged_fraction=0.1)
+        assert cache.unmanaged_capacity == 100
+        assert cache.partitionable_lines == 900
+
+    def test_partition_budgets_enforced(self):
+        cache = VantagePartitionedCache(1000, 2)
+        cache.set_allocations([600, 300])
+        _fill(cache, 0, range(0, 700))
+        assert cache.partition_occupancy(0) <= 600
+        # Demoted lines land in the unmanaged region.
+        assert cache.unmanaged_occupancy() > 0
+        assert cache.unmanaged_occupancy() <= cache.unmanaged_capacity
+
+    def test_unmanaged_hit_promotes_back(self):
+        cache = VantagePartitionedCache(100, 1, unmanaged_fraction=0.2)
+        cache.set_allocations([80])
+        _fill(cache, 0, range(0, 81))            # line 0 demoted to unmanaged
+        assert cache.access(0, 0) is True        # hit in the unmanaged region
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            VantagePartitionedCache(100, 1, unmanaged_fraction=1.0)
+
+    def test_requests_beyond_managed_rejected(self):
+        cache = VantagePartitionedCache(100, 1)
+        with pytest.raises(ValueError):
+            cache.set_allocations([95])
+
+
+class TestMakePartitionedCache:
+    @pytest.mark.parametrize("scheme", ["ideal", "way", "set", "vantage"])
+    def test_factory_builds_each_scheme(self, scheme):
+        cache = make_partitioned_cache(scheme, 256, 2)
+        assert cache.num_partitions == 2
+        cache.set_allocations([cache.partitionable_lines // 2,
+                               cache.partitionable_lines // 2])
+        assert cache.access(1, 0) is False
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            make_partitioned_cache("zcache", 256, 2)
+
+
+class TestTalusCache:
+    def _curve(self):
+        # Scanning workload: cliff at 1000 lines.
+        return MissCurve([0, 200, 1000, 1400], [1000, 1000, 20, 20])
+
+    def test_requires_two_partitions_per_logical(self):
+        base = IdealPartitionedCache(1000, 3)
+        with pytest.raises(ValueError):
+            TalusCache(base, num_logical=1)
+
+    def test_configure_sets_sampler_and_sizes(self):
+        curve = self._curve()
+        base = IdealPartitionedCache(600, 2)
+        talus = TalusCache(base, num_logical=1)
+        config = plan_shadow_partitions(curve, 600)
+        effective = talus.configure(0, config)
+        pair = talus.shadow_pair(0)
+        assert effective.s1 + effective.s2 == pytest.approx(600, abs=2)
+        assert pair.sampler.rate == pytest.approx(config.rho, abs=1 / 256 + 1e-9)
+
+    def test_access_splits_stream_by_rho(self):
+        curve = self._curve()
+        base = IdealPartitionedCache(600, 2)
+        talus = TalusCache(base, num_logical=1)
+        talus.configure(0, plan_shadow_partitions(curve, 600))
+        rng = np.random.default_rng(0)
+        for addr in rng.integers(0, 100000, 20000):
+            talus.access(int(addr), 0)
+        total = talus.total_stats().accesses
+        alpha_accesses = base.partition_stats[0].accesses
+        assert total == 20000
+        assert alpha_accesses / total == pytest.approx(
+            talus.shadow_pair(0).sampler.rate, abs=0.02)
+
+    def test_talus_beats_lru_on_cliff_workload(self):
+        # Scanning 1000 lines through a 600-line cache: LRU gets ~0 hits;
+        # Talus's beta partition should capture a healthy fraction.  The 5 %
+        # safety margin matters here: without it, sampling noise can push
+        # the beta partition's emulated size back up the cliff (Sec. VI-B).
+        scan = np.tile(np.arange(1000), 30)
+        curve = self._curve()
+        lru_stats = simulate_trace(scan, 600, ways=16)
+        base = IdealPartitionedCache(600, 2)
+        talus = TalusCache(base, num_logical=1)
+        talus.configure(0, plan_shadow_partitions(curve, 600,
+                                                  safety_margin=0.05))
+        talus_stats = talus.run(scan, logical=0)
+        assert lru_stats.miss_rate > 0.99
+        assert talus_stats.miss_rate < 0.75
+
+    def test_degenerate_config_uses_single_partition(self):
+        curve = self._curve()
+        base = IdealPartitionedCache(1400, 2)
+        talus = TalusCache(base, num_logical=1)
+        effective = talus.configure(0, plan_shadow_partitions(curve, 1400))
+        assert effective.degenerate
+        assert talus.shadow_pair(0).sampler.rate == 0.0
+
+    def test_logical_partition_validation(self):
+        base = IdealPartitionedCache(100, 2)
+        talus = TalusCache(base, num_logical=1)
+        with pytest.raises(ValueError):
+            talus.access(1, 1)

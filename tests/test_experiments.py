@@ -1,0 +1,97 @@
+"""Smoke and correctness tests for the per-figure experiment harnesses.
+
+The heavy sweeps live in the benchmark suite; these tests run each harness
+with reduced parameters and check the qualitative claims hold.
+"""
+
+import pytest
+
+from repro.experiments import (FigureResult, Series, format_table,
+                               paper_example_curve, run_fig1, run_fig3,
+                               run_fig6, run_fig8, run_fig11, run_fig12,
+                               run_fig13, run_overheads)
+
+
+class TestCommon:
+    def test_series_validation(self):
+        with pytest.raises(ValueError):
+            Series("x", (1.0, 2.0), (1.0,))
+
+    def test_figure_result_lookup(self):
+        result = FigureResult("F", "t", (Series("a", (1.0,), (2.0,)),), {})
+        assert result.series_by_label("a").y == (2.0,)
+        with pytest.raises(KeyError):
+            result.series_by_label("b")
+
+    def test_format_table(self):
+        result = FigureResult("F", "t", (Series("a", (1.0, 2.0), (3.0, 4.0)),),
+                              {"k": 1.0})
+        text = format_table(result)
+        assert "F" in text and "a" in text and "k" in text
+
+
+class TestPaperExample:
+    def test_paper_example_curve_values(self):
+        curve = paper_example_curve()
+        assert curve(0) == 24 and curve(2) == 12 and curve(5) == 3
+
+    def test_fig6_matches_paper_numbers(self):
+        result = run_fig6()
+        assert result.summary["talus_mpki"] == pytest.approx(6.0)
+        assert result.summary["optimal_bypass_mpki"] == pytest.approx(7.2)
+
+
+class TestAnalyticFigures:
+    def test_fig1_removes_cliff(self):
+        result = run_fig1(points=21, n_accesses=60000)
+        lru = result.series_by_label("LRU")
+        talus = result.series_by_label("Talus")
+        assert max(lru.y) > 25
+        assert all(t <= l + 1e-9 for t, l in zip(talus.y, lru.y))
+        # Talus gives intermediate performance in the middle of the plateau.
+        assert result.summary["talus_mpki_at_half_cliff"] < 0.8 * result.summary[
+            "lru_mpki_at_half_cliff"]
+
+    def test_fig3_end_to_end(self):
+        result = run_fig3(n_accesses=50000)
+        s = result.summary
+        assert s["talus_predicted_mpki_at_target"] < s["lru_mpki_at_target"]
+        assert s["talus_simulated_mpki_at_target"] < s["lru_mpki_at_target"]
+
+
+class TestSystemFigures:
+    def test_fig11_talus_never_degrades(self):
+        result = run_fig11(size_mb=1.0, benchmarks=("omnetpp", "lbm"),
+                           n_accesses=40000)
+        talus = result.series_by_label("Talus+V/LRU")
+        assert min(talus.y) >= -1e-9
+
+    def test_fig12_small_run_ordering(self):
+        result = run_fig12(total_mb=8.0, mixes=4, seed=7)
+        s = result.summary
+        talus = s["gmean_weighted_speedup_Talus+V/LRU (Hill)"]
+        hill = s["gmean_weighted_speedup_Hill LRU"]
+        assert talus > 1.0
+        assert talus >= hill - 0.02
+
+    def test_fig13_small_run(self):
+        time_fig, cov_fig = run_fig13("omnetpp", sizes_mb=(1.0, 8.0, 24.0))
+        talus_time = time_fig.series_by_label("Talus+V/LRU (Fair)")
+        assert talus_time.y[-1] <= talus_time.y[0] + 1e-9
+        talus_cov = cov_fig.series_by_label("Talus+V/LRU (Fair)")
+        assert max(talus_cov.y) < 0.02
+
+    def test_fig8_ideal_scheme_tracks_hull(self):
+        result = run_fig8("gobmk", max_mb=4.0, num_sizes=3,
+                          schemes=("ideal",), n_accesses=40000)
+        talus = result.series_by_label("Talus+I/LRU")
+        lru = result.series_by_label("LRU")
+        assert all(t <= l + 0.15 for t, l in zip(talus.y, lru.y))
+
+
+class TestOverheads:
+    def test_overhead_matches_paper_scale(self):
+        report = run_overheads()
+        assert 15.0 <= report.total_kb <= 60.0
+        assert report.overhead_fraction < 0.01
+        assert report.monitor_kb > report.sampling_kb

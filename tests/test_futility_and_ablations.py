@@ -1,0 +1,78 @@
+"""Tests for the Futility-Scaling-like scheme and the ablation harnesses."""
+
+import numpy as np
+import pytest
+
+from repro.cache import FutilityScalingCache, TalusCache, make_partitioned_cache
+from repro.core import MissCurve, plan_shadow_partitions
+from repro.experiments import (run_min_convexity_check,
+                               run_monitor_coverage_ablation,
+                               run_safety_margin_ablation)
+
+
+class TestFutilityScalingCache:
+    def test_full_capacity_is_partitionable(self):
+        cache = FutilityScalingCache(1000, 2)
+        assert cache.partitionable_lines == 1000
+        granted = cache.set_allocations([600, 400])
+        assert granted == [600, 400]
+
+    def test_total_occupancy_bounded(self):
+        cache = FutilityScalingCache(100, 2)
+        cache.set_allocations([70, 30])
+        rng = np.random.default_rng(0)
+        for tag in rng.integers(0, 500, 2000):
+            cache.access(int(tag), int(tag) % 2)
+            total = (cache.partition_occupancy(0)
+                     + cache.partition_occupancy(1))
+            assert total <= 100
+
+    def test_over_target_partition_gives_up_lines(self):
+        cache = FutilityScalingCache(100, 2)
+        cache.set_allocations([50, 50])
+        # Fill partition 0 well past its target while partition 1 is idle...
+        for tag in range(90):
+            cache.access(tag, 0)
+        # ...then let partition 1 demand space: it should reclaim toward its
+        # target at partition 0's expense.
+        for tag in range(1000, 1050):
+            cache.access(tag, 1)
+        assert cache.partition_occupancy(1) >= 40
+        assert cache.partition_occupancy(0) <= 60
+
+    def test_hits_within_allocation(self):
+        cache = FutilityScalingCache(64, 2)
+        cache.set_allocations([32, 32])
+        for _ in range(3):
+            for tag in range(24):
+                cache.access(tag, 0)
+        assert cache.partition_stats[0].hits > 0
+
+    def test_works_under_talus(self):
+        curve = MissCurve([0, 200, 1000, 1400], [1000, 1000, 20, 20])
+        base = make_partitioned_cache("futility", 600, 2)
+        talus = TalusCache(base, num_logical=1)
+        config = plan_shadow_partitions(curve, 600, safety_margin=0.05)
+        talus.configure(0, config)
+        scan = np.tile(np.arange(1000), 20)
+        stats = talus.run(scan, logical=0)
+        assert stats.miss_rate < 0.8  # far better than LRU's ~1.0
+
+
+class TestAblationHarnesses:
+    def test_safety_margin_ablation_beats_lru(self):
+        result = run_safety_margin_ablation(margins=(0.0, 0.05),
+                                            n_accesses=40000)
+        simulated = result.series_by_label("Talus simulated MPKI")
+        assert all(v < result.summary["lru_mpki"] for v in simulated.y)
+
+    def test_monitor_coverage_ablation_needs_coverage(self):
+        result = run_monitor_coverage_ablation(coverages=(1.0, 4.0),
+                                               n_accesses=40000)
+        assert result.summary["talus_mpki_with_max_coverage"] < \
+            result.summary["talus_mpki_with_min_coverage"]
+
+    def test_min_convexity_check(self):
+        result = run_min_convexity_check(n_accesses=20000, num_sizes=6)
+        assert result.summary["min_convexity_gap"] < \
+            result.summary["lru_convexity_gap"]

@@ -1,0 +1,133 @@
+"""Tests for stack-distance monitors, UMONs and multi-point monitors."""
+
+import numpy as np
+import pytest
+
+from repro.cache import LRUPolicy
+from repro.monitor import (UMON, CombinedUMON, MultiPointMonitor,
+                           StackDistanceMonitor, lru_miss_curve,
+                           stack_distance_histogram)
+
+
+def brute_force_lru_misses(trace, capacity):
+    policy = LRUPolicy(capacity)
+    return sum(0 if policy.access(t) else 1 for t in trace)
+
+
+class TestStackDistance:
+    def test_simple_distances(self):
+        monitor = StackDistanceMonitor()
+        assert monitor.record(1) is None          # cold
+        assert monitor.record(2) is None
+        assert monitor.record(1) == 1             # one distinct line (2) between
+        assert monitor.record(1) == 0             # immediate reuse
+        assert monitor.cold_misses == 2
+
+    def test_matches_brute_force_lru(self):
+        rng = np.random.default_rng(3)
+        trace = [int(t) for t in rng.integers(0, 200, 3000)]
+        curve = lru_miss_curve(trace)
+        for capacity in (1, 8, 32, 64, 128, 200):
+            assert float(curve(capacity)) == brute_force_lru_misses(trace, capacity)
+
+    def test_matches_brute_force_on_scan(self):
+        trace = list(range(50)) * 20
+        curve = lru_miss_curve(trace)
+        for capacity in (10, 49, 50, 64):
+            assert float(curve(capacity)) == brute_force_lru_misses(trace, capacity)
+
+    def test_histogram_and_helper(self):
+        trace = [1, 2, 3, 1, 2, 3]
+        hist, cold = stack_distance_histogram(trace)
+        assert cold == 3
+        assert hist[2] == 3                      # each reuse skips 2 lines
+
+    def test_monitor_grows_beyond_hint(self):
+        monitor = StackDistanceMonitor(capacity_hint=16)
+        trace = list(range(10)) * 20
+        monitor.record_trace(trace)
+        curve = monitor.miss_curve()
+        assert float(curve(10)) == 10            # only cold misses at capacity 10
+
+    def test_invalid_hint(self):
+        with pytest.raises(ValueError):
+            StackDistanceMonitor(capacity_hint=0)
+
+
+class TestUMON:
+    def test_full_rate_umon_is_exact(self):
+        rng = np.random.default_rng(5)
+        trace = [int(t) for t in rng.integers(0, 500, 5000)]
+        umon = UMON(sampling_rate=1.0, max_size=600, points=13)
+        umon.record_trace(trace)
+        curve = umon.miss_curve()
+        exact = lru_miss_curve(trace, sizes=curve.sizes)
+        for size in curve.sizes:
+            assert float(curve(size)) == pytest.approx(float(exact(size)), abs=1e-6)
+
+    def test_sampled_umon_approximates_curve(self):
+        rng = np.random.default_rng(6)
+        trace = [int(t) for t in rng.integers(0, 2000, 40000)]
+        umon = UMON(sampling_rate=1 / 8, max_size=2048, points=9, seed=2)
+        umon.record_trace(trace)
+        curve = umon.miss_curve()
+        exact = lru_miss_curve(trace, sizes=curve.sizes)
+        for size in curve.sizes[1:]:
+            # Within 15% of total accesses (sampling noise bound).
+            assert abs(float(curve(size)) - float(exact(size))) < 0.15 * len(trace)
+
+    def test_umon_validation(self):
+        with pytest.raises(ValueError):
+            UMON(sampling_rate=0.0)
+        with pytest.raises(ValueError):
+            UMON(max_size=0)
+        with pytest.raises(ValueError):
+            UMON(points=1)
+
+    def test_combined_umon_extends_coverage(self):
+        trace = list(range(3000)) * 5            # scan bigger than the "LLC"
+        combined = CombinedUMON(llc_size=1024, primary_rate=1 / 4,
+                                coverage_ratio=1 / 4)
+        combined.record_trace(trace)
+        assert combined.max_size == 4096
+        curve = combined.miss_curve()
+        # The cliff (at 3000 lines) is only visible thanks to the secondary
+        # monitor: misses beyond it drop well below the plateau level.
+        assert float(curve(3500)) < 0.5 * float(curve(2000))
+
+    def test_combined_umon_validation(self):
+        with pytest.raises(ValueError):
+            CombinedUMON(llc_size=0)
+        with pytest.raises(ValueError):
+            CombinedUMON(llc_size=100, coverage_ratio=2.0)
+
+
+class TestMultiPointMonitor:
+    def test_matches_direct_simulation_for_lru(self):
+        rng = np.random.default_rng(9)
+        trace = [int(t) for t in rng.integers(0, 800, 20000)]
+        sizes = [0, 128, 256, 512, 1024]
+        monitor = MultiPointMonitor(sizes, lambda i, c: LRUPolicy(c),
+                                    monitor_lines=1024)
+        monitor.record_trace(trace)
+        curve = monitor.miss_curve()
+        exact = lru_miss_curve(trace, sizes=[float(s) for s in sizes])
+        for size in sizes[1:]:
+            assert float(curve(size)) == pytest.approx(float(exact(size)),
+                                                       rel=0.25, abs=500)
+
+    def test_zero_size_point_counts_everything(self):
+        monitor = MultiPointMonitor([0, 64], lambda i, c: LRUPolicy(c))
+        monitor.record_trace(range(100))
+        assert float(monitor.miss_curve()(0)) == 100
+
+    def test_storage_accounting(self):
+        monitor = MultiPointMonitor([0, 1024, 4096], lambda i, c: LRUPolicy(c),
+                                    monitor_lines=256)
+        assert monitor.storage_lines() <= 2 * 256
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiPointMonitor([], lambda i, c: LRUPolicy(c))
+        with pytest.raises(ValueError):
+            MultiPointMonitor([10], lambda i, c: LRUPolicy(c), monitor_lines=0)

@@ -1,0 +1,269 @@
+"""Tests for the replacement-policy implementations."""
+
+import numpy as np
+import pytest
+
+from repro.cache import (BIPPolicy, BRRIPPolicy, BeladyMINPolicy, DIPPolicy,
+                         DRRIPPolicy, LIPPolicy, LRUPolicy, PDPPolicy,
+                         RandomPolicy, SRRIPPolicy, TADRRIPPolicy, make_policy)
+from repro.cache.replacement import POLICY_REGISTRY
+from repro.cache.replacement.pdp import select_protecting_distance
+from repro.cache.replacement.rrip import DuelRole, DuelingController
+
+ALL_SIMPLE_POLICIES = [LRUPolicy, LIPPolicy, BIPPolicy, RandomPolicy,
+                       SRRIPPolicy, BRRIPPolicy, DRRIPPolicy, DIPPolicy,
+                       PDPPolicy, TADRRIPPolicy]
+
+
+@pytest.mark.parametrize("policy_class", ALL_SIMPLE_POLICIES)
+class TestPolicyContract:
+    """Behaviour every policy must satisfy."""
+
+    def test_capacity_never_exceeded(self, policy_class):
+        policy = policy_class(8)
+        rng = np.random.default_rng(0)
+        for tag in rng.integers(0, 100, 500):
+            policy.access(int(tag))
+            assert len(policy) <= 8
+
+    def test_hit_after_insert(self, policy_class):
+        policy = policy_class(4)
+        policy.access(1)
+        # PDP may bypass, but with an empty cache the first insert lands.
+        assert 1 in policy
+        assert policy.access(1) is True
+
+    def test_miss_on_first_access(self, policy_class):
+        policy = policy_class(4)
+        assert policy.access(42) is False
+
+    def test_zero_capacity_caches_nothing(self, policy_class):
+        policy = policy_class(0)
+        for tag in range(10):
+            assert policy.access(tag) is False
+        assert len(policy) == 0
+
+    def test_evict_one_and_reset(self, policy_class):
+        policy = policy_class(4)
+        for tag in range(4):
+            policy.access(tag)
+        victim = policy.evict_one()
+        assert victim in range(4)
+        assert len(policy) == 3
+        policy.reset()
+        assert len(policy) == 0
+        assert policy.evict_one() is None
+
+    def test_set_capacity_shrinks(self, policy_class):
+        policy = policy_class(8)
+        for tag in range(8):
+            policy.access(tag)
+        evicted = policy.set_capacity(3)
+        assert len(policy) <= 3
+        assert len(evicted) >= 5
+
+    def test_working_set_within_capacity_hits(self, policy_class):
+        policy = policy_class(16)
+        trace = list(range(8)) * 20
+        hits = sum(policy.access(t) for t in trace)
+        # After the first cold pass, everything should (mostly) hit.
+        assert hits >= len(trace) - 8 - 16
+
+
+class TestLRUSpecifics:
+    def test_lru_eviction_order(self):
+        lru = LRUPolicy(2)
+        lru.access(1)
+        lru.access(2)
+        lru.access(1)          # 1 is now MRU
+        lru.access(3)          # evicts 2
+        assert 1 in lru and 3 in lru and 2 not in lru
+
+    def test_lru_thrashes_on_scan(self):
+        lru = LRUPolicy(10)
+        trace = list(range(11)) * 10
+        hits = sum(lru.access(t) for t in trace)
+        assert hits == 0  # the classic LRU scanning pathology
+
+    def test_lip_resists_scanning(self):
+        lip = LIPPolicy(10)
+        trace = list(range(11)) * 10
+        hits = sum(lip.access(t) for t in trace)
+        # LIP keeps most of the working set resident: far better than LRU's 0.
+        assert hits > len(trace) * 0.5
+
+    def test_bip_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            BIPPolicy(4, epsilon=1.5)
+
+    def test_random_policy_eventually_retains(self):
+        rand = RandomPolicy(10, seed=3)
+        trace = list(range(12)) * 30
+        hits = sum(rand.access(t) for t in trace)
+        assert hits > 0  # random replacement avoids the deterministic 0-hit case
+
+
+class TestRRIPSpecifics:
+    def test_srrip_promotes_on_hit(self):
+        srrip = SRRIPPolicy(4)
+        for tag in (1, 2, 3, 4):
+            srrip.access(tag)
+        srrip.access(1)                 # promote 1 to RRPV 0
+        srrip.access(5)                 # eviction should spare 1
+        assert 1 in srrip
+
+    def test_srrip_m_bits_validation(self):
+        with pytest.raises(ValueError):
+            SRRIPPolicy(4, m_bits=0)
+
+    def test_brrip_mostly_inserts_at_max(self):
+        brrip = BRRIPPolicy(64, epsilon=0.0)
+        for tag in range(64):
+            brrip.access(tag)
+        # With epsilon 0 every insertion is at max RRPV, so the very next
+        # miss evicts an existing line without any aging pass.
+        assert brrip.access(1000) is False
+        assert len(brrip) == 64
+
+    def test_dueling_controller_saturates(self):
+        controller = DuelingController(bits=4)
+        for _ in range(100):
+            controller.record_leader_miss(DuelRole.LEADER_SRRIP)
+        assert controller.psel == controller.max_value
+        assert controller.prefer_bimodal()
+        for _ in range(100):
+            controller.record_leader_miss(DuelRole.LEADER_BRRIP)
+        assert controller.psel == 0
+        assert not controller.prefer_bimodal()
+
+    def test_brrip_resists_thrashing(self):
+        # A working set 1.5x the capacity: LRU gets zero hits; bimodal
+        # insertion retains a stable subset and hits on it.
+        trace = list(range(96)) * 100
+        lru, brrip = LRUPolicy(64), BRRIPPolicy(64)
+        lru_hits = sum(lru.access(t) for t in trace)
+        brrip_hits = sum(brrip.access(t) for t in trace)
+        assert lru_hits == 0
+        assert brrip_hits > len(trace) * 0.3
+
+    def test_drrip_with_set_dueling_beats_lru_on_thrash(self):
+        # DRRIP as deployed (set dueling across the sets of a cache, shared
+        # PSEL): thrashing scan over 1.25x the cache capacity.
+        from repro.cache import SetAssociativeCache, named_policy_factory
+        import numpy as np
+        trace = np.tile(np.arange(1000), 30)
+        num_sets = 800 // 16
+        lru = SetAssociativeCache(num_sets, 16,
+                                  named_policy_factory("LRU", num_sets))
+        drrip = SetAssociativeCache(num_sets, 16,
+                                    named_policy_factory("DRRIP", num_sets))
+        lru_stats = lru.run(trace)
+        drrip_stats = drrip.run(trace)
+        assert lru_stats.miss_rate > 0.99
+        assert drrip_stats.miss_rate < 0.85
+
+    def test_tadrrip_stream_validation(self):
+        policy = TADRRIPPolicy(16, num_streams=2)
+        policy.stream_access(1, 0)
+        policy.stream_access(2, 1)
+        with pytest.raises(ValueError):
+            policy.stream_access(3, 5)
+
+
+class TestDIPSpecifics:
+    def test_bip_resists_thrashing(self):
+        trace = list(range(96)) * 100
+        lru, bip = LRUPolicy(64), BIPPolicy(64)
+        lru_hits = sum(lru.access(t) for t in trace)
+        bip_hits = sum(bip.access(t) for t in trace)
+        assert lru_hits == 0
+        assert bip_hits > len(trace) * 0.3
+
+    def test_dip_with_set_dueling_beats_lru_on_thrash(self):
+        from repro.cache import SetAssociativeCache, named_policy_factory
+        import numpy as np
+        trace = np.tile(np.arange(1000), 30)
+        num_sets = 800 // 16
+        lru = SetAssociativeCache(num_sets, 16,
+                                  named_policy_factory("LRU", num_sets))
+        dip = SetAssociativeCache(num_sets, 16,
+                                  named_policy_factory("DIP", num_sets))
+        assert lru.run(trace).miss_rate > 0.99
+        assert dip.run(trace).miss_rate < 0.7
+
+    def test_dip_matches_lru_on_friendly_workload(self):
+        trace = list(range(16)) * 20
+        lru, dip = LRUPolicy(32), DIPPolicy(32)
+        lru_hits = sum(lru.access(t) for t in trace)
+        dip_hits = sum(dip.access(t) for t in trace)
+        assert dip_hits >= lru_hits - 32  # allow for a few bimodal insertions
+
+
+class TestPDPSpecifics:
+    def test_select_protecting_distance_simple(self):
+        # All reuses at distance 20: protecting for 20 is the only way to hit.
+        hist = {20: 100}
+        assert select_protecting_distance(hist, 64, 100) == 20
+
+    def test_select_protecting_distance_prefers_efficiency(self):
+        # Cheap hits at distance 2 vs expensive ones at distance 50: the
+        # efficacy objective picks the short distance.
+        hist = {2: 100, 50: 10}
+        assert select_protecting_distance(hist, 64, 110) <= 5
+
+    def test_select_protecting_distance_validation(self):
+        with pytest.raises(ValueError):
+            select_protecting_distance({1: 1}, 0, 1)
+
+    def test_pdp_bypasses_under_thrash(self):
+        pdp = PDPPolicy(16, recompute_interval=64)
+        trace = list(range(32)) * 60
+        hits = sum(pdp.access(t) for t in trace)
+        # LRU would get zero hits; PDP protects a subset and bypasses the rest.
+        assert hits > len(trace) * 0.2
+        assert pdp.protecting_distance >= 1
+
+
+class TestBelady:
+    def test_min_is_optimal_on_scan(self):
+        trace = list(range(12)) * 10
+        lru = LRUPolicy(8)
+        lru_misses = sum(0 if lru.access(t) else 1 for t in trace)
+        minp = BeladyMINPolicy(8, trace)
+        min_misses = sum(0 if minp.access(t) else 1 for t in trace)
+        assert min_misses < lru_misses
+        # MIN keeps 7 of the 12 lines pinned: 5 misses per round plus cold.
+        assert min_misses <= 12 + 9 * 5
+
+    def test_min_never_worse_than_lru(self):
+        rng = np.random.default_rng(7)
+        trace = [int(t) for t in rng.integers(0, 64, 2000)]
+        for capacity in (8, 16, 32):
+            lru = LRUPolicy(capacity)
+            lru_misses = sum(0 if lru.access(t) else 1 for t in trace)
+            minp = BeladyMINPolicy(capacity, trace)
+            min_misses = sum(0 if minp.access(t) else 1 for t in trace)
+            assert min_misses <= lru_misses
+
+    def test_min_rejects_out_of_order_replay(self):
+        policy = BeladyMINPolicy(4, [1, 2, 3])
+        policy.access(1)
+        with pytest.raises(ValueError):
+            policy.access(3)
+
+    def test_min_rejects_replay_past_end(self):
+        policy = BeladyMINPolicy(4, [1])
+        policy.access(1)
+        with pytest.raises(RuntimeError):
+            policy.access(1)
+
+
+class TestRegistry:
+    def test_make_policy_known_names(self):
+        for name in POLICY_REGISTRY:
+            policy = make_policy(name, 8)
+            assert policy.capacity == 8
+
+    def test_make_policy_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("CLOCK", 8)

@@ -1,0 +1,187 @@
+"""Tests for traces, generators, SPEC-like profiles and workload mixes."""
+
+import numpy as np
+import pytest
+
+from repro.core import find_cliffs
+from repro.workloads import (FIG10_BENCHMARKS, FIG13_BENCHMARKS, Trace,
+                             concatenate, get_profile, homogeneous_mix,
+                             hot_cold, interleave, lines_to_paper_mb,
+                             memory_intensive_profiles, mixture,
+                             paper_mb_to_lines, profile_names, random_mixes,
+                             scan_plus_random, sequential_scan, strided_scan,
+                             uniform_random, zipfian)
+
+
+class TestScale:
+    def test_round_trip(self):
+        assert lines_to_paper_mb(paper_mb_to_lines(8.0)) == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paper_mb_to_lines(-1)
+        with pytest.raises(ValueError):
+            lines_to_paper_mb(-1)
+
+
+class TestTrace:
+    def test_basic_metadata(self):
+        trace = Trace(np.arange(100), instructions=4000, name="t")
+        assert len(trace) == 100
+        assert trace.apki == pytest.approx(25.0)
+        assert trace.footprint == 100
+        assert trace.mpki_from_misses(40) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Trace(np.arange(10), instructions=0)
+        with pytest.raises(ValueError):
+            Trace(np.zeros((2, 2)), instructions=10)
+
+    def test_offset_and_truncate(self):
+        trace = Trace(np.arange(100), instructions=1000)
+        shifted = trace.with_offset(1000)
+        assert shifted.addresses.min() == 1000
+        short = trace.truncated(10)
+        assert len(short) == 10
+        assert short.instructions == 100
+
+    def test_concatenate_and_interleave(self):
+        a = sequential_scan(10, 100)
+        b = uniform_random(10, 100, offset=100)
+        cat = concatenate([a, b])
+        assert len(cat) == 200
+        mixed = interleave([a, b], seed=1)
+        assert len(mixed) == 200
+        assert mixed.instructions == a.instructions + b.instructions
+
+    def test_interleave_validation(self):
+        a = sequential_scan(10, 10)
+        with pytest.raises(ValueError):
+            interleave([])
+        with pytest.raises(ValueError):
+            interleave([a], weights=[1, 2])
+        with pytest.raises(ValueError):
+            interleave([a], weights=[0.0])
+
+
+class TestGenerators:
+    def test_sequential_scan_footprint(self):
+        trace = sequential_scan(500, 2000)
+        assert trace.footprint == 500
+        assert trace.addresses.max() == 499
+
+    def test_strided_scan(self):
+        trace = strided_scan(100, 400, stride=3)
+        assert trace.footprint <= 100
+        with pytest.raises(ValueError):
+            strided_scan(100, 10, stride=0)
+
+    def test_uniform_random_range(self):
+        trace = uniform_random(300, 5000, seed=1, offset=10)
+        assert trace.addresses.min() >= 10
+        assert trace.addresses.max() < 310
+
+    def test_zipfian_skew(self):
+        trace = zipfian(1000, 20000, exponent=1.2, seed=2)
+        counts = np.bincount(trace.addresses, minlength=1000)
+        # Heavily skewed: the hottest line gets far more than the average.
+        assert counts.max() > 20 * counts.mean()
+
+    def test_hot_cold_fractions(self):
+        trace = hot_cold(100, 1000, hot_fraction=0.8, n_accesses=20000, seed=3)
+        hot_accesses = np.sum(trace.addresses < 100)
+        assert hot_accesses / len(trace) == pytest.approx(0.8, abs=0.02)
+
+    def test_scan_plus_random_has_plateau_and_cliff(self):
+        from repro.monitor import lru_miss_curve
+        trace = scan_plus_random(200, 400, 40000, random_fraction=0.5, seed=4)
+        curve = lru_miss_curve(trace.addresses,
+                               sizes=[0, 100, 200, 300, 400, 600, 700])
+        cliffs = find_cliffs(curve, min_gap=0.05 * len(trace))
+        assert cliffs, "expected a non-convex region"
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            sequential_scan(0, 10)
+        with pytest.raises(ValueError):
+            uniform_random(10, 0)
+        with pytest.raises(ValueError):
+            zipfian(10, 10, exponent=-1)
+        with pytest.raises(ValueError):
+            hot_cold(10, 10, 1.5, 10)
+        with pytest.raises(ValueError):
+            sequential_scan(10, 10, apki=0)
+
+    def test_mixture_overrides_apki(self):
+        a = sequential_scan(10, 100, apki=10)
+        b = uniform_random(10, 100, apki=10)
+        mixed = mixture([a, b], apki=20.0, seed=0)
+        assert mixed.apki == pytest.approx(20.0, rel=0.01)
+
+
+class TestSpecProfiles:
+    def test_registry_contents(self):
+        names = profile_names()
+        assert "libquantum" in names and "mcf" in names
+        assert len(names) >= 20
+        assert len(memory_intensive_profiles()) >= 15
+        assert set(FIG10_BENCHMARKS) <= set(names)
+        assert set(FIG13_BENCHMARKS) <= set(names)
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError):
+            get_profile("doom")
+
+    def test_trace_apki_matches_profile(self):
+        profile = get_profile("mcf")
+        trace = profile.trace(n_accesses=5000)
+        assert trace.apki == pytest.approx(profile.apki, rel=0.02)
+
+    def test_libquantum_curve_has_cliff_at_32mb(self):
+        profile = get_profile("libquantum")
+        curve = profile.lru_curve(max_mb=40, points=41, n_accesses=40000)
+        assert float(curve(16.0)) > 25.0
+        assert float(curve(34.0)) < 10.0
+        assert profile.cliff_mb == 32.0
+
+    def test_curve_caching(self):
+        profile = get_profile("hmmer")
+        first = profile.lru_curve(max_mb=4, points=9, n_accesses=20000)
+        second = profile.lru_curve(max_mb=4, points=9, n_accesses=20000)
+        assert first is second
+
+    def test_explicit_sizes(self):
+        profile = get_profile("hmmer")
+        curve = profile.lru_curve(sizes_mb=[0.0, 0.5, 1.0], n_accesses=20000)
+        assert list(curve.sizes) == [0.0, 0.5, 1.0]
+
+    def test_ipc_model_monotone(self):
+        profile = get_profile("mcf")
+        assert profile.ipc(0.0) > profile.ipc(10.0) > profile.ipc(30.0)
+        with pytest.raises(ValueError):
+            profile.ipc(-1.0)
+
+
+class TestMixes:
+    def test_random_mixes_reproducible(self):
+        a = random_mixes(5, seed=42)
+        b = random_mixes(5, seed=42)
+        assert [m.app_names for m in a] == [m.app_names for m in b]
+        assert all(len(m) == 8 for m in a)
+
+    def test_random_mixes_memory_intensive_pool(self):
+        intensive = {p.name for p in memory_intensive_profiles()}
+        for mix in random_mixes(10, seed=1):
+            assert set(mix.app_names) <= intensive
+
+    def test_homogeneous_mix(self):
+        mix = homogeneous_mix("omnetpp", copies=8)
+        assert len(mix) == 8
+        assert set(mix.app_names) == {"omnetpp"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_mixes(0)
+        with pytest.raises(ValueError):
+            homogeneous_mix("omnetpp", copies=0)
