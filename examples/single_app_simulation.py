@@ -14,9 +14,10 @@ Run with::
 
 import numpy as np
 
-from repro.cache import TalusCache, VantagePartitionedCache, simulate_trace
-from repro.core import TalusConfig, convex_hull, plan_shadow_partitions
+from repro.core import convex_hull
 from repro.monitor import CombinedUMON
+from repro.sim import SweepSpec, run_sweep
+from repro.sim.engine import talus_sweep_configs
 from repro.workloads import get_profile, lines_to_paper_mb, paper_mb_to_lines
 
 
@@ -31,22 +32,6 @@ def measure_curve_with_umon(trace, llc_lines):
     return MissCurve(sizes_mb, mpki).monotone_envelope()
 
 
-def talus_mpki_at(trace, curve, size_mb):
-    """Program a Talus-on-Vantage cache for ``size_mb`` and replay the trace."""
-    lines = paper_mb_to_lines(size_mb)
-    base = VantagePartitionedCache(lines, num_partitions=2)
-    talus = TalusCache(base, num_logical=1)
-    config = plan_shadow_partitions(curve, size_mb, safety_margin=0.05)
-    factor = float(paper_mb_to_lines(1.0))
-    talus.configure(0, TalusConfig(
-        total_size=config.total_size * factor, alpha=config.alpha * factor,
-        beta=config.beta * factor, rho=config.rho,
-        s1=config.s1 * factor, s2=config.s2 * factor,
-        degenerate=config.degenerate))
-    stats = talus.run(trace.addresses, logical=0)
-    return 1000.0 * stats.misses / trace.instructions
-
-
 def main() -> None:
     profile = get_profile("libquantum")
     trace = profile.trace(n_accesses=80_000)
@@ -59,11 +44,19 @@ def main() -> None:
     curve = measure_curve_with_umon(trace, paper_mb_to_lines(llc_mb))
     hull = convex_hull(curve)
 
+    # One batched sweep: the trace streams once through every plain-LRU
+    # cache (array/native backend) and once through every planned
+    # Talus-on-Vantage cache, instead of one full replay per point.
+    sizes_mb = (8.0, 16.0, 24.0, 32.0, 36.0)
+    lru = run_sweep(trace, SweepSpec(sizes_mb=sizes_mb, policies=("LRU",)))
+    talus = run_sweep(trace, talus_sweep_configs(
+        sizes_mb, scheme="vantage", planning_curve=curve,
+        safety_margin=0.05))
+
     print(f"\n{'size':>8s} {'LRU':>10s} {'Talus':>10s} {'hull':>10s}   (MPKI)")
-    for size_mb in (8.0, 16.0, 24.0, 32.0, 36.0):
-        lru_stats = simulate_trace(trace.addresses, paper_mb_to_lines(size_mb))
-        lru_mpki = 1000.0 * lru_stats.misses / trace.instructions
-        talus_mpki = talus_mpki_at(trace, curve, size_mb)
+    for size_mb in sizes_mb:
+        lru_mpki = lru.mpki(("LRU", size_mb))
+        talus_mpki = talus.mpki(("talus", size_mb))
         print(f"{size_mb:6.1f}MB {lru_mpki:10.2f} {talus_mpki:10.2f} "
               f"{float(hull(size_mb)):10.2f}")
 

@@ -6,9 +6,12 @@ runs on, and the Talus hardware wrapper itself (shadow partitions plus the
 H3 sampling function).
 """
 
+from .arraycache import (ARRAY_EXACT_POLICIES, ARRAY_POLICIES,
+                         ArraySetAssociativeCache)
 from .cache import (CacheStats, SetAssociativeCache, lru_factory,
                     policy_factory_from_class, simulate_trace)
-from .factory import POLICY_NAMES, named_policy_factory
+from .factory import (BACKENDS, POLICY_NAMES, build_cache, cache_geometry,
+                      named_policy_factory, resolve_backend)
 from .hashing import H3Hash, SamplingFunction, mix64, set_index
 from .partition import (FutilityScalingCache, IdealPartitionedCache,
                         PartitionedCache, SetPartitionedCache,
@@ -23,11 +26,18 @@ from .talus_cache import ShadowPair, TalusCache
 __all__ = [
     "CacheStats",
     "SetAssociativeCache",
+    "ArraySetAssociativeCache",
+    "ARRAY_POLICIES",
+    "ARRAY_EXACT_POLICIES",
     "simulate_trace",
     "lru_factory",
     "policy_factory_from_class",
     "named_policy_factory",
     "POLICY_NAMES",
+    "BACKENDS",
+    "build_cache",
+    "cache_geometry",
+    "resolve_backend",
     "H3Hash",
     "SamplingFunction",
     "mix64",

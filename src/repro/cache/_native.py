@@ -1,0 +1,148 @@
+"""On-demand compilation and loading of the native sweep kernels.
+
+The array-backed cache (:mod:`repro.cache.arraycache`) keeps all of its
+state in numpy arrays; replaying a trace through that state is a tight
+per-access loop that pure Python executes ~15-30x slower than necessary.
+This module compiles ``_sweepkernel.c`` into a small shared library with
+whatever C compiler the host has (``cc``/``gcc``/``clang``) and exposes it
+through :mod:`ctypes` — no Python headers, build backends, or third-party
+packages are involved, so the build degrades gracefully: when no compiler
+is available (or ``REPRO_NATIVE=0`` is set) :func:`get_kernel` returns
+``None`` and callers fall back to the pure-Python replay path, which
+produces identical results.
+
+The compiled library is cached under the user's cache directory keyed by a
+hash of the C source, so recompilation happens only when the source
+changes.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["get_kernel", "native_available", "NativeKernel"]
+
+_SOURCE = Path(__file__).with_name("_sweepkernel.c")
+
+_I64 = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+_U64 = np.ctypeslib.ndpointer(dtype=np.uint64, flags="C_CONTIGUOUS")
+
+_kernel = None
+_kernel_tried = False
+
+
+class NativeKernel:
+    """ctypes bindings for the compiled sweep kernels."""
+
+    def __init__(self, lib: ctypes.CDLL):
+        self.lib = lib
+        lib.lru_run.restype = ctypes.c_int64
+        lib.lru_run.argtypes = [
+            _I64, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            _I64, _I64, _I64,
+        ]
+        lib.rrip_run.restype = ctypes.c_int64
+        lib.rrip_run.argtypes = [
+            _I64, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            ctypes.c_int64, _I64, _I64, _I64, _I64,
+            ctypes.c_int64, ctypes.c_double, _U64, _I64, _I64,
+            ctypes.c_int64, ctypes.c_int64,
+        ]
+
+    def lru_run(self, addrs, num_sets, ways, tags, stamp, counter) -> int:
+        return int(self.lib.lru_run(addrs, addrs.size, num_sets, ways,
+                                    tags, stamp, counter))
+
+    def rrip_run(self, addrs, num_sets, ways, max_rrpv, tags, rrpv, stamp,
+                 counter, mode, epsilon, rng_state, roles, psel,
+                 psel_max, leader_levels) -> int:
+        return int(self.lib.rrip_run(addrs, addrs.size, num_sets, ways,
+                                     max_rrpv, tags, rrpv, stamp, counter,
+                                     mode, epsilon, rng_state, roles, psel,
+                                     psel_max, leader_levels))
+
+
+def _cache_dir() -> Path:
+    base = os.environ.get("XDG_CACHE_HOME")
+    if base:
+        return Path(base) / "repro-kernels"
+    home = Path.home()
+    if os.access(home, os.W_OK):
+        return home / ".cache" / "repro-kernels"
+    return Path(tempfile.gettempdir()) / "repro-kernels"
+
+
+def _find_compiler() -> str | None:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _build_library() -> Path | None:
+    if not _SOURCE.exists():
+        return None
+    source = _SOURCE.read_bytes()
+    digest = hashlib.sha256(source).hexdigest()[:16]
+    suffix = "dll" if sys.platform == "win32" else "so"
+    cache = _cache_dir()
+    lib_path = cache / f"sweepkernel-{digest}.{suffix}"
+    if lib_path.exists():
+        return lib_path
+    compiler = _find_compiler()
+    if compiler is None:
+        return None
+    try:
+        cache.mkdir(parents=True, exist_ok=True)
+        with tempfile.NamedTemporaryFile(
+                suffix=f".{suffix}", dir=cache, delete=False) as tmp:
+            tmp_path = Path(tmp.name)
+        cmd = [compiler, "-O3", "-shared", "-fPIC",
+               str(_SOURCE), "-o", str(tmp_path)]
+        subprocess.run(cmd, check=True, capture_output=True, timeout=120)
+        os.replace(tmp_path, lib_path)  # atomic against concurrent builders
+        return lib_path
+    except (OSError, subprocess.SubprocessError):
+        try:
+            tmp_path.unlink(missing_ok=True)
+        except (OSError, UnboundLocalError):
+            pass
+        return None
+
+
+def get_kernel() -> NativeKernel | None:
+    """The compiled kernel bindings, or None when unavailable.
+
+    The first call attempts the build; the result (including failure) is
+    cached for the life of the process.  Set ``REPRO_NATIVE=0`` to force
+    the pure-Python fallback.
+    """
+    global _kernel, _kernel_tried
+    if _kernel_tried:
+        return _kernel
+    _kernel_tried = True
+    if os.environ.get("REPRO_NATIVE", "1") == "0":
+        return None
+    lib_path = _build_library()
+    if lib_path is None:
+        return None
+    try:
+        _kernel = NativeKernel(ctypes.CDLL(str(lib_path)))
+    except OSError:
+        _kernel = None
+    return _kernel
+
+
+def native_available() -> bool:
+    """Whether the native replay kernels can be used."""
+    return get_kernel() is not None

@@ -1,0 +1,208 @@
+/* Native replay kernels for the array-backed cache (repro.cache.arraycache).
+ *
+ * Each function replays a full address trace through one set-associative
+ * cache whose state lives in caller-owned numpy arrays:
+ *
+ *   tags  (num_sets x ways) int64, -1 == empty way
+ *   stamp (num_sets x ways) int64, last-touch / bucket-entry sequence number
+ *   rrpv  (num_sets x ways) int64, re-reference prediction values (RRIP only)
+ *
+ * The state encoding is shared with the pure-Python fallback in
+ * arraycache.py: a kernel run can be interrupted and resumed by the Python
+ * path (or vice versa) and produce the same results.  The LRU and SRRIP
+ * kernels are bit-identical to the object model in repro.cache.replacement;
+ * BRRIP/DRRIP use a splitmix64 stream instead of CPython's Mersenne
+ * twister, so they are deterministic per seed but not bit-identical to the
+ * object policies (see arraycache.py).
+ *
+ * Compiled on demand by repro.cache._native with a plain `cc -O3 -shared`;
+ * no Python headers are required (the library is loaded through ctypes).
+ */
+
+#include <stdint.h>
+
+#define EMPTY (-1)
+#define I64_MAX 0x7fffffffffffffffLL
+
+/* Python-compatible modulo for possibly-negative line addresses. */
+static inline int64_t set_of(int64_t a, int64_t num_sets)
+{
+    if (num_sets == 1)
+        return 0;
+    int64_t s = a % num_sets;
+    return (s < 0) ? s + num_sets : s;
+}
+
+/* splitmix64; the uniform double construction matches the Python fallback:
+ * take the top 53 bits of the state-advanced output. */
+static inline uint64_t splitmix64_next(uint64_t *state)
+{
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+static inline double uniform01(uint64_t *state)
+{
+    return (double)(splitmix64_next(state) >> 11) * (1.0 / 9007199254740992.0);
+}
+
+/* ------------------------------------------------------------------ LRU --- */
+
+/* Replay `n` addresses through an LRU cache; returns the miss count and
+ * leaves tags/stamp/counter updated so further accesses may continue. */
+int64_t lru_run(const int64_t *addrs, int64_t n, int64_t num_sets,
+                int64_t ways, int64_t *tags, int64_t *stamp,
+                int64_t *counter_io)
+{
+    int64_t misses = 0;
+    int64_t t = counter_io[0];
+
+    for (int64_t i = 0; i < n; i++) {
+        int64_t a = addrs[i];
+        int64_t s = set_of(a, num_sets);
+        int64_t *row = tags + s * ways;
+        int64_t *st = stamp + s * ways;
+        int64_t hit = -1, empty = -1, victim = 0;
+        int64_t best = I64_MAX;
+
+        for (int64_t w = 0; w < ways; w++) {
+            int64_t tag = row[w];
+            if (tag == a) { hit = w; break; }
+            if (tag == EMPTY) {
+                if (empty < 0) empty = w;
+            } else if (st[w] < best) {
+                best = st[w];
+                victim = w;
+            }
+        }
+        t++;
+        if (hit >= 0) {
+            st[hit] = t;
+        } else {
+            misses++;
+            int64_t w = (empty >= 0) ? empty : victim;
+            row[w] = a;
+            st[w] = t;
+        }
+    }
+    counter_io[0] = t;
+    return misses;
+}
+
+/* ----------------------------------------------------------------- RRIP --- */
+
+/* Insertion modes (must match arraycache.py). */
+#define MODE_SRRIP 0
+#define MODE_BRRIP 1
+#define MODE_DRRIP 2
+
+/* DRRIP set roles (must match arraycache.py / replacement.rrip.DuelRole). */
+#define ROLE_FOLLOWER 0
+#define ROLE_LEADER_SRRIP 1
+#define ROLE_LEADER_BRRIP 2
+#define ROLE_ADDRESS_DUEL 3
+
+static inline int64_t address_role(int64_t a, int64_t leader_levels)
+{
+    uint64_t bucket = ((uint64_t)a * 0x9E3779B97F4A7C15ULL) & 1023ULL;
+    if (bucket < (uint64_t)leader_levels)
+        return ROLE_LEADER_SRRIP;
+    if (bucket < (uint64_t)(2 * leader_levels))
+        return ROLE_LEADER_BRRIP;
+    return ROLE_FOLLOWER;
+}
+
+/* Replay `n` addresses through an RRIP-family cache.
+ *
+ * Victim selection replicates the object model's bucket semantics without
+ * materializing buckets: the victim is the oldest *bucket entrant* (stamp)
+ * among lines at the highest RRPV present, after which every line ages up
+ * by the same delta.  Stamps are refreshed exactly when the object model
+ * reorders a line within its bucket (insertion and hit promotion), so the
+ * SRRIP kernel is bit-identical to SRRIPPolicy.
+ *
+ * `roles` (per set) and `psel_io`/`psel_max`/`leader_levels` are only read
+ * in MODE_DRRIP; `epsilon`/`rng_state` only in MODE_BRRIP and MODE_DRRIP.
+ */
+int64_t rrip_run(const int64_t *addrs, int64_t n, int64_t num_sets,
+                 int64_t ways, int64_t max_rrpv, int64_t *tags,
+                 int64_t *rrpv, int64_t *stamp, int64_t *counter_io,
+                 int64_t mode, double epsilon, uint64_t *rng_state,
+                 const int64_t *roles, int64_t *psel_io, int64_t psel_max,
+                 int64_t leader_levels)
+{
+    int64_t misses = 0;
+    int64_t t = counter_io[0];
+    int64_t psel = psel_io ? psel_io[0] : 0;
+
+    for (int64_t i = 0; i < n; i++) {
+        int64_t a = addrs[i];
+        int64_t s = set_of(a, num_sets);
+        int64_t *row = tags + s * ways;
+        int64_t *rv = rrpv + s * ways;
+        int64_t *st = stamp + s * ways;
+        int64_t hit = -1, empty = -1;
+
+        for (int64_t w = 0; w < ways; w++) {
+            int64_t tag = row[w];
+            if (tag == a) { hit = w; break; }
+            if (tag == EMPTY && empty < 0) empty = w;
+        }
+        t++;
+        if (hit >= 0) {
+            rv[hit] = 0; /* hit priority */
+            st[hit] = t;
+            continue;
+        }
+        misses++;
+
+        int64_t role = ROLE_FOLLOWER;
+        if (mode == MODE_DRRIP) {
+            role = roles[s];
+            if (role == ROLE_ADDRESS_DUEL)
+                role = address_role(a, leader_levels);
+            if (role == ROLE_LEADER_SRRIP && psel < psel_max)
+                psel++;
+            else if (role == ROLE_LEADER_BRRIP && psel > 0)
+                psel--;
+        }
+
+        if (empty < 0) {
+            /* Evict the oldest entrant of the highest occupied RRPV bucket,
+             * then age everyone so that bucket sits at max_rrpv. */
+            int64_t maxp = -1;
+            for (int64_t w = 0; w < ways; w++)
+                if (rv[w] > maxp) maxp = rv[w];
+            int64_t victim = 0, best = I64_MAX;
+            for (int64_t w = 0; w < ways; w++)
+                if (rv[w] == maxp && st[w] < best) { best = st[w]; victim = w; }
+            int64_t d = max_rrpv - maxp;
+            if (d > 0)
+                for (int64_t w = 0; w < ways; w++) rv[w] += d;
+            empty = victim;
+        }
+
+        int64_t ins = max_rrpv - 1; /* SRRIP long re-reference insertion */
+        int bimodal = 0;
+        if (mode == MODE_BRRIP) {
+            bimodal = 1;
+        } else if (mode == MODE_DRRIP) {
+            if (role == ROLE_LEADER_BRRIP)
+                bimodal = 1;
+            else if (role == ROLE_FOLLOWER)
+                bimodal = psel > psel_max / 2;
+        }
+        if (bimodal && uniform01(rng_state) >= epsilon)
+            ins = max_rrpv;
+
+        row[empty] = a;
+        rv[empty] = ins;
+        st[empty] = t;
+    }
+    counter_io[0] = t;
+    if (psel_io)
+        psel_io[0] = psel;
+    return misses;
+}

@@ -63,13 +63,29 @@ class CacheStats:
             self.misses += 1
 
     def merge(self, other: "CacheStats") -> "CacheStats":
-        """Return the sum of two stats objects (for aggregating partitions)."""
+        """Return the sum of two stats objects (for aggregating partitions).
+
+        ``extra`` metadata is carried over from both sides: numeric values
+        present in both are summed (they are counters, like the hit/miss
+        fields), anything else keeps ``other``'s value, mirroring how the
+        scalar counters combine.
+        """
+        extra = dict(self.extra)
+        for key, value in other.extra.items():
+            mine = extra.get(key)
+            if (isinstance(mine, (int, float)) and not isinstance(mine, bool)
+                    and isinstance(value, (int, float))
+                    and not isinstance(value, bool)):
+                extra[key] = mine + value
+            else:
+                extra[key] = value
         return CacheStats(
             accesses=self.accesses + other.accesses,
             hits=self.hits + other.hits,
             misses=self.misses + other.misses,
             instructions=self.instructions + other.instructions,
             bypasses=self.bypasses + other.bypasses,
+            extra=extra,
         )
 
 

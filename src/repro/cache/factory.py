@@ -8,6 +8,9 @@ experiments can just ask for a policy by name.
 
 from __future__ import annotations
 
+from .arraycache import (ARRAY_EXACT_POLICIES, ARRAY_POLICIES,
+                         ArraySetAssociativeCache)
+from .cache import SetAssociativeCache
 from .replacement import (BIPPolicy, BRRIPPolicy, DIPPolicy, DRRIPPolicy,
                           LIPPolicy, LRUPolicy, PDPPolicy, RandomPolicy,
                           SRRIPPolicy, TADRRIPPolicy)
@@ -15,11 +18,24 @@ from .replacement.base import PolicyFactory
 from .replacement.dip import dip_factory
 from .replacement.rrip import drrip_factory
 
-__all__ = ["named_policy_factory", "POLICY_NAMES"]
+__all__ = ["named_policy_factory", "POLICY_NAMES", "BACKENDS",
+           "SEEDED_POLICIES", "cache_geometry", "resolve_backend",
+           "build_cache"]
 
 #: Policy names accepted by :func:`named_policy_factory`.
 POLICY_NAMES = ("LRU", "LIP", "BIP", "Random", "SRRIP", "BRRIP", "DRRIP",
                 "DIP", "PDP", "TA-DRRIP")
+
+#: Cache backends accepted by :func:`build_cache`.  "object" is the
+#: reference per-set policy-object model; "array" is the numpy/native model
+#: (:mod:`repro.cache.arraycache`); "auto" picks the array model exactly
+#: when it is bit-identical to the reference (LRU and SRRIP) and the object
+#: model otherwise.
+BACKENDS = ("object", "array", "auto")
+
+#: Policies whose constructors take a ``seed`` argument (their behaviour
+#: involves randomized insertion/eviction decisions).
+SEEDED_POLICIES = ("BIP", "Random", "BRRIP", "DRRIP", "DIP", "TA-DRRIP")
 
 
 def named_policy_factory(name: str, num_regions: int, **kwargs) -> PolicyFactory:
@@ -60,3 +76,71 @@ def named_policy_factory(name: str, num_regions: int, **kwargs) -> PolicyFactory
     if name == "DIP":
         return dip_factory(num_regions, **kwargs)
     raise ValueError(f"unknown policy {name!r}; known: {POLICY_NAMES}")
+
+
+def cache_geometry(capacity_lines: int, ways: int) -> tuple[int, int]:
+    """Geometry ``(num_sets, effective_ways)`` for a capacity in lines.
+
+    The number of sets is ``capacity_lines // ways`` (at least 1); if the
+    capacity is smaller than one full set the cache degenerates to a single
+    set with ``capacity_lines`` ways, preserving total capacity.  This is
+    the mapping every sweep and experiment driver uses, centralized so all
+    backends agree on it.
+    """
+    if capacity_lines <= 0:
+        raise ValueError("capacity_lines must be positive")
+    if ways <= 0:
+        raise ValueError("ways must be positive")
+    if capacity_lines < ways:
+        return 1, capacity_lines
+    return capacity_lines // ways, ways
+
+
+def resolve_backend(backend: str, policy: str) -> str:
+    """Resolve a backend name to "object" or "array" for ``policy``.
+
+    "auto" selects the array backend only where it is bit-identical to the
+    reference object model (:data:`~repro.cache.arraycache.ARRAY_EXACT_POLICIES`).
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; known: {BACKENDS}")
+    if backend == "auto":
+        return "array" if policy in ARRAY_EXACT_POLICIES else "object"
+    if backend == "array" and policy not in ARRAY_POLICIES:
+        raise ValueError(
+            f"the array backend does not implement {policy!r} "
+            f"(supported: {ARRAY_POLICIES}); use backend='object' or 'auto'")
+    return backend
+
+
+def build_cache(capacity_lines: int, ways: int = 16, policy: str = "LRU",
+                backend: str = "object", seed: int | None = None,
+                **policy_kwargs):
+    """Build a simulatable cache of ``capacity_lines`` for ``policy``.
+
+    Returns either a :class:`~repro.cache.cache.SetAssociativeCache` (object
+    backend) or an :class:`~repro.cache.arraycache.ArraySetAssociativeCache`
+    (array backend); both expose ``access``/``run``/``stats``.
+
+    Parameters
+    ----------
+    backend:
+        One of :data:`BACKENDS`.
+    seed:
+        Deterministic seed for policies with randomized behaviour; ignored
+        (and therefore reproducible by construction) for deterministic
+        policies.  ``None`` keeps each policy's historical default seed.
+    """
+    num_sets, eff_ways = cache_geometry(capacity_lines, ways)
+    backend = resolve_backend(backend, policy)
+    if backend == "array":
+        kwargs = dict(policy_kwargs)
+        if seed is not None and policy in ("BRRIP", "DRRIP"):
+            kwargs.setdefault("seed", seed)
+        return ArraySetAssociativeCache(num_sets, eff_ways, policy=policy,
+                                        **kwargs)
+    kwargs = dict(policy_kwargs)
+    if seed is not None and policy in SEEDED_POLICIES:
+        kwargs.setdefault("seed", seed)
+    factory = named_policy_factory(policy, num_sets, **kwargs)
+    return SetAssociativeCache(num_sets, eff_ways, factory)

@@ -25,7 +25,8 @@ from ..cache.replacement.belady import belady_miss_curve_points
 from ..core.convexhull import convex_hull, is_convex
 from ..core.misscurve import MissCurve
 from ..core.talus import talus_miss_curve
-from ..sim.engine import talus_simulated_mpki_curve
+from ..sim.engine import talus_sweep_configs
+from ..sim.sweep import run_sweep
 from ..workloads.generators import scan_plus_random
 from ..workloads.scale import paper_mb_to_lines
 from ..workloads.spec_profiles import get_profile
@@ -44,20 +45,27 @@ def run_safety_margin_ablation(benchmark: str = "omnetpp",
                                margins: tuple[float, ...] = (0.0, 0.02, 0.05,
                                                              0.10, 0.20),
                                n_accesses: int | None = None) -> FigureResult:
-    """Sweep the sampling-rate safety margin at a mid-plateau cache size."""
+    """Sweep the sampling-rate safety margin at a mid-plateau cache size.
+
+    All margin variants are planned up front and the trace is streamed once
+    through every planned Talus cache (one batched
+    :func:`repro.sim.sweep.run_sweep` pass).
+    """
     profile = get_profile(benchmark)
     n = n_accesses if n_accesses is not None else trace_length()
     lru = profile.lru_curve(max_mb=4 * target_mb, points=65, n_accesses=n)
     hull = convex_hull(lru)
-    simulated = []
-    predicted = []
+    configs = []
     for margin in margins:
-        curve = talus_simulated_mpki_curve(profile, [target_mb], scheme="ideal",
-                                           planning_curve=lru,
-                                           safety_margin=margin, n_accesses=n)
-        simulated.append(float(curve(target_mb)))
-        predicted.append(float(talus_miss_curve(lru, sizes=np.array([target_mb]),
-                                                safety_margin=margin)(target_mb)))
+        configs.extend(talus_sweep_configs(
+            [target_mb], scheme="ideal", planning_curve=lru,
+            safety_margin=margin, label=("margin", margin)))
+    sweep = run_sweep(profile.trace(n_accesses=n), configs, backend="object")
+    simulated = [sweep.mpki((("margin", margin), float(target_mb)))
+                 for margin in margins]
+    predicted = [float(talus_miss_curve(lru, sizes=np.array([target_mb]),
+                                        safety_margin=margin)(target_mb))
+                 for margin in margins]
     x = tuple(float(m) for m in margins)
     series = (
         Series("Talus simulated MPKI", x, tuple(simulated)),
@@ -115,12 +123,16 @@ def run_unmanaged_fraction_ablation(benchmark: str = "omnetpp",
                                     fractions: tuple[float, ...] = (0.0, 0.05,
                                                                     0.10, 0.20),
                                     n_accesses: int | None = None) -> FigureResult:
-    """Sweep Vantage's unmanaged fraction (0 == Futility-Scaling-like)."""
+    """Sweep Vantage's unmanaged fraction (0 == Futility-Scaling-like).
+
+    All fraction variants ride one batched trace pass, exactly like the
+    safety-margin ablation.
+    """
     profile = get_profile(benchmark)
     n = n_accesses if n_accesses is not None else trace_length()
     lru = profile.lru_curve(max_mb=4 * target_mb, points=65, n_accesses=n)
     hull = convex_hull(lru)
-    simulated = []
+    configs = []
     for fraction in fractions:
         if fraction == 0.0:
             scheme = "futility"
@@ -128,11 +140,13 @@ def run_unmanaged_fraction_ablation(benchmark: str = "omnetpp",
         else:
             scheme = "vantage"
             scheme_kwargs = {"unmanaged_fraction": fraction}
-        curve = talus_simulated_mpki_curve(profile, [target_mb], scheme=scheme,
-                                           planning_curve=lru,
-                                           safety_margin=0.05, n_accesses=n,
-                                           scheme_kwargs=scheme_kwargs)
-        simulated.append(float(curve(target_mb)))
+        configs.extend(talus_sweep_configs(
+            [target_mb], scheme=scheme, planning_curve=lru,
+            safety_margin=0.05, scheme_kwargs=scheme_kwargs,
+            label=("unmanaged", fraction)))
+    sweep = run_sweep(profile.trace(n_accesses=n), configs, backend="object")
+    simulated = [sweep.mpki((("unmanaged", fraction), float(target_mb)))
+                 for fraction in fractions]
     x = tuple(float(f) for f in fractions)
     series = (
         Series("Talus simulated MPKI", x, tuple(simulated)),

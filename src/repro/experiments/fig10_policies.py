@@ -20,7 +20,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.talus import talus_miss_curve
-from ..sim.engine import lru_mpki_curve, simulated_mpki_curve
+from ..sim.engine import lru_mpki_curve
+from ..sim.sweep import SweepSpec, run_sweep
 from ..workloads.spec_profiles import FIG10_BENCHMARKS, get_profile
 from .common import FigureResult, Series, fast_mode, trace_length
 
@@ -36,8 +37,14 @@ def run_fig10_benchmark(benchmark: str,
                         safety_margin: float = 0.05,
                         n_accesses: int | None = None,
                         policies: tuple[str, ...] = FIG10_POLICIES,
-                        ) -> FigureResult:
-    """Reproduce one panel of Fig. 10 (one benchmark, all policies)."""
+                        backend: str = "auto",
+                        max_workers: int = 1) -> FigureResult:
+    """Reproduce one panel of Fig. 10 (one benchmark, all policies).
+
+    All (policy, size) points are simulated in one batched sweep over a
+    single materialized trace; ``backend``/``max_workers`` are forwarded to
+    :func:`repro.sim.sweep.run_sweep`.
+    """
     profile = get_profile(benchmark)
     if num_sizes is None:
         num_sizes = 6 if fast_mode() else 12
@@ -49,13 +56,17 @@ def run_fig10_benchmark(benchmark: str,
                                                 [max_mb * 2.5])))
     talus = talus_miss_curve(lru, safety_margin=safety_margin)
 
+    sweep = run_sweep(trace, SweepSpec(
+        sizes_mb=tuple(float(s) for s in sizes_mb), policies=policies,
+        backend=backend, max_workers=max_workers))
+
     sizes = tuple(float(s) for s in sizes_mb)
     series = [
         Series("Talus+V/LRU", sizes, tuple(float(talus(s)) for s in sizes)),
         Series("LRU", sizes, tuple(float(lru(s)) for s in sizes)),
     ]
     for policy in policies:
-        curve = simulated_mpki_curve(trace, sizes_mb, policy)
+        curve = sweep.mpki_curve(policy)
         series.append(Series(policy, sizes,
                              tuple(float(curve(s)) for s in sizes)))
 

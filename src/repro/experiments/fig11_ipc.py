@@ -12,9 +12,10 @@ of the pack at 8 MB).
 from __future__ import annotations
 
 from ..core.talus import talus_miss_curve
-from ..sim.engine import lru_mpki_curve, simulate_policy_at_size
+from ..sim.engine import lru_mpki_curve
 from ..sim.metrics import gmean
 from ..sim.perf_model import ipc_from_mpki
+from ..sim.sweep import SweepSpec, run_sweep
 from ..workloads.spec_profiles import SPEC_PROFILES, get_profile
 from .common import FigureResult, Series, fast_mode, trace_length
 
@@ -32,15 +33,20 @@ def run_fig11(size_mb: float = 1.0,
               benchmarks: tuple[str, ...] | None = None,
               safety_margin: float = 0.05,
               n_accesses: int | None = None,
-              policies: tuple[str, ...] = FIG11_POLICIES) -> FigureResult:
+              policies: tuple[str, ...] = FIG11_POLICIES,
+              backend: str = "auto",
+              max_workers: int = 1) -> FigureResult:
     """Reproduce one panel of Fig. 11 (IPC over LRU at ``size_mb``).
 
     The series' x-axis is the benchmark index (in the order listed in the
-    summary keys); y values are percent IPC improvement over LRU.
+    summary keys); y values are percent IPC improvement over LRU.  The
+    simulated policies of each benchmark run as one batched sweep
+    (:func:`repro.sim.sweep.run_sweep`) over a single materialized trace.
     """
     if benchmarks is None:
         benchmarks = _FAST_BENCHMARKS if fast_mode() else tuple(sorted(SPEC_PROFILES))
     n = n_accesses if n_accesses is not None else trace_length()
+    simulated = tuple(p for p in policies if p != "Talus+V/LRU")
 
     per_policy: dict[str, list[float]] = {p: [] for p in policies}
     for benchmark in benchmarks:
@@ -50,12 +56,15 @@ def run_fig11(size_mb: float = 1.0,
                                      size_mb * 4, size_mb * 8, size_mb * 16,
                                      size_mb * 32])
         lru_ipc = ipc_from_mpki(profile, float(lru(size_mb)))
+        sweep = run_sweep(trace, SweepSpec(
+            sizes_mb=(float(size_mb),), policies=simulated,
+            backend=backend, max_workers=max_workers)) if simulated else None
         for policy in policies:
             if policy == "Talus+V/LRU":
                 talus = talus_miss_curve(lru, safety_margin=safety_margin)
                 mpki = float(talus(size_mb))
             else:
-                mpki = simulate_policy_at_size(trace, size_mb, policy)
+                mpki = sweep.mpki((policy, float(size_mb)))
             ipc = ipc_from_mpki(profile, mpki)
             per_policy[policy].append(100.0 * (ipc / lru_ipc - 1.0))
 

@@ -20,8 +20,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..cache.partition import IdealPartitionedCache
-from ..cache.talus_cache import TalusCache
 from ..core.misscurve import MissCurve
 from ..core.talus import plan_shadow_partitions, predicted_miss, talus_miss_curve
 from ..workloads.generators import scan_plus_random
@@ -66,19 +64,14 @@ def run_fig3(target_mb: float = 4.0, apki: float = 24.0,
     predicted = predicted_miss(lru, config)
 
     # Trace-driven validation: program an ideal 2-partition cache with the
-    # planned shadow sizes and replay the trace through the Talus wrapper.
-    lines = paper_mb_to_lines(target_mb)
-    base = IdealPartitionedCache(lines, 2)
-    talus_cache = TalusCache(base, num_logical=1)
-    factor = float(paper_mb_to_lines(1.0))
-    from ..core.talus import TalusConfig
-    talus_cache.configure(0, TalusConfig(
-        total_size=config.total_size * factor, alpha=config.alpha * factor,
-        beta=config.beta * factor, rho=config.rho,
-        s1=config.s1 * factor, s2=config.s2 * factor,
-        degenerate=config.degenerate))
-    stats = talus_cache.run(trace.addresses, logical=0)
-    simulated_mpki = 1000.0 * stats.misses / trace.instructions
+    # planned shadow sizes and replay the trace through the Talus wrapper,
+    # going through the same sweep engine the figure harnesses use.
+    from ..sim.engine import talus_sweep_configs
+    from ..sim.sweep import run_sweep
+    sweep = run_sweep(trace, talus_sweep_configs(
+        [target_mb], scheme="ideal", planning_curve=lru, safety_margin=0.0),
+        backend="object")
+    simulated_mpki = sweep.mpki(("talus", float(target_mb)))
 
     sizes = tuple(float(s) for s in lru.sizes)
     series = (

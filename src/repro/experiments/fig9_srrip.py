@@ -44,7 +44,8 @@ def run_fig9(benchmark: str = "libquantum",
              num_sizes: int | None = None,
              use_monitor: bool = True,
              safety_margin: float = 0.05,
-             n_accesses: int | None = None) -> FigureResult:
+             n_accesses: int | None = None,
+             backend: str = "auto") -> FigureResult:
     """Reproduce one panel of Fig. 9: SRRIP vs Talus-on-SRRIP.
 
     Parameters
@@ -53,6 +54,9 @@ def run_fig9(benchmark: str = "libquantum",
         If True, Talus plans on a multi-point-monitor measurement of SRRIP's
         curve (as in the paper); if False, it plans on the directly
         simulated SRRIP curve (an idealized monitor).
+    backend:
+        Simulation backend for the SRRIP size sweep (the default "auto"
+        picks the array/native core, which is bit-identical for SRRIP).
     """
     profile = get_profile(benchmark)
     if max_mb is None:
@@ -63,7 +67,7 @@ def run_fig9(benchmark: str = "libquantum",
     trace = profile.trace(n_accesses=n)
 
     sizes_mb = np.linspace(max_mb / num_sizes, max_mb, num_sizes)
-    srrip = simulated_mpki_curve(trace, sizes_mb, "SRRIP")
+    srrip = simulated_mpki_curve(trace, sizes_mb, "SRRIP", backend=backend)
     if use_monitor:
         planning = srrip_curve_from_monitor(benchmark, sizes_mb, n_accesses=n)
     else:

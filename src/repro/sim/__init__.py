@@ -3,6 +3,7 @@
 from .config import MULTI_PROGRAMMED, SINGLE_THREADED, SystemConfig
 from .engine import (lru_mpki_curve, simulate_policy_at_size,
                      simulated_mpki_curve, talus_simulated_mpki_curve)
+from .sweep import SweepConfig, SweepResult, SweepSpec, run_sweep
 from .metrics import (coefficient_of_variation, gmean, harmonic_speedup,
                       weighted_speedup)
 from .multicore import (SCHEMES, MixResult, SharedCacheExperiment,
@@ -18,6 +19,10 @@ __all__ = [
     "simulated_mpki_curve",
     "simulate_policy_at_size",
     "talus_simulated_mpki_curve",
+    "SweepSpec",
+    "SweepConfig",
+    "SweepResult",
+    "run_sweep",
     "weighted_speedup",
     "harmonic_speedup",
     "coefficient_of_variation",

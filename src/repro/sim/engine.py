@@ -3,8 +3,10 @@
 These helpers connect the workload, cache and core layers:
 
 * exact LRU miss curves via stack distance (fast path — one pass);
-* simulated miss curves for arbitrary replacement policies (one simulation
-  per size, as the paper's non-stack policies require);
+* simulated miss curves for arbitrary replacement policies, batched through
+  the sweep engine (:mod:`repro.sim.sweep`): the trace is materialized once
+  and every (policy, size) point is simulated from it, on the array/native
+  backend whenever that is bit-identical to the object model;
 * simulated Talus miss curves on a chosen partitioning scheme, either with a
   static configuration planned from a measured curve or with the full
   interval-based reconfiguration loop (:mod:`repro.sim.reconfigure`).
@@ -19,7 +21,6 @@ from typing import Sequence
 
 import numpy as np
 
-from ..cache.cache import SetAssociativeCache
 from ..cache.factory import named_policy_factory
 from ..cache.partition import make_partitioned_cache
 from ..cache.replacement.base import PolicyFactory
@@ -30,21 +31,16 @@ from ..monitor.stack_distance import lru_miss_curve
 from ..workloads.access import Trace
 from ..workloads.scale import paper_mb_to_lines
 from ..workloads.spec_profiles import AppProfile
+from .sweep import DEFAULT_WAYS, SweepConfig, SweepSpec, run_sweep
 
 __all__ = [
     "lru_mpki_curve",
     "simulated_mpki_curve",
     "talus_simulated_mpki_curve",
+    "talus_sweep_configs",
     "simulate_policy_at_size",
+    "DEFAULT_WAYS",
 ]
-
-#: Default associativity of simulated caches (scaled stand-in for the
-#: paper's 32-way LLC).
-DEFAULT_WAYS = 16
-
-
-def _mpki(misses: float, trace: Trace) -> float:
-    return 1000.0 * misses / trace.instructions
 
 
 def lru_mpki_curve(trace: Trace, sizes_mb: Sequence[float]) -> MissCurve:
@@ -56,28 +52,29 @@ def lru_mpki_curve(trace: Trace, sizes_mb: Sequence[float]) -> MissCurve:
 
 
 def simulate_policy_at_size(trace: Trace, size_mb: float, policy: str,
-                            ways: int = DEFAULT_WAYS) -> float:
+                            ways: int = DEFAULT_WAYS,
+                            backend: str = "auto") -> float:
     """MPKI of ``policy`` on ``trace`` at one cache size (paper MB)."""
-    lines = paper_mb_to_lines(size_mb)
-    if lines <= 0:
-        return _mpki(len(trace), trace)
-    if lines < ways:
-        num_sets, eff_ways = 1, lines
-    else:
-        num_sets, eff_ways = lines // ways, ways
-    factory = named_policy_factory(policy, num_sets)
-    cache = SetAssociativeCache(num_sets, eff_ways, factory)
-    stats = cache.run(trace.addresses)
-    return _mpki(stats.misses, trace)
+    curve = simulated_mpki_curve(trace, [size_mb], policy, ways=ways,
+                                 backend=backend)
+    return float(curve.misses[0])
 
 
 def simulated_mpki_curve(trace: Trace, sizes_mb: Sequence[float], policy: str,
-                         ways: int = DEFAULT_WAYS) -> MissCurve:
-    """Simulated MPKI curve of an arbitrary policy (one run per size)."""
-    sizes_mb = sorted(set(float(s) for s in sizes_mb))
-    mpki = [simulate_policy_at_size(trace, mb, policy, ways=ways)
-            for mb in sizes_mb]
-    return MissCurve(np.asarray(sizes_mb), np.asarray(mpki))
+                         ways: int = DEFAULT_WAYS,
+                         backend: str = "auto",
+                         max_workers: int = 1) -> MissCurve:
+    """Simulated MPKI curve of an arbitrary policy, batched over all sizes.
+
+    All sizes are simulated from one materialized trace through
+    :func:`repro.sim.sweep.run_sweep`; ``backend`` selects the simulation
+    core ("object", "array" or "auto") and ``max_workers`` optionally fans
+    the sizes out over a process pool.
+    """
+    spec = SweepSpec(sizes_mb=tuple(float(s) for s in sizes_mb),
+                     policies=(policy,), ways=ways, backend=backend,
+                     max_workers=max_workers)
+    return run_sweep(trace, spec).mpki_curve(policy)
 
 
 def talus_simulated_mpki_curve(profile: AppProfile,
@@ -97,7 +94,9 @@ def talus_simulated_mpki_curve(profile: AppProfile,
     For each target size, a Talus configuration is planned from
     ``planning_curve`` (default: the profile's exact LRU curve — the role the
     UMONs play in hardware), programmed into a :class:`TalusCache` built on
-    ``scheme``, and the profile's trace is replayed through it.
+    ``scheme``, and the profile's trace is replayed through it.  All sizes
+    ride one :func:`repro.sim.sweep.run_sweep` pass: the trace is streamed
+    once through every planned Talus cache instead of once per size.
 
     Parameters
     ----------
@@ -121,33 +120,66 @@ def talus_simulated_mpki_curve(profile: AppProfile,
     if planning_curve is None:
         max_mb = max(max(sizes_mb) * 1.5, 1.0)
         planning_curve = profile.lru_curve(max_mb=max_mb)
-    mpki_values = []
-    for size_mb in sizes_mb:
-        lines = paper_mb_to_lines(size_mb)
-        if lines <= 0:
-            mpki_values.append(_mpki(len(trace), trace))
-            continue
-        factory = policy_factory
-        if factory is None:
-            # Two shadow partitions: dueling-by-set is unavailable, so use
-            # the standalone variants of each policy.
-            factory = named_policy_factory(policy, 2)
-        base = make_partitioned_cache(scheme, lines, 2,
-                                      policy_factory=factory, ways=ways,
-                                      **(scheme_kwargs or {}))
-        talus = TalusCache(base, num_logical=1)
-        # Plan in MB on the planning curve, then convert the shadow sizes to
-        # lines for the hardware.
-        partitionable_mb = base.partitionable_lines / paper_mb_to_lines(1.0)
-        config = plan_shadow_partitions(planning_curve,
-                                        min(size_mb, partitionable_mb)
-                                        if partitionable_mb > 0 else size_mb,
-                                        safety_margin=safety_margin)
-        config_lines = _config_to_lines(config)
-        talus.configure(0, config_lines)
-        stats = talus.run(trace.addresses, logical=0)
-        mpki_values.append(_mpki(stats.misses, trace))
+    configs = talus_sweep_configs(sizes_mb, scheme=scheme, policy=policy,
+                                  planning_curve=planning_curve,
+                                  safety_margin=safety_margin, ways=ways,
+                                  policy_factory=policy_factory,
+                                  scheme_kwargs=scheme_kwargs)
+    result = run_sweep(trace, configs, backend="object")
+    mpki_values = [result.mpki(("talus", size_mb)) for size_mb in sizes_mb]
     return MissCurve(np.asarray(sizes_mb), np.asarray(mpki_values))
+
+
+def talus_sweep_configs(sizes_mb: Sequence[float],
+                        scheme: str = "vantage",
+                        policy: str = "LRU",
+                        planning_curve: MissCurve | None = None,
+                        safety_margin: float = 0.05,
+                        ways: int = DEFAULT_WAYS,
+                        policy_factory: PolicyFactory | None = None,
+                        scheme_kwargs: dict | None = None,
+                        label: object = "talus") -> list[SweepConfig]:
+    """Sweep configs for planned Talus caches, one per target size.
+
+    Each config's key is ``(label, size_mb)``, so several scheme/policy/
+    margin variants can be concatenated into a single
+    :func:`repro.sim.sweep.run_sweep` pass (the Fig. 8 harness and the
+    ablations do exactly that).  Duplicate sizes are deduplicated; sizes
+    that map to zero lines become builder-less zero-capacity configs, which
+    the sweep engine reports as all-miss — the trace's full miss rate, as
+    the seed per-size loop did.
+    """
+    if planning_curve is None:
+        raise ValueError("planning_curve is required")
+    sizes_mb = sorted(set(float(s) for s in sizes_mb))
+
+    def talus_builder(size_mb: float):
+        def build():
+            lines = paper_mb_to_lines(size_mb)
+            factory = policy_factory
+            if factory is None:
+                # Two shadow partitions: dueling-by-set is unavailable, so
+                # use the standalone variants of each policy.
+                factory = named_policy_factory(policy, 2)
+            base = make_partitioned_cache(scheme, lines, 2,
+                                          policy_factory=factory, ways=ways,
+                                          **(scheme_kwargs or {}))
+            talus = TalusCache(base, num_logical=1)
+            # Plan in MB on the planning curve, then convert the shadow
+            # sizes to lines for the hardware.
+            partitionable_mb = base.partitionable_lines / paper_mb_to_lines(1.0)
+            config = plan_shadow_partitions(planning_curve,
+                                            min(size_mb, partitionable_mb)
+                                            if partitionable_mb > 0 else size_mb,
+                                            safety_margin=safety_margin)
+            talus.configure(0, _config_to_lines(config))
+            return talus
+        return build
+
+    return [SweepConfig(key=(label, size_mb), size_mb=size_mb,
+                        builder=(talus_builder(size_mb)
+                                 if paper_mb_to_lines(size_mb) > 0 else None))
+            for size_mb in sizes_mb]
 
 
 def _config_to_lines(config):

@@ -1,0 +1,312 @@
+"""Batched sweep engine: many cache configurations, one trace pass.
+
+Every figure of the paper is a *sweep* — a miss/MPKI curve over many cache
+sizes, policies, or schemes.  The seed implementation replayed the full
+trace once per point through the object-model cache; this module separates
+the *what* (a :class:`SweepSpec` describing all the points) from the *how*
+(interchangeable simulation backends):
+
+* ``object`` — the reference per-set policy-object model.  All configs of
+  the sweep advance together in a single streaming pass over the trace
+  (the trace is materialized and decoded once, not once per point).
+* ``array``  — the numpy/native array cache
+  (:mod:`repro.cache.arraycache`): each config is replayed by a compiled
+  kernel, typically 10-30x faster than the object model.
+* ``auto``   — the array backend where it is bit-identical to the object
+  model (LRU, SRRIP), the object model otherwise.  This is the default, so
+  existing experiments keep their exact results while getting the fast
+  path wherever it cannot change them.
+
+Independent configs can also be fanned out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` with ``max_workers > 1``.
+Results are independent of the execution strategy: every config derives a
+deterministic seed from ``(base_seed, config index)``, so serial, batched
+and parallel runs all agree.
+
+Example
+-------
+>>> spec = SweepSpec(sizes_mb=(1, 2, 4, 8), policies=("LRU", "SRRIP"))
+>>> result = run_sweep(trace, spec)
+>>> result.mpki_curve("LRU")        # MissCurve over the four sizes
+"""
+
+from __future__ import annotations
+
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Sequence
+
+import numpy as np
+
+from ..cache.cache import CacheStats
+from ..cache.factory import BACKENDS, build_cache, resolve_backend
+from ..cache.hashing import mix64
+from ..core.misscurve import MissCurve
+from ..workloads.access import Trace
+from ..workloads.scale import paper_mb_to_lines
+
+__all__ = ["SweepConfig", "SweepSpec", "SweepResult", "run_sweep",
+           "DEFAULT_WAYS"]
+
+#: Default associativity of simulated caches (scaled stand-in for the
+#: paper's 32-way LLC).
+DEFAULT_WAYS = 16
+
+
+def _derive_seed(base_seed: int, policy: str, size_mb: float) -> int:
+    """Deterministic per-config seed, a stable function of the point itself.
+
+    Deriving from ``(policy, size)`` rather than the config's position in
+    the sweep makes seeds independent of execution order and sweep
+    composition: a point simulated alone, in a batched sweep, or in a
+    process-pool worker always draws the same stream.
+    """
+    token = f"{policy}|{float(size_mb)!r}".encode()
+    return mix64(mix64(base_seed) ^ zlib.crc32(token)) & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """One point of a sweep.
+
+    Standard points are ``(policy, size_mb)`` pairs simulated through
+    :func:`repro.cache.factory.build_cache`.  Arbitrary cache
+    organizations (partitioned caches, Talus wrappers, ...) ride the same
+    engine through ``builder``: a zero-argument callable returning any
+    object with an ``access(address) -> bool`` method.  Builder configs
+    always run on the object path, in-process.
+    """
+
+    key: Hashable
+    size_mb: float
+    policy: str = "LRU"
+    ways: int = DEFAULT_WAYS
+    seed: int | None = None
+    policy_kwargs: tuple = ()
+    builder: Callable[[], object] | None = field(
+        default=None, compare=False)
+
+    @property
+    def capacity_lines(self) -> int:
+        """Simulated capacity in lines."""
+        return paper_mb_to_lines(self.size_mb)
+
+    def build(self, backend: str):
+        """Instantiate the cache for this config on ``backend``."""
+        if self.builder is not None:
+            return self.builder()
+        return build_cache(self.capacity_lines, ways=self.ways,
+                           policy=self.policy, backend=backend,
+                           seed=self.seed, **dict(self.policy_kwargs))
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A full sweep: the cross product of sizes and policies.
+
+    Parameters
+    ----------
+    sizes_mb:
+        Target cache sizes in paper MB (deduplicated and sorted).
+    policies:
+        Replacement policies to sweep (one full size-curve each).
+    ways:
+        Associativity of every simulated cache.
+    backend:
+        "object", "array" or "auto" (see module docstring).
+    max_workers:
+        Above 1, independent configs are distributed over a process pool.
+    base_seed:
+        Root of the deterministic per-config seed derivation for policies
+        with randomized behaviour.  ``None`` (the default) keeps every
+        policy's historical default seed, so sweeps reproduce the
+        one-run-per-size reference exactly.
+    """
+
+    sizes_mb: tuple[float, ...]
+    policies: tuple[str, ...] = ("LRU",)
+    ways: int = DEFAULT_WAYS
+    backend: str = "auto"
+    max_workers: int = 1
+    base_seed: int | None = None
+
+    def __post_init__(self):
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; "
+                             f"known: {BACKENDS}")
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if not self.policies:
+            raise ValueError("policies must not be empty")
+        sizes = tuple(sorted(set(float(s) for s in self.sizes_mb)))
+        if not sizes:
+            raise ValueError("sizes_mb must not be empty")
+        object.__setattr__(self, "sizes_mb", sizes)
+        object.__setattr__(self, "policies", tuple(self.policies))
+
+    def expand(self) -> tuple[SweepConfig, ...]:
+        """All sweep points, with deterministic per-config seeds."""
+        configs = []
+        for policy in self.policies:
+            for size_mb in self.sizes_mb:
+                seed = (None if self.base_seed is None
+                        else _derive_seed(self.base_seed, policy, size_mb))
+                configs.append(SweepConfig(
+                    key=(policy, size_mb), size_mb=size_mb, policy=policy,
+                    ways=self.ways, seed=seed))
+        return tuple(configs)
+
+
+class SweepResult:
+    """Per-config statistics of a sweep, with curve helpers."""
+
+    def __init__(self, stats: dict[Hashable, CacheStats],
+                 instructions: int = 0):
+        self.stats = stats
+        self.instructions = instructions
+
+    def __getitem__(self, key: Hashable) -> CacheStats:
+        return self.stats[key]
+
+    def __len__(self) -> int:
+        return len(self.stats)
+
+    def misses(self, key: Hashable) -> int:
+        """Miss count of one sweep point."""
+        return self.stats[key].misses
+
+    def mpki(self, key: Hashable) -> float:
+        """MPKI of one sweep point (needs trace instructions)."""
+        stats = self.stats[key]
+        instructions = stats.instructions or self.instructions
+        if instructions <= 0:
+            raise ValueError("instructions not recorded; cannot compute MPKI")
+        return 1000.0 * stats.misses / instructions
+
+    def mpki_curve(self, policy: str) -> MissCurve:
+        """MPKI miss curve over all sizes recorded for ``policy``."""
+        sizes = sorted(k[1] for k in self.stats
+                       if isinstance(k, tuple) and len(k) == 2
+                       and k[0] == policy)
+        if not sizes:
+            raise KeyError(f"no sweep points for policy {policy!r}")
+        return MissCurve(np.asarray(sizes, dtype=float),
+                         np.asarray([self.mpki((policy, s)) for s in sizes]))
+
+
+def _extract_stats(cache) -> CacheStats:
+    """Statistics of any cache organization the sweep can drive."""
+    stats = getattr(cache, "stats", None)
+    if isinstance(stats, CacheStats):
+        return stats
+    logical = getattr(cache, "logical_stats", None)
+    if logical:
+        return logical[0]
+    raise TypeError(f"cannot extract stats from {type(cache).__name__}")
+
+
+def _all_miss_stats(n_accesses: int) -> CacheStats:
+    """A zero-capacity config: every access misses."""
+    return CacheStats(accesses=n_accesses, hits=0, misses=n_accesses)
+
+
+def _stream_object_pass(addrs: np.ndarray, caches: Sequence[object]) -> None:
+    """Advance every cache by one access per trace element, one trace pass."""
+    accessors = [cache.access for cache in caches]
+    if len(accessors) == 1:
+        access = accessors[0]
+        for a in addrs.tolist():
+            access(a)
+        return
+    for a in addrs.tolist():
+        for access in accessors:
+            access(a)
+
+
+def _simulate_chunk(addrs: np.ndarray, configs: Sequence[SweepConfig],
+                    backend: str) -> list[tuple[Hashable, CacheStats]]:
+    """Simulate a group of configs over one trace pass (worker entry point)."""
+    out = []
+    object_caches, object_keys = [], []
+    for config in configs:
+        if config.builder is None and config.capacity_lines <= 0:
+            out.append((config.key, _all_miss_stats(int(addrs.size))))
+            continue
+        effective = (backend if config.builder is not None
+                     else resolve_backend(backend, config.policy))
+        if config.builder is None and effective == "array":
+            cache = config.build("array")
+            cache.run(addrs)
+            out.append((config.key, _extract_stats(cache)))
+        else:
+            object_caches.append(config.build("object"))
+            object_keys.append(config.key)
+    if object_caches:
+        _stream_object_pass(addrs, object_caches)
+        out.extend((key, _extract_stats(cache))
+                   for key, cache in zip(object_keys, object_caches))
+    return out
+
+
+def run_sweep(trace: Trace | np.ndarray | Sequence[int],
+              spec: SweepSpec | Sequence[SweepConfig],
+              *, backend: str | None = None,
+              max_workers: int | None = None) -> SweepResult:
+    """Simulate every config of ``spec`` against ``trace``.
+
+    The trace is materialized once; all configs consume the same address
+    array.  With the object backend the configs advance together in a
+    single streaming pass; with the array backend each config is replayed
+    by the native kernel.  ``backend``/``max_workers`` override the spec.
+
+    Parallel runs (``max_workers > 1``) fan the standard (non-builder)
+    configs out over a process pool; builder configs always run serially
+    in-process because their closures may not be picklable.  Results are
+    identical regardless of the execution strategy.
+    """
+    if isinstance(trace, Trace):
+        addrs = np.ascontiguousarray(trace.addresses, dtype=np.int64)
+        instructions = trace.instructions
+    else:
+        addrs = np.ascontiguousarray(np.asarray(trace, dtype=np.int64))
+        instructions = 0
+    if addrs.ndim != 1:
+        raise ValueError("trace must be one-dimensional")
+
+    if isinstance(spec, SweepSpec):
+        configs = spec.expand()
+        backend = backend if backend is not None else spec.backend
+        max_workers = (max_workers if max_workers is not None
+                       else spec.max_workers)
+    else:
+        configs = tuple(spec)
+        backend = backend if backend is not None else "auto"
+        max_workers = max_workers if max_workers is not None else 1
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; known: {BACKENDS}")
+    keys = [config.key for config in configs]
+    if len(set(keys)) != len(keys):
+        raise ValueError("sweep config keys must be unique")
+
+    stats: dict[Hashable, CacheStats] = {}
+    local = [c for c in configs if c.builder is not None]
+    poolable = [c for c in configs if c.builder is None]
+    if max_workers > 1 and len(poolable) > 1:
+        workers = min(max_workers, len(poolable))
+        chunks = [poolable[i::workers] for i in range(workers)]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_simulate_chunk, addrs, chunk, backend)
+                       for chunk in chunks if chunk]
+            for future in futures:
+                stats.update(future.result())
+    else:
+        local = list(configs)
+
+    if local:
+        stats.update(_simulate_chunk(addrs, local, backend))
+
+    for config_stats in stats.values():
+        if instructions and not config_stats.instructions:
+            config_stats.instructions = instructions
+    return SweepResult(stats, instructions=instructions)

@@ -167,7 +167,11 @@ def scan_plus_random(random_lines: int, scan_lines: int, n_accesses: int,
     rng = np.random.default_rng(seed)
     is_random = rng.random(n_accesses) < random_fraction
     rand_part = rng.integers(0, random_lines, size=n_accesses, dtype=np.int64)
-    scan_part = (np.arange(n_accesses, dtype=np.int64) % scan_lines) + random_lines
+    # The scan cursor advances only on scan accesses (a real sequential
+    # walk); advancing it with the global access index would skip scan
+    # lines on random slots and wash out the Fig. 3 cliff.
+    scan_idx = np.cumsum(~is_random) - 1  # -1 on leading randoms: unused
+    scan_part = (scan_idx % scan_lines) + random_lines
     addresses = np.where(is_random, rand_part, scan_part)
     return Trace(addresses, _instructions_for(n_accesses, apki),
                  name=name or f"scan+random({random_lines}+{scan_lines})",

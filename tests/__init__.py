@@ -1,0 +1,6 @@
+"""Test package marker.
+
+Several test modules import shared hypothesis strategies with
+``from .conftest import miss_curves``; making ``tests`` a package gives the
+relative import a parent so pytest can collect the whole suite.
+"""

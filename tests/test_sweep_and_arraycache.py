@@ -1,0 +1,233 @@
+"""Parity and regression tests for the sweep engine and the array cache.
+
+The array backend's contract is that LRU and SRRIP are *bit-identical* to
+the object model; these tests enforce it with property-based random traces
+(both through the native kernel and through the pure-Python fallback) and
+pin the sweep engine to the per-size reference results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import (ARRAY_EXACT_POLICIES, ArraySetAssociativeCache,
+                         CacheStats, SetAssociativeCache, build_cache,
+                         cache_geometry, named_policy_factory,
+                         resolve_backend)
+from repro.cache._native import native_available
+from repro.sim.engine import simulate_policy_at_size, simulated_mpki_curve
+from repro.sim.sweep import SweepConfig, SweepSpec, run_sweep
+from repro.workloads.spec_profiles import get_profile
+
+
+def traces(max_addr: int = 200, max_len: int = 400):
+    return st.lists(st.integers(0, max_addr), min_size=1, max_size=max_len)
+
+
+def _object_counts(trace, num_sets, ways, policy):
+    cache = SetAssociativeCache(num_sets, ways,
+                                named_policy_factory(policy, num_sets))
+    for a in trace:
+        cache.access(a)
+    return cache.stats.hits, cache.stats.misses
+
+
+class TestArrayBackendParity:
+    @settings(max_examples=40, deadline=None)
+    @given(trace=traces(), num_sets=st.integers(1, 9),
+           ways=st.integers(1, 8), policy=st.sampled_from(("LRU", "SRRIP")))
+    def test_native_run_matches_object_model(self, trace, num_sets, ways,
+                                             policy):
+        """Array backend replay == object model, hit for hit."""
+        array = ArraySetAssociativeCache(num_sets, ways, policy=policy)
+        array.run(np.asarray(trace, dtype=np.int64))
+        assert (array.stats.hits, array.stats.misses) == \
+            _object_counts(trace, num_sets, ways, policy)
+
+    @settings(max_examples=25, deadline=None)
+    @given(trace=traces(max_len=150), num_sets=st.integers(1, 5),
+           ways=st.integers(1, 6), policy=st.sampled_from(("LRU", "SRRIP")))
+    def test_python_access_path_matches_object_model(self, trace, num_sets,
+                                                     ways, policy):
+        """The per-access Python path is bit-compatible with the kernel."""
+        array = ArraySetAssociativeCache(num_sets, ways, policy=policy)
+        expected = _object_counts(trace, num_sets, ways, policy)
+        for a in trace:
+            array.access(a)
+        assert (array.stats.hits, array.stats.misses) == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(trace=traces(max_len=200), num_sets=st.integers(1, 5),
+           ways=st.integers(1, 6),
+           policy=st.sampled_from(("BRRIP", "DRRIP")),
+           seed=st.integers(0, 2**31 - 1))
+    def test_randomized_policies_deterministic_per_seed(self, trace, num_sets,
+                                                        ways, policy, seed):
+        """BRRIP/DRRIP array runs reproduce exactly for a given seed."""
+        runs = []
+        for _ in range(2):
+            array = ArraySetAssociativeCache(num_sets, ways, policy=policy,
+                                             seed=seed)
+            array.run(np.asarray(trace, dtype=np.int64))
+            runs.append((array.stats.hits, array.stats.misses))
+        assert runs[0] == runs[1]
+
+    @pytest.mark.skipif(not native_available(),
+                        reason="no C compiler; python path already covered")
+    def test_python_and_native_paths_interleave(self):
+        """A replay split across access() and run() matches a pure run()."""
+        trace = get_profile("omnetpp").trace(n_accesses=4000)
+        addrs = trace.addresses
+
+        def build(policy, address_duel=False):
+            cache = ArraySetAssociativeCache(8, 4, policy=policy, seed=7)
+            if address_duel:  # the kernel's standalone-dueling role
+                cache._roles[:] = 3
+            return cache
+
+        for policy, duel in (("LRU", False), ("SRRIP", False),
+                             ("BRRIP", False), ("DRRIP", False),
+                             ("DRRIP", True)):
+            whole = build(policy, duel)
+            whole.run(addrs)
+            mixed = build(policy, duel)
+            for a in addrs[:500].tolist():
+                mixed.access(a)
+            mixed.run(addrs[500:])
+            assert mixed.stats.misses == whole.stats.misses, (policy, duel)
+
+
+class TestSweepEngine:
+    def test_run_sweep_matches_per_size_reference(self):
+        """Batched sweep == the seed-style one-run-per-size loop."""
+        trace = get_profile("omnetpp").trace(n_accesses=20000)
+        sizes = (0.0, 0.25, 0.5, 1.0, 2.0, 4.0)
+        for policy in ("LRU", "SRRIP", "DRRIP"):
+            spec = SweepSpec(sizes_mb=sizes, policies=(policy,))
+            result = run_sweep(trace, spec)
+            for size in sizes:
+                reference = simulate_policy_at_size(trace, size, policy,
+                                                    backend="object")
+                assert result.mpki((policy, size)) == pytest.approx(reference)
+
+    def test_object_and_array_backends_agree(self):
+        trace = get_profile("sphinx3").trace(n_accesses=15000)
+        sizes = (0.5, 1.0, 2.0)
+        for policy in ARRAY_EXACT_POLICIES:
+            spec = SweepSpec(sizes_mb=sizes, policies=(policy,))
+            obj = run_sweep(trace, spec, backend="object")
+            arr = run_sweep(trace, spec, backend="array")
+            for size in sizes:
+                assert obj.misses((policy, size)) == arr.misses((policy, size))
+
+    def test_parallel_matches_serial(self):
+        trace = get_profile("omnetpp").trace(n_accesses=8000)
+        spec = SweepSpec(sizes_mb=(0.25, 0.5, 1.0, 2.0),
+                         policies=("LRU", "BRRIP"))
+        serial = run_sweep(trace, spec)
+        parallel = run_sweep(trace, spec, max_workers=2)
+        for key, stats in serial.stats.items():
+            assert parallel[key].misses == stats.misses
+
+    def test_expand_is_deterministic(self):
+        spec = SweepSpec(sizes_mb=(1.0, 2.0), policies=("LRU", "BRRIP"),
+                         base_seed=3)
+        first, second = spec.expand(), spec.expand()
+        assert first == second
+        # Different base seeds give different RNG seeds to the configs.
+        other = SweepSpec(sizes_mb=(1.0, 2.0), policies=("LRU", "BRRIP"),
+                          base_seed=4).expand()
+        assert [c.seed for c in first] != [c.seed for c in other]
+
+    def test_zero_size_config_is_all_misses(self):
+        trace = get_profile("omnetpp").trace(n_accesses=2000)
+        result = run_sweep(trace, SweepSpec(sizes_mb=(0.0,)))
+        stats = result[("LRU", 0.0)]
+        assert stats.misses == stats.accesses == len(trace)
+
+    def test_mpki_curve_and_validation(self):
+        trace = get_profile("omnetpp").trace(n_accesses=5000)
+        curve = simulated_mpki_curve(trace, [2.0, 0.5, 1.0], "LRU")
+        assert list(curve.sizes) == [0.5, 1.0, 2.0]
+        with pytest.raises(ValueError):
+            SweepSpec(sizes_mb=())
+        with pytest.raises(ValueError):
+            SweepSpec(sizes_mb=(1.0,), backend="gpu")
+        with pytest.raises(ValueError):
+            run_sweep(trace, [SweepConfig(key="a", size_mb=1.0),
+                              SweepConfig(key="a", size_mb=2.0)])
+
+    def test_talus_configs_handle_zero_and_duplicate_sizes(self):
+        from repro.core.convexhull import convex_hull
+        from repro.sim.engine import talus_simulated_mpki_curve, \
+            talus_sweep_configs
+        profile = get_profile("omnetpp")
+        trace = profile.trace(n_accesses=4000)
+        lru = profile.lru_curve(max_mb=4.0, points=17, n_accesses=4000)
+        # Duplicates collapse; a zero-line size becomes an all-miss config
+        # instead of being dropped (the seed loop's full-miss-rate fallback).
+        configs = talus_sweep_configs([0.0, 1.0, 1.0], planning_curve=lru,
+                                      scheme="ideal")
+        assert [c.key for c in configs] == [("talus", 0.0), ("talus", 1.0)]
+        result = run_sweep(trace, configs, backend="object")
+        assert result[("talus", 0.0)].misses == len(trace)
+        curve = talus_simulated_mpki_curve(profile, [0.0, 1.5, 1.5],
+                                           scheme="ideal",
+                                           planning_curve=lru,
+                                           n_accesses=4000)
+        assert float(curve(0.0)) == pytest.approx(profile.apki, rel=0.02)
+        assert float(curve(1.5)) <= float(convex_hull(lru)(1.5)) \
+            + 0.25 * float(lru(0.0))
+
+    def test_base_seed_uses_all_bits(self):
+        from repro.sim.sweep import _derive_seed
+        assert _derive_seed(1, "BRRIP", 1.0) != \
+            _derive_seed(2**32 + 1, "BRRIP", 1.0)
+
+    def test_builder_configs_ride_the_object_pass(self):
+        trace = get_profile("omnetpp").trace(n_accesses=5000)
+        lines = cache_geometry(256, 16)
+        configs = [
+            SweepConfig(key="built", size_mb=1.0,
+                        builder=lambda: SetAssociativeCache(*lines)),
+            SweepConfig(key=("LRU", 1.0), size_mb=1.0),
+        ]
+        result = run_sweep(trace, configs, backend="object")
+        assert result["built"].misses == result[("LRU", 1.0)].misses
+
+
+class TestFactoryAndStats:
+    def test_resolve_backend(self):
+        assert resolve_backend("auto", "LRU") == "array"
+        assert resolve_backend("auto", "SRRIP") == "array"
+        assert resolve_backend("auto", "DRRIP") == "object"
+        assert resolve_backend("object", "LRU") == "object"
+        with pytest.raises(ValueError):
+            resolve_backend("array", "PDP")
+        with pytest.raises(ValueError):
+            resolve_backend("turbo", "LRU")
+
+    def test_build_cache_geometries(self):
+        assert cache_geometry(256, 16) == (16, 16)
+        assert cache_geometry(10, 16) == (1, 10)
+        with pytest.raises(ValueError):
+            cache_geometry(0, 16)
+        for backend in ("object", "array"):
+            cache = build_cache(256, policy="LRU", backend=backend)
+            assert cache.capacity_lines == 256
+
+    def test_stats_merge_keeps_extra(self):
+        a = CacheStats(accesses=4, hits=1, misses=3,
+                       extra={"bypassed_lines": 2, "note": "left"})
+        b = CacheStats(accesses=6, hits=2, misses=4,
+                       extra={"bypassed_lines": 5, "other": 1.5})
+        merged = a.merge(b)
+        assert merged.accesses == 10 and merged.misses == 7
+        assert merged.extra == {"bypassed_lines": 7, "note": "left",
+                                "other": 1.5}
+        # merge() still leaves the operands untouched
+        assert a.extra["bypassed_lines"] == 2
+        assert b.extra["bypassed_lines"] == 5
