@@ -41,7 +41,13 @@ _kernel_tried = False
 
 
 class NativeKernel:
-    """ctypes bindings for the compiled sweep kernels."""
+    """ctypes bindings for the compiled replay and monitoring kernels.
+
+    One method per exported C function: ``lru_run`` (LRU/LIP), ``rrip_run``
+    (SRRIP/BRRIP/DRRIP), ``dip_run`` (BIP/DIP), ``pdp_run`` (protecting
+    distance) and ``stack_hist_run`` (one-shot Mattson stack-distance
+    histogram).  All replay kernels accept modulo or hashed set indexing.
+    """
 
     def __init__(self, lib: ctypes.CDLL):
         self.lib = lib
@@ -49,6 +55,7 @@ class NativeKernel:
         lib.lru_run.argtypes = [
             _I64, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
             _I64, _I64, _I64,
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
         ]
         lib.rrip_run.restype = ctypes.c_int64
         lib.rrip_run.argtypes = [
@@ -56,19 +63,65 @@ class NativeKernel:
             ctypes.c_int64, _I64, _I64, _I64, _I64,
             ctypes.c_int64, ctypes.c_double, _U64, _I64, _I64,
             ctypes.c_int64, ctypes.c_int64,
+            ctypes.c_int64, ctypes.c_int64,
         ]
+        lib.dip_run.restype = ctypes.c_int64
+        lib.dip_run.argtypes = [
+            _I64, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            _I64, _I64, _I64,
+            ctypes.c_int64, ctypes.c_double, _U64, _I64, _I64,
+            ctypes.c_int64, ctypes.c_int64,
+            ctypes.c_int64, ctypes.c_int64,
+        ]
+        lib.pdp_run.restype = ctypes.c_int64
+        lib.pdp_run.argtypes = [
+            _I64, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            _I64, _I64, _I64, _I64, _I64, _I64, _I64, _I64,
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            _I64, _I64, _I64, ctypes.c_int64,
+            ctypes.c_int64, ctypes.c_int64,
+        ]
+        lib.stack_hist_run.restype = ctypes.c_int64
+        lib.stack_hist_run.argtypes = [_I64, ctypes.c_int64, _I64]
 
-    def lru_run(self, addrs, num_sets, ways, tags, stamp, counter) -> int:
+    def lru_run(self, addrs, num_sets, ways, tags, stamp, counter,
+                lip=0, hashed=0, index_seed=0) -> int:
         return int(self.lib.lru_run(addrs, addrs.size, num_sets, ways,
-                                    tags, stamp, counter))
+                                    tags, stamp, counter, lip, hashed,
+                                    index_seed))
 
     def rrip_run(self, addrs, num_sets, ways, max_rrpv, tags, rrpv, stamp,
                  counter, mode, epsilon, rng_state, roles, psel,
-                 psel_max, leader_levels) -> int:
+                 psel_max, leader_levels, hashed=0, index_seed=0) -> int:
         return int(self.lib.rrip_run(addrs, addrs.size, num_sets, ways,
                                      max_rrpv, tags, rrpv, stamp, counter,
                                      mode, epsilon, rng_state, roles, psel,
-                                     psel_max, leader_levels))
+                                     psel_max, leader_levels, hashed,
+                                     index_seed))
+
+    def dip_run(self, addrs, num_sets, ways, tags, stamp, counter, mode,
+                epsilon, rng_state, roles, psel, psel_max, leader_levels,
+                hashed=0, index_seed=0) -> int:
+        return int(self.lib.dip_run(addrs, addrs.size, num_sets, ways,
+                                    tags, stamp, counter, mode, epsilon,
+                                    rng_state, roles, psel, psel_max,
+                                    leader_levels, hashed, index_seed))
+
+    def pdp_run(self, addrs, num_sets, ways, tags, stamp, counter, expires,
+                clock, dp, sample_count, hist, max_dp, interval,
+                clear_threshold, ls_tags, ls_clocks, ls_count, tsize,
+                hashed=0, index_seed=0) -> int:
+        return int(self.lib.pdp_run(addrs, addrs.size, num_sets, ways,
+                                    tags, stamp, counter, expires, clock,
+                                    dp, sample_count, hist, max_dp,
+                                    interval, clear_threshold, ls_tags,
+                                    ls_clocks, ls_count, tsize, hashed,
+                                    index_seed))
+
+    def stack_hist_run(self, addrs, hist) -> int:
+        """Fill ``hist`` with stack-distance counts; returns cold misses
+        (or -1 when scratch allocation failed and nothing was written)."""
+        return int(self.lib.stack_hist_run(addrs, addrs.size, hist))
 
 
 def _cache_dir() -> Path:

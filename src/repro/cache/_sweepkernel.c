@@ -1,43 +1,73 @@
-/* Native replay kernels for the array-backed cache (repro.cache.arraycache).
+/* Native replay kernels for the array-backed cache (repro.cache.arraycache)
+ * and the batch stack-distance monitor (repro.monitor.stack_distance).
  *
- * Each function replays a full address trace through one set-associative
- * cache whose state lives in caller-owned numpy arrays:
+ * Each replay function walks a full address trace through one
+ * set-associative cache whose state lives in caller-owned numpy arrays:
  *
  *   tags  (num_sets x ways) int64, -1 == empty way
  *   stamp (num_sets x ways) int64, last-touch / bucket-entry sequence number
  *   rrpv  (num_sets x ways) int64, re-reference prediction values (RRIP only)
  *
- * The state encoding is shared with the pure-Python fallback in
- * arraycache.py: a kernel run can be interrupted and resumed by the Python
- * path (or vice versa) and produce the same results.  The LRU and SRRIP
- * kernels are bit-identical to the object model in repro.cache.replacement;
- * BRRIP/DRRIP use a splitmix64 stream instead of CPython's Mersenne
- * twister, so they are deterministic per seed but not bit-identical to the
- * object policies (see arraycache.py).
+ * plus policy-specific side state (PSEL counters, PDP protection deadlines,
+ * reuse-distance samplers).  The state encoding is shared with the
+ * pure-Python fallback in arraycache.py: a kernel run can be interrupted and
+ * resumed by the Python path (or vice versa) and produce the same results.
+ *
+ * Exactness:
+ *   - lru_run (LRU and LIP insertion), rrip_run in SRRIP mode, and pdp_run
+ *     are bit-identical to the object model in repro.cache.replacement.
+ *   - BRRIP/DRRIP (rrip_run) and BIP/DIP (dip_run) draw their bimodal
+ *     insertions from a splitmix64 stream instead of CPython's Mersenne
+ *     twister, so they are deterministic per seed but not bit-identical to
+ *     the object policies (see arraycache.py).
+ *
+ * Set indexing is modulo by default; every replay kernel also accepts
+ * hashed indexing (hashed != 0), where the set index is the splitmix64
+ * finalizer of (address XOR index_seed * golden-ratio), matching
+ * repro.cache.hashing.set_index.
+ *
+ * stack_hist_run is a one-shot Mattson stack-distance pass (Fenwick tree +
+ * open-addressing last-position table) used by the LRU miss-curve monitors.
  *
  * Compiled on demand by repro.cache._native with a plain `cc -O3 -shared`;
  * no Python headers are required (the library is loaded through ctypes).
  */
 
 #include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
 
 #define EMPTY (-1)
 #define I64_MAX 0x7fffffffffffffffLL
+#define GOLDEN 0x9E3779B97F4A7C15ULL
 
-/* Python-compatible modulo for possibly-negative line addresses. */
-static inline int64_t set_of(int64_t a, int64_t num_sets)
+/* splitmix64 finalizer; matches repro.cache.hashing.mix64. */
+static inline uint64_t mix64(uint64_t v)
+{
+    v += GOLDEN;
+    v = (v ^ (v >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    v = (v ^ (v >> 27)) * 0x94D049BB133111EBULL;
+    return v ^ (v >> 31);
+}
+
+/* Set index: Python-compatible modulo, or the mix64 hash of
+ * (address XOR index_seed * golden), as repro.cache.hashing.set_index. */
+static inline int64_t set_of(int64_t a, int64_t num_sets, int64_t hashed,
+                             uint64_t seed_mul)
 {
     if (num_sets == 1)
         return 0;
+    if (hashed)
+        return (int64_t)(mix64((uint64_t)a ^ seed_mul) % (uint64_t)num_sets);
     int64_t s = a % num_sets;
     return (s < 0) ? s + num_sets : s;
 }
 
-/* splitmix64; the uniform double construction matches the Python fallback:
- * take the top 53 bits of the state-advanced output. */
+/* splitmix64 stream; the uniform double construction matches the Python
+ * fallback: take the top 53 bits of the state-advanced output. */
 static inline uint64_t splitmix64_next(uint64_t *state)
 {
-    uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+    uint64_t z = (*state += GOLDEN);
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
     z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
     return z ^ (z >> 31);
@@ -51,17 +81,21 @@ static inline double uniform01(uint64_t *state)
 /* ------------------------------------------------------------------ LRU --- */
 
 /* Replay `n` addresses through an LRU cache; returns the miss count and
- * leaves tags/stamp/counter updated so further accesses may continue. */
+ * leaves tags/stamp/counter updated so further accesses may continue.
+ * lip != 0 selects LRU-position insertion (the LIP policy): a missing line
+ * is inserted as the *next victim* instead of at MRU. */
 int64_t lru_run(const int64_t *addrs, int64_t n, int64_t num_sets,
                 int64_t ways, int64_t *tags, int64_t *stamp,
-                int64_t *counter_io)
+                int64_t *counter_io, int64_t lip, int64_t hashed,
+                int64_t index_seed)
 {
     int64_t misses = 0;
     int64_t t = counter_io[0];
+    uint64_t seed_mul = (uint64_t)index_seed * GOLDEN;
 
     for (int64_t i = 0; i < n; i++) {
         int64_t a = addrs[i];
-        int64_t s = set_of(a, num_sets);
+        int64_t s = set_of(a, num_sets, hashed, seed_mul);
         int64_t *row = tags + s * ways;
         int64_t *st = stamp + s * ways;
         int64_t hit = -1, empty = -1, victim = 0;
@@ -84,7 +118,10 @@ int64_t lru_run(const int64_t *addrs, int64_t n, int64_t num_sets,
             misses++;
             int64_t w = (empty >= 0) ? empty : victim;
             row[w] = a;
-            st[w] = t;
+            if (lip && best != I64_MAX)
+                st[w] = best - 1;   /* in front of the current LRU line */
+            else
+                st[w] = t;
         }
     }
     counter_io[0] = t;
@@ -106,7 +143,7 @@ int64_t lru_run(const int64_t *addrs, int64_t n, int64_t num_sets,
 
 static inline int64_t address_role(int64_t a, int64_t leader_levels)
 {
-    uint64_t bucket = ((uint64_t)a * 0x9E3779B97F4A7C15ULL) & 1023ULL;
+    uint64_t bucket = ((uint64_t)a * GOLDEN) & 1023ULL;
     if (bucket < (uint64_t)leader_levels)
         return ROLE_LEADER_SRRIP;
     if (bucket < (uint64_t)(2 * leader_levels))
@@ -131,15 +168,16 @@ int64_t rrip_run(const int64_t *addrs, int64_t n, int64_t num_sets,
                  int64_t *rrpv, int64_t *stamp, int64_t *counter_io,
                  int64_t mode, double epsilon, uint64_t *rng_state,
                  const int64_t *roles, int64_t *psel_io, int64_t psel_max,
-                 int64_t leader_levels)
+                 int64_t leader_levels, int64_t hashed, int64_t index_seed)
 {
     int64_t misses = 0;
     int64_t t = counter_io[0];
     int64_t psel = psel_io ? psel_io[0] : 0;
+    uint64_t seed_mul = (uint64_t)index_seed * GOLDEN;
 
     for (int64_t i = 0; i < n; i++) {
         int64_t a = addrs[i];
-        int64_t s = set_of(a, num_sets);
+        int64_t s = set_of(a, num_sets, hashed, seed_mul);
         int64_t *row = tags + s * ways;
         int64_t *rv = rrpv + s * ways;
         int64_t *st = stamp + s * ways;
@@ -205,4 +243,304 @@ int64_t rrip_run(const int64_t *addrs, int64_t n, int64_t num_sets,
     if (psel_io)
         psel_io[0] = psel;
     return misses;
+}
+
+/* ------------------------------------------------------------ LIP/BIP/DIP --- */
+
+/* Insertion modes (must match arraycache.py). */
+#define DIP_MODE_BIP 0
+#define DIP_MODE_DIP 1
+
+/* Replay through an LRU cache with dueled insertion (the DIP family).
+ *
+ * The structure is plain LRU (stamp order == OrderedDict order); only the
+ * insertion position differs: MRU insertion refreshes the stamp, while a
+ * bimodal (BIP-style) LRU-position insertion stamps the new line *older*
+ * than the current LRU line, making it the next victim — exactly
+ * OrderedDict.move_to_end(tag, last=False).
+ *
+ * DIP_MODE_BIP draws every insertion from the bimodal stream; DIP_MODE_DIP
+ * set-duels plain-LRU leaders against BIP leaders through `roles`/`psel`,
+ * reusing the DRRIP role encoding (LEADER_SRRIP == the plain-LRU
+ * constituency, LEADER_BRRIP == the BIP constituency).
+ */
+int64_t dip_run(const int64_t *addrs, int64_t n, int64_t num_sets,
+                int64_t ways, int64_t *tags, int64_t *stamp,
+                int64_t *counter_io, int64_t mode, double epsilon,
+                uint64_t *rng_state, const int64_t *roles, int64_t *psel_io,
+                int64_t psel_max, int64_t leader_levels, int64_t hashed,
+                int64_t index_seed)
+{
+    int64_t misses = 0;
+    int64_t t = counter_io[0];
+    int64_t psel = psel_io ? psel_io[0] : 0;
+    uint64_t seed_mul = (uint64_t)index_seed * GOLDEN;
+
+    for (int64_t i = 0; i < n; i++) {
+        int64_t a = addrs[i];
+        int64_t s = set_of(a, num_sets, hashed, seed_mul);
+        int64_t *row = tags + s * ways;
+        int64_t *st = stamp + s * ways;
+        int64_t hit = -1, empty = -1, victim = 0;
+        int64_t best = I64_MAX;
+
+        for (int64_t w = 0; w < ways; w++) {
+            int64_t tag = row[w];
+            if (tag == a) { hit = w; break; }
+            if (tag == EMPTY) {
+                if (empty < 0) empty = w;
+            } else if (st[w] < best) {
+                best = st[w];
+                victim = w;
+            }
+        }
+        t++;
+        if (hit >= 0) {
+            st[hit] = t;
+            continue;
+        }
+        misses++;
+
+        int64_t role = ROLE_FOLLOWER;
+        if (mode == DIP_MODE_DIP) {
+            role = roles[s];
+            if (role == ROLE_ADDRESS_DUEL)
+                role = address_role(a, leader_levels);
+            if (role == ROLE_LEADER_SRRIP && psel < psel_max)
+                psel++;
+            else if (role == ROLE_LEADER_BRRIP && psel > 0)
+                psel--;
+        }
+
+        int64_t w = (empty >= 0) ? empty : victim;
+        row[w] = a;
+        st[w] = t;
+
+        int bip = 1;
+        if (mode == DIP_MODE_DIP) {
+            if (role == ROLE_LEADER_SRRIP)
+                bip = 0;
+            else if (role != ROLE_LEADER_BRRIP)
+                bip = psel > psel_max / 2;
+        }
+        if (bip && uniform01(rng_state) >= epsilon) {
+            /* LRU-position insertion: older than the oldest other line. */
+            int64_t oldest = I64_MAX;
+            for (int64_t w2 = 0; w2 < ways; w2++)
+                if (w2 != w && row[w2] != EMPTY && st[w2] < oldest)
+                    oldest = st[w2];
+            if (oldest != I64_MAX)
+                st[w] = oldest - 1;
+        }
+    }
+    counter_io[0] = t;
+    if (psel_io)
+        psel_io[0] = psel;
+    return misses;
+}
+
+/* ------------------------------------------------------------------ PDP --- */
+
+/* Look up `tag` in an open-addressing (linear probe) table row; returns the
+ * slot index.  Tables are sized so the load factor stays well below 1/2 and
+ * entries are only removed by wholesale clears, so probing is exact
+ * dict-get/set semantics. */
+static inline int64_t ls_slot(const int64_t *ls_tags, uint64_t tmask,
+                              int64_t tag)
+{
+    uint64_t slot = mix64((uint64_t)tag) & tmask;
+    while (ls_tags[slot] != EMPTY && ls_tags[slot] != tag)
+        slot = (slot + 1) & tmask;
+    return (int64_t)slot;
+}
+
+/* One PDP protecting-distance recomputation for set `s`; mirrors
+ * PDPPolicy._recompute_dp + select_protecting_distance exactly. */
+static void pdp_recompute(int64_t *hist, int64_t max_dp, int64_t *dp_io,
+                          int64_t total, int64_t *ls_tags, int64_t tsize,
+                          int64_t *ls_count, int64_t clear_threshold)
+{
+    int64_t any = 0;
+    for (int64_t d = 1; d <= max_dp; d++)
+        if (hist[d]) { any = 1; break; }
+    if (any && total > 0) {
+        int64_t best_dp = max_dp;
+        double best_score = -1.0;
+        int64_t hits = 0, weighted = 0;
+        for (int64_t dp = 1; dp <= max_dp; dp++) {
+            hits += hist[dp];
+            weighted += dp * hist[dp];
+            int64_t miss = total - hits;
+            int64_t occ = weighted + dp * miss;
+            if (occ <= 0)
+                continue;
+            double score = (double)hits / (double)occ;
+            if (score > best_score) {
+                best_score = score;
+                best_dp = dp;
+            }
+        }
+        dp_io[0] = best_dp;
+    } else if (any) {
+        dp_io[0] = max_dp;
+    }
+    /* Decay the sample so the policy adapts to phase changes. */
+    for (int64_t d = 1; d <= max_dp; d++)
+        hist[d] = (hist[d] > 1) ? (hist[d] + 1) / 2 : 0;
+    if (ls_count[0] > clear_threshold) {
+        for (int64_t j = 0; j < tsize; j++)
+            ls_tags[j] = EMPTY;
+        ls_count[0] = 0;
+    }
+}
+
+/* Replay through a PDP (protecting distance) cache; bit-identical to
+ * repro.cache.replacement.pdp.PDPPolicy (which records only reuse distances
+ * up to the largest candidate protecting distance).
+ *
+ * Per-set side state (all caller-owned):
+ *   expires (num_sets x ways)        protection deadline per line
+ *   clock / dp / sample_count (num_sets)
+ *   hist (num_sets x (max_dp + 1))   bounded reuse-distance histogram
+ *   ls_tags/ls_clocks (num_sets x tsize), ls_count (num_sets)
+ *                                    last-seen open-addressing tables
+ * tsize must be a power of two large enough that a table never fills
+ * between clears (arraycache.py sizes it).  Returns the miss count
+ * (bypassed fills count as misses, as in the object model).
+ */
+int64_t pdp_run(const int64_t *addrs, int64_t n, int64_t num_sets,
+                int64_t ways, int64_t *tags, int64_t *stamp,
+                int64_t *counter_io, int64_t *expires, int64_t *clock,
+                int64_t *dp, int64_t *sample_count, int64_t *hist,
+                int64_t max_dp, int64_t interval, int64_t clear_threshold,
+                int64_t *ls_tags, int64_t *ls_clocks, int64_t *ls_count,
+                int64_t tsize, int64_t hashed, int64_t index_seed)
+{
+    int64_t misses = 0;
+    int64_t t = counter_io[0];
+    uint64_t seed_mul = (uint64_t)index_seed * GOLDEN;
+    uint64_t tmask = (uint64_t)(tsize - 1);
+
+    for (int64_t i = 0; i < n; i++) {
+        int64_t a = addrs[i];
+        int64_t s = set_of(a, num_sets, hashed, seed_mul);
+        int64_t *row = tags + s * ways;
+        int64_t *st = stamp + s * ways;
+        int64_t *ex = expires + s * ways;
+        int64_t *lst = ls_tags + s * tsize;
+        int64_t *lsc = ls_clocks + s * tsize;
+
+        int64_t c = ++clock[s];
+
+        /* Reuse-distance sampling (PDPPolicy._record_reuse). */
+        int64_t slot = ls_slot(lst, tmask, a);
+        if (lst[slot] == a) {
+            int64_t d = c - lsc[slot];
+            if (d <= max_dp)
+                hist[s * (max_dp + 1) + d]++;
+        } else {
+            lst[slot] = a;
+            ls_count[s]++;
+        }
+        lsc[slot] = c;
+        sample_count[s]++;
+        if (sample_count[s] % interval == 0)
+            pdp_recompute(hist + s * (max_dp + 1), max_dp, dp + s,
+                          sample_count[s], lst, tsize, ls_count + s,
+                          clear_threshold);
+
+        int64_t hit = -1, empty = -1;
+        for (int64_t w = 0; w < ways; w++) {
+            int64_t tag = row[w];
+            if (tag == a) { hit = w; break; }
+            if (tag == EMPTY && empty < 0) empty = w;
+        }
+        t++;
+        if (hit >= 0) {
+            ex[hit] = c + dp[s];
+            st[hit] = t;
+            continue;
+        }
+        misses++;
+        int64_t w = empty;
+        if (w < 0) {
+            /* Oldest unprotected line, else bypass. */
+            int64_t best = I64_MAX;
+            for (int64_t w2 = 0; w2 < ways; w2++)
+                if (ex[w2] <= c && st[w2] < best) { best = st[w2]; w = w2; }
+            if (w < 0)
+                continue;   /* every line protected: bypass the fill */
+        }
+        row[w] = a;
+        ex[w] = c + dp[s];
+        st[w] = t;
+    }
+    counter_io[0] = t;
+    return misses;
+}
+
+/* --------------------------------------------------------- stack distance --- */
+
+static inline void fen_add(int64_t *tree, int64_t size, int64_t index,
+                           int64_t delta)
+{
+    for (int64_t i = index + 1; i <= size; i += i & (-i))
+        tree[i] += delta;
+}
+
+static inline int64_t fen_prefix(const int64_t *tree, int64_t index)
+{
+    int64_t total = 0;
+    for (int64_t i = index + 1; i > 0; i -= i & (-i))
+        total += tree[i];
+    return total;
+}
+
+/* One-shot Mattson stack-distance pass over a trace.
+ *
+ * Fills `hist` (caller-zeroed, length >= n) with hist[d] = number of
+ * accesses at stack distance d (distinct lines touched since the previous
+ * access to the same line) and returns the number of cold (first-touch)
+ * accesses.  Returns -1 if scratch memory could not be allocated, in which
+ * case `hist` is untouched and the caller should fall back to the Python
+ * monitor.  Matches repro.monitor.stack_distance.StackDistanceMonitor. */
+int64_t stack_hist_run(const int64_t *addrs, int64_t n, int64_t *hist)
+{
+    if (n <= 0)
+        return 0;
+    uint64_t tsize = 64;
+    while (tsize < (uint64_t)n * 2)
+        tsize <<= 1;
+    int64_t *ttags = malloc(tsize * sizeof(int64_t));
+    int64_t *tvals = malloc(tsize * sizeof(int64_t));
+    int64_t *tree = calloc((size_t)n + 1, sizeof(int64_t));
+    if (!ttags || !tvals || !tree) {
+        free(ttags); free(tvals); free(tree);
+        return -1;
+    }
+    /* Slot occupancy is marked by tvals >= 0 (positions are non-negative),
+     * so every int64 address — including -1 — is a valid key. */
+    memset(tvals, 0xFF, tsize * sizeof(int64_t));
+    uint64_t tmask = tsize - 1;
+    int64_t cold = 0;
+
+    for (int64_t i = 0; i < n; i++) {
+        int64_t a = addrs[i];
+        uint64_t slot = mix64((uint64_t)a) & tmask;
+        while (tvals[slot] >= 0 && ttags[slot] != a)
+            slot = (slot + 1) & tmask;
+        if (tvals[slot] >= 0) {
+            int64_t last = tvals[slot];
+            int64_t d = fen_prefix(tree, i - 1) - fen_prefix(tree, last);
+            hist[d]++;
+            fen_add(tree, n, last, -1);
+        } else {
+            ttags[slot] = a;
+            cold++;
+        }
+        fen_add(tree, n, i, 1);
+        tvals[slot] = i;
+    }
+    free(ttags); free(tvals); free(tree);
+    return cold;
 }

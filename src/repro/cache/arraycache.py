@@ -2,14 +2,15 @@
 
 This is the high-throughput counterpart of
 :class:`repro.cache.cache.SetAssociativeCache`.  Instead of one policy
-object (with Python dicts) per set, the whole cache lives in three flat
-numpy matrices:
+object (with Python dicts) per set, the whole cache lives in flat numpy
+matrices:
 
 * ``tags``  — ``(num_sets, ways)`` resident line addresses (-1 == empty);
 * ``stamp`` — ``(num_sets, ways)`` last-touch / bucket-entry sequence
   numbers that encode recency order;
 * ``rrpv``  — ``(num_sets, ways)`` re-reference prediction values (RRIP
-  policies only).
+  policies only);
+* ``expires`` and per-set reuse-sampler tables (PDP only).
 
 Replaying a trace is a single call into a compiled kernel
 (:mod:`repro.cache._native`) that walks the trace and mutates those arrays
@@ -18,24 +19,40 @@ compiler is available the same algorithm runs in pure Python over the same
 arrays, producing identical results, so the array backend is always
 *correct*, just not always *fast*.
 
+Both modulo and hashed set indexing are supported (``hashed_index=True``
+uses the splitmix64 finalizer of :func:`repro.cache.hashing.set_index`,
+exactly as the object model does).
+
 Exactness contract
 ------------------
-``LRU`` and ``SRRIP`` are **bit-identical** to the object model (the parity
-tests in ``tests/test_sweep_and_arraycache.py`` enforce this):
+``LRU``, ``LIP``, ``SRRIP`` and ``PDP`` are **bit-identical** to the object
+model (the parity tests in ``tests/test_sweep_and_arraycache.py`` enforce
+this):
 
 * LRU victim = oldest stamp (empty ways first), which is exactly the
   OrderedDict order of :class:`~repro.cache.replacement.lru.LRUPolicy`.
+  LIP additionally stamps inserted lines *older* than the current LRU
+  line, which is exactly ``OrderedDict.move_to_end(tag, last=False)``.
 * RRIP victim = oldest *bucket entrant* among lines at the highest RRPV
   present, after which all lines age by the same delta.  Because aging
   shifts whole buckets without merging them, the object model's per-bucket
   OrderedDict order is fully determined by the last insert/promote event,
   which is what ``stamp`` records.
+* PDP is deterministic (no RNG): protection deadlines, the bounded
+  reuse-distance histogram, the periodic protecting-distance
+  recomputation and the last-seen table clears all replicate
+  :class:`~repro.cache.replacement.pdp.PDPPolicy` exactly.
 
-``BRRIP`` and ``DRRIP`` are *statistically* equivalent but not
-bit-identical: their bimodal insertion draws come from a splitmix64 stream
-(shared by the kernel and the Python fallback, so the array backend is
-deterministic per seed across machines) rather than each set's
-``random.Random`` instance.
+Addresses may be any int64 except ``-1``, which is reserved as the
+empty-way sentinel; :meth:`ArraySetAssociativeCache.access`/``run`` reject
+it rather than silently mis-reporting a hit (the object model has no such
+reservation).
+
+``BIP``, ``DIP``, ``BRRIP`` and ``DRRIP`` are *statistically* equivalent
+but not bit-identical: their bimodal insertion draws come from a shared
+splitmix64 stream (used by both the kernel and the Python fallback, so the
+array backend is deterministic per seed across machines) rather than each
+set's ``random.Random`` instance.
 """
 
 from __future__ import annotations
@@ -45,29 +62,39 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ._native import get_kernel
-from .cache import CacheStats
-from .hashing import mix64
+from .cache import CacheStats, materialize_addresses
+from .hashing import GOLDEN64 as _GOLDEN
+from .hashing import mix64, seed_mix
 
 __all__ = ["ArraySetAssociativeCache", "ARRAY_POLICIES", "ARRAY_EXACT_POLICIES"]
 
 #: Policies the array backend implements.
-ARRAY_POLICIES = ("LRU", "SRRIP", "BRRIP", "DRRIP")
+ARRAY_POLICIES = ("LRU", "LIP", "BIP", "DIP", "SRRIP", "BRRIP", "DRRIP",
+                  "PDP")
 
 #: Policies whose array implementation is bit-identical to the object model.
-ARRAY_EXACT_POLICIES = ("LRU", "SRRIP")
+ARRAY_EXACT_POLICIES = ("LRU", "LIP", "SRRIP", "PDP")
 
 _EMPTY = -1
 _M64 = (1 << 64) - 1
 
-# Insertion modes / DRRIP roles; must match _sweepkernel.c.
+# Insertion modes; must match _sweepkernel.c.
 _MODE = {"SRRIP": 0, "BRRIP": 1, "DRRIP": 2}
+_DIP_MODE = {"BIP": 0, "DIP": 1}
 _ROLE_FOLLOWER, _ROLE_LEADER_SRRIP, _ROLE_LEADER_BRRIP = 0, 1, 2
 _ROLE_ADDRESS_DUEL = 3
+
+#: Policies using the RRIP state matrix / rrip_run kernel.
+_RRIP_FAMILY = ("SRRIP", "BRRIP", "DRRIP")
+#: Policies using the recency matrix with dueled insertion / dip_run kernel.
+_DIP_FAMILY = ("BIP", "DIP")
+#: Policies that set-duel two insertion policies through per-set roles.
+_DUELING = ("DRRIP", "DIP")
 
 
 def _splitmix64(state: np.ndarray) -> int:
     """Advance the shared RNG state; must match the kernel's splitmix64."""
-    s = (int(state[0]) + 0x9E3779B97F4A7C15) & _M64
+    s = (int(state[0]) + _GOLDEN) & _M64
     state[0] = s
     z = s
     z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _M64
@@ -79,9 +106,9 @@ def _uniform01(state: np.ndarray) -> float:
     return (_splitmix64(state) >> 11) * (1.0 / 9007199254740992.0)
 
 
-def _drrip_roles(num_sets: int,
-                 leader_regions_per_policy: int = 32) -> np.ndarray:
-    """Replicate :func:`repro.cache.replacement.rrip.drrip_factory` roles."""
+def _dueling_roles(num_sets: int,
+                   leader_regions_per_policy: int = 32) -> np.ndarray:
+    """Replicate the leader-set wiring of ``drrip_factory``/``dip_factory``."""
     leaders = min(leader_regions_per_policy, max(1, num_sets // 4))
     stride = max(1, num_sets // (2 * leaders))
     roles = np.full(num_sets, _ROLE_FOLLOWER, dtype=np.int64)
@@ -91,8 +118,15 @@ def _drrip_roles(num_sets: int,
     return roles
 
 
+def _next_pow2(n: int) -> int:
+    size = 64
+    while size < n:
+        size <<= 1
+    return size
+
+
 class ArraySetAssociativeCache:
-    """A modulo-indexed set-associative cache with numpy-matrix state.
+    """A set-associative cache with numpy-matrix state.
 
     Parameters
     ----------
@@ -101,15 +135,29 @@ class ArraySetAssociativeCache:
     policy:
         One of :data:`ARRAY_POLICIES`.
     m_bits, epsilon:
-        RRIP parameters (ignored for LRU), defaulting to the paper's
-        2-bit RRPVs and epsilon = 1/32.
+        RRIP parameters (``m_bits`` ignored outside the RRIP family;
+        ``epsilon`` is also the BIP/DIP bimodal rate), defaulting to the
+        paper's 2-bit RRPVs and epsilon = 1/32.
     seed:
-        Seed of the bimodal-insertion RNG stream (BRRIP/DRRIP only).
+        Seed of the bimodal-insertion RNG stream (BIP/DIP/BRRIP/DRRIP only).
+    hashed_index, index_seed:
+        If ``hashed_index`` is true, set indices come from
+        :func:`repro.cache.hashing.set_index` (same hash in the kernel);
+        otherwise from the address modulo the number of sets.
+    recompute_interval, max_distance_factor, initial_distance:
+        PDP tuning, with the semantics and defaults of
+        :class:`~repro.cache.replacement.pdp.PDPPolicy` (per-set capacity
+        == ``ways``); rejected for other policies, as the object
+        constructors would.
     """
 
     def __init__(self, num_sets: int, ways: int, policy: str = "LRU",
                  m_bits: int = 2, epsilon: float = 1.0 / 32.0,
-                 seed: int = 0):
+                 seed: int = 0, hashed_index: bool = False,
+                 index_seed: int = 0,
+                 recompute_interval: int | None = None,
+                 max_distance_factor: float = 3.0,
+                 initial_distance: int | None = None):
         if num_sets <= 0:
             raise ValueError("num_sets must be positive")
         if ways <= 0:
@@ -128,18 +176,65 @@ class ArraySetAssociativeCache:
         self.max_rrpv = (1 << m_bits) - 1
         self.epsilon = float(epsilon)
         self.seed = seed
+        self.hashed_index = bool(hashed_index)
+        self.index_seed = index_seed
         self.tags = np.full((num_sets, ways), _EMPTY, dtype=np.int64)
         self.stamp = np.zeros((num_sets, ways), dtype=np.int64)
         self.rrpv = np.full((num_sets, ways), self.max_rrpv, dtype=np.int64)
         self._counter = np.zeros(1, dtype=np.int64)
         self._rng_state = np.array([mix64(seed)], dtype=np.uint64)
-        # DRRIP dueling state (mirrors drrip_factory / DuelingController).
+        # Dueling state shared by DRRIP and DIP (mirrors drrip_factory /
+        # dip_factory / DuelingController).
         self._psel_max = (1 << 10) - 1
         self._psel = np.array([self._psel_max // 2], dtype=np.int64)
-        self._roles = (_drrip_roles(num_sets) if policy == "DRRIP"
+        self._roles = (_dueling_roles(num_sets) if policy in _DUELING
                        else np.zeros(num_sets, dtype=np.int64))
         self._leader_levels = max(1, int(round(1024 / 16.0)))
+        if policy == "PDP":
+            self._init_pdp_state(recompute_interval, max_distance_factor,
+                                 initial_distance)
+        elif (recompute_interval is not None or max_distance_factor != 3.0
+              or initial_distance is not None):
+            raise ValueError("recompute_interval/max_distance_factor/"
+                             "initial_distance apply to PDP only")
         self.stats = CacheStats()
+
+    def _init_pdp_state(self, recompute_interval: int | None,
+                        max_distance_factor: float,
+                        initial_distance: int | None) -> None:
+        """Allocate the PDP side state (mirrors PDPPolicy's parameters).
+
+        The last-seen tables are open-addressing maps sized so they can
+        never fill up between the periodic clears the object model
+        performs, which keeps probing exact-dict-equivalent.
+        """
+        ways = self.ways
+        if recompute_interval is None:
+            recompute_interval = max(128, 16 * max(ways, 1))
+        if recompute_interval < 16:
+            raise ValueError("recompute_interval must be >= 16")
+        if max_distance_factor <= 0:
+            raise ValueError("max_distance_factor must be positive")
+        self._pdp_max_dp = max(1, int(max_distance_factor * max(ways, 1)))
+        self._pdp_interval = recompute_interval
+        self._pdp_clear_threshold = 8 * max(ways, 64)
+        self._pdp_tsize = _next_pow2(
+            2 * (self._pdp_clear_threshold + self._pdp_interval + 1))
+        shape = (self.num_sets, ways)
+        self.expires = np.zeros(shape, dtype=np.int64)
+        self._pdp_clock = np.zeros(self.num_sets, dtype=np.int64)
+        self._pdp_dp = np.full(
+            self.num_sets,
+            initial_distance if initial_distance else max(1, ways),
+            dtype=np.int64)
+        self._pdp_samples = np.zeros(self.num_sets, dtype=np.int64)
+        self._pdp_hist = np.zeros((self.num_sets, self._pdp_max_dp + 1),
+                                  dtype=np.int64)
+        self._ls_tags = np.full((self.num_sets, self._pdp_tsize), _EMPTY,
+                                dtype=np.int64)
+        self._ls_clocks = np.zeros((self.num_sets, self._pdp_tsize),
+                                   dtype=np.int64)
+        self._ls_count = np.zeros(self.num_sets, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     @property
@@ -148,8 +243,12 @@ class ArraySetAssociativeCache:
         return self.num_sets * self.ways
 
     def set_index(self, address: int) -> int:
-        """Set index for a line address (modulo indexing)."""
-        return address % self.num_sets if self.num_sets > 1 else 0
+        """Set index for a line address (modulo or hashed indexing)."""
+        if self.num_sets == 1:
+            return 0
+        if self.hashed_index:
+            return mix64(address ^ seed_mix(self.index_seed)) % self.num_sets
+        return address % self.num_sets
 
     def occupancy(self) -> int:
         """Number of currently resident lines across all sets."""
@@ -169,27 +268,63 @@ class ArraySetAssociativeCache:
         results.
         """
         address = int(address)
+        if address == _EMPTY:
+            raise ValueError("address -1 is reserved as the empty-way "
+                             "sentinel; the array backend cannot cache it")
         s = self.set_index(address)
-        if self.policy == "LRU":
-            hit = self._lru_access(address, s)
-        else:
+        if self.policy in _RRIP_FAMILY:
             hit = self._rrip_access(address, s)
+        elif self.policy in _DIP_FAMILY:
+            hit = self._dip_access(address, s)
+        elif self.policy == "PDP":
+            hit = self._pdp_access(address, s)
+        else:
+            hit = self._lru_access(address, s)
         self.stats.record(hit)
         return hit
 
     def _lru_access(self, a: int, s: int) -> bool:
         row = self.tags[s]
+        st = self.stamp[s]
         self._counter[0] += 1
         t = int(self._counter[0])
         match = np.nonzero(row == a)[0]
         if match.size:
-            self.stamp[s, match[0]] = t
+            st[match[0]] = t
             return True
         empty = np.nonzero(row == _EMPTY)[0]
-        w = int(empty[0]) if empty.size else int(np.argmin(self.stamp[s]))
+        best = None
+        if self.policy == "LIP":
+            occupied = np.nonzero(row != _EMPTY)[0]
+            best = int(st[occupied].min()) if occupied.size else None
+        w = int(empty[0]) if empty.size else int(np.argmin(st))
         row[w] = a
-        self.stamp[s, w] = t
+        if self.policy == "LIP" and best is not None:
+            # LRU-position insertion: older than the current LRU line
+            # (whose stamp is `best` even when it was just evicted).
+            st[w] = best - 1
+        else:
+            st[w] = t
         return False
+
+    def _duel_role(self, a: int, s: int) -> int:
+        """Effective dueling role of a miss, with PSEL update (DRRIP/DIP)."""
+        role = int(self._roles[s])
+        if role == _ROLE_ADDRESS_DUEL:
+            # Standalone-region dueling: a hashed fraction of addresses
+            # form the two constituencies (matches the kernel).
+            bucket = (a * _GOLDEN) & 1023
+            if bucket < self._leader_levels:
+                role = _ROLE_LEADER_SRRIP
+            elif bucket < 2 * self._leader_levels:
+                role = _ROLE_LEADER_BRRIP
+            else:
+                role = _ROLE_FOLLOWER
+        if role == _ROLE_LEADER_SRRIP and self._psel[0] < self._psel_max:
+            self._psel[0] += 1
+        elif role == _ROLE_LEADER_BRRIP and self._psel[0] > 0:
+            self._psel[0] -= 1
+        return role
 
     def _rrip_access(self, a: int, s: int) -> bool:
         row = self.tags[s]
@@ -206,21 +341,7 @@ class ArraySetAssociativeCache:
 
         role = _ROLE_FOLLOWER
         if self.policy == "DRRIP":
-            role = int(self._roles[s])
-            if role == _ROLE_ADDRESS_DUEL:
-                # Standalone-region dueling: a hashed fraction of addresses
-                # form the SRRIP/BRRIP constituencies (matches the kernel).
-                bucket = (a * 0x9E3779B97F4A7C15) & 1023
-                if bucket < self._leader_levels:
-                    role = _ROLE_LEADER_SRRIP
-                elif bucket < 2 * self._leader_levels:
-                    role = _ROLE_LEADER_BRRIP
-                else:
-                    role = _ROLE_FOLLOWER
-            if role == _ROLE_LEADER_SRRIP and self._psel[0] < self._psel_max:
-                self._psel[0] += 1
-            elif role == _ROLE_LEADER_BRRIP and self._psel[0] > 0:
-                self._psel[0] -= 1
+            role = self._duel_role(a, s)
 
         empty = np.nonzero(row == _EMPTY)[0]
         if empty.size:
@@ -250,6 +371,120 @@ class ArraySetAssociativeCache:
         st[w] = t
         return False
 
+    def _dip_access(self, a: int, s: int) -> bool:
+        row = self.tags[s]
+        st = self.stamp[s]
+        self._counter[0] += 1
+        t = int(self._counter[0])
+        match = np.nonzero(row == a)[0]
+        if match.size:
+            st[match[0]] = t
+            return True
+
+        role = _ROLE_FOLLOWER
+        if self.policy == "DIP":
+            role = self._duel_role(a, s)
+
+        empty = np.nonzero(row == _EMPTY)[0]
+        w = int(empty[0]) if empty.size else int(np.argmin(st))
+        row[w] = a
+        st[w] = t
+
+        if self.policy == "DIP":
+            if role == _ROLE_LEADER_SRRIP:
+                bip = False
+            elif role == _ROLE_LEADER_BRRIP:
+                bip = True
+            else:
+                bip = int(self._psel[0]) > self._psel_max // 2
+        else:
+            bip = True
+        if bip and _uniform01(self._rng_state) >= self.epsilon:
+            others = np.nonzero((row != _EMPTY)
+                                & (np.arange(self.ways) != w))[0]
+            if others.size:
+                st[w] = int(st[others].min()) - 1
+        return False
+
+    # -- PDP ------------------------------------------------------------- #
+    def _ls_lookup(self, s: int, a: int) -> int:
+        """Slot of ``a`` in set ``s``'s last-seen table (linear probing)."""
+        mask = self._pdp_tsize - 1
+        tags = self._ls_tags[s]
+        slot = mix64(a) & mask
+        while tags[slot] != _EMPTY and tags[slot] != a:
+            slot = (slot + 1) & mask
+        return int(slot)
+
+    def _pdp_recompute(self, s: int) -> None:
+        """Mirror PDPPolicy._recompute_dp / select_protecting_distance."""
+        hist = self._pdp_hist[s]
+        max_dp = self._pdp_max_dp
+        total = int(self._pdp_samples[s])
+        if np.any(hist[1:] != 0) and total > 0:
+            best_dp, best_score = max_dp, -1.0
+            hits = weighted = 0
+            for dp in range(1, max_dp + 1):
+                hits += int(hist[dp])
+                weighted += dp * int(hist[dp])
+                misses = total - hits
+                occupancy = weighted + dp * misses
+                if occupancy <= 0:
+                    continue
+                score = hits / occupancy
+                if score > best_score:
+                    best_score = score
+                    best_dp = dp
+            self._pdp_dp[s] = best_dp
+        # Decay the sample so the policy adapts to phase changes.
+        decayed = np.where(hist > 1, (hist + 1) // 2, 0)
+        decayed[0] = 0
+        self._pdp_hist[s] = decayed
+        if self._ls_count[s] > self._pdp_clear_threshold:
+            self._ls_tags[s].fill(_EMPTY)
+            self._ls_count[s] = 0
+
+    def _pdp_access(self, a: int, s: int) -> bool:
+        row = self.tags[s]
+        st = self.stamp[s]
+        ex = self.expires[s]
+        self._pdp_clock[s] += 1
+        c = int(self._pdp_clock[s])
+
+        slot = self._ls_lookup(s, a)
+        if self._ls_tags[s, slot] == a:
+            d = c - int(self._ls_clocks[s, slot])
+            if d <= self._pdp_max_dp:
+                self._pdp_hist[s, d] += 1
+        else:
+            self._ls_tags[s, slot] = a
+            self._ls_count[s] += 1
+        self._ls_clocks[s, slot] = c
+        self._pdp_samples[s] += 1
+        if self._pdp_samples[s] % self._pdp_interval == 0:
+            self._pdp_recompute(s)
+
+        self._counter[0] += 1
+        t = int(self._counter[0])
+        match = np.nonzero(row == a)[0]
+        if match.size:
+            w = int(match[0])
+            ex[w] = c + int(self._pdp_dp[s])
+            st[w] = t
+            return True
+        empty = np.nonzero(row == _EMPTY)[0]
+        if empty.size:
+            w = int(empty[0])
+        else:
+            unprotected = np.nonzero(ex <= c)[0]
+            if not unprotected.size:
+                return False  # every line protected: bypass the fill
+            w = int(unprotected[np.argmin(st[unprotected])])
+        row[w] = a
+        ex[w] = c + int(self._pdp_dp[s])
+        st[w] = t
+        return False
+
     # ------------------------------------------------------------------ #
     def run(self, trace: Iterable[int] | Sequence[int] | np.ndarray,
             instructions: int = 0) -> CacheStats:
@@ -258,11 +493,12 @@ class ArraySetAssociativeCache:
         Uses the native kernel when available, the Python access path
         otherwise — results are identical either way.
         """
-        addrs = np.ascontiguousarray(np.asarray(
-            trace if not hasattr(trace, "addresses") else trace.addresses,
-            dtype=np.int64))
+        addrs = materialize_addresses(trace)
         if addrs.ndim != 1:
             raise ValueError("trace must be one-dimensional")
+        if addrs.size and bool(np.any(addrs == _EMPTY)):
+            raise ValueError("address -1 is reserved as the empty-way "
+                             "sentinel; the array backend cannot cache it")
         kernel = get_kernel()
         if kernel is None:
             for a in addrs.tolist():
@@ -277,15 +513,37 @@ class ArraySetAssociativeCache:
         return self.stats
 
     def _run_native(self, kernel, addrs: np.ndarray) -> int:
-        if self.policy == "LRU":
-            return kernel.lru_run(addrs, self.num_sets, self.ways,
-                                  self.tags, self.stamp, self._counter)
-        return kernel.rrip_run(addrs, self.num_sets, self.ways,
-                               self.max_rrpv, self.tags, self.rrpv,
-                               self.stamp, self._counter,
-                               _MODE[self.policy], self.epsilon,
-                               self._rng_state, self._roles, self._psel,
-                               self._psel_max, self._leader_levels)
+        hashed = 1 if self.hashed_index else 0
+        if self.policy in _RRIP_FAMILY:
+            return kernel.rrip_run(addrs, self.num_sets, self.ways,
+                                   self.max_rrpv, self.tags, self.rrpv,
+                                   self.stamp, self._counter,
+                                   _MODE[self.policy], self.epsilon,
+                                   self._rng_state, self._roles, self._psel,
+                                   self._psel_max, self._leader_levels,
+                                   hashed, self.index_seed)
+        if self.policy in _DIP_FAMILY:
+            return kernel.dip_run(addrs, self.num_sets, self.ways,
+                                  self.tags, self.stamp, self._counter,
+                                  _DIP_MODE[self.policy], self.epsilon,
+                                  self._rng_state, self._roles, self._psel,
+                                  self._psel_max, self._leader_levels,
+                                  hashed, self.index_seed)
+        if self.policy == "PDP":
+            return kernel.pdp_run(addrs, self.num_sets, self.ways,
+                                  self.tags, self.stamp, self._counter,
+                                  self.expires, self._pdp_clock,
+                                  self._pdp_dp, self._pdp_samples,
+                                  self._pdp_hist, self._pdp_max_dp,
+                                  self._pdp_interval,
+                                  self._pdp_clear_threshold,
+                                  self._ls_tags, self._ls_clocks,
+                                  self._ls_count, self._pdp_tsize,
+                                  hashed, self.index_seed)
+        return kernel.lru_run(addrs, self.num_sets, self.ways,
+                              self.tags, self.stamp, self._counter,
+                              1 if self.policy == "LIP" else 0,
+                              hashed, self.index_seed)
 
     def __repr__(self) -> str:
         return (f"ArraySetAssociativeCache(sets={self.num_sets}, "

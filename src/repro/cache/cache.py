@@ -14,12 +14,29 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
+import numpy as np
+
 from .hashing import mix64
 from .replacement.base import EvictionPolicy, PolicyFactory
 from .replacement.lru import LRUPolicy
 
 __all__ = ["CacheStats", "SetAssociativeCache", "simulate_trace", "lru_factory",
-           "policy_factory_from_class"]
+           "materialize_addresses", "policy_factory_from_class"]
+
+
+def materialize_addresses(trace) -> np.ndarray:
+    """A trace as a contiguous int64 address array.
+
+    Accepts :class:`~repro.workloads.access.Trace` objects (their
+    ``addresses``), numpy arrays, sequences, and lazy iterables
+    (generators are drained via :func:`numpy.fromiter`).  This is the
+    input normalization every batch fast path shares.
+    """
+    if hasattr(trace, "addresses"):
+        trace = trace.addresses
+    if not isinstance(trace, np.ndarray) and not hasattr(trace, "__len__"):
+        trace = np.fromiter((int(a) for a in trace), dtype=np.int64)
+    return np.ascontiguousarray(np.asarray(trace, dtype=np.int64))
 
 
 @dataclass

@@ -29,8 +29,9 @@ POLICY_NAMES = ("LRU", "LIP", "BIP", "Random", "SRRIP", "BRRIP", "DRRIP",
 #: Cache backends accepted by :func:`build_cache`.  "object" is the
 #: reference per-set policy-object model; "array" is the numpy/native model
 #: (:mod:`repro.cache.arraycache`); "auto" picks the array model exactly
-#: when it is bit-identical to the reference (LRU and SRRIP) and the object
-#: model otherwise.
+#: when it is bit-identical to the reference
+#: (:data:`~repro.cache.arraycache.ARRAY_EXACT_POLICIES`: LRU, LIP, SRRIP
+#: and PDP) and the object model otherwise.
 BACKENDS = ("object", "array", "auto")
 
 #: Policies whose constructors take a ``seed`` argument (their behaviour
@@ -101,6 +102,12 @@ def resolve_backend(backend: str, policy: str) -> str:
 
     "auto" selects the array backend only where it is bit-identical to the
     reference object model (:data:`~repro.cache.arraycache.ARRAY_EXACT_POLICIES`).
+    The randomized policies (BIP, DIP, BRRIP, DRRIP) also exist on the
+    array backend — deterministic per seed, but drawing from a splitmix64
+    stream instead of the object model's per-set Mersenne twisters — so
+    "auto" keeps them on the object model to preserve reference results;
+    ask for ``backend="array"`` explicitly to trade bit-exactness for
+    speed.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; known: {BACKENDS}")
@@ -115,6 +122,7 @@ def resolve_backend(backend: str, policy: str) -> str:
 
 def build_cache(capacity_lines: int, ways: int = 16, policy: str = "LRU",
                 backend: str = "object", seed: int | None = None,
+                hashed_index: bool = False, index_seed: int = 0,
                 **policy_kwargs):
     """Build a simulatable cache of ``capacity_lines`` for ``policy``.
 
@@ -130,17 +138,21 @@ def build_cache(capacity_lines: int, ways: int = 16, policy: str = "LRU",
         Deterministic seed for policies with randomized behaviour; ignored
         (and therefore reproducible by construction) for deterministic
         policies.  ``None`` keeps each policy's historical default seed.
+    hashed_index, index_seed:
+        Set-index scheme, honoured identically by both backends: modulo
+        indexing by default, or the :func:`repro.cache.hashing.set_index`
+        hash when ``hashed_index`` is true.
     """
     num_sets, eff_ways = cache_geometry(capacity_lines, ways)
     backend = resolve_backend(backend, policy)
-    if backend == "array":
-        kwargs = dict(policy_kwargs)
-        if seed is not None and policy in ("BRRIP", "DRRIP"):
-            kwargs.setdefault("seed", seed)
-        return ArraySetAssociativeCache(num_sets, eff_ways, policy=policy,
-                                        **kwargs)
     kwargs = dict(policy_kwargs)
     if seed is not None and policy in SEEDED_POLICIES:
         kwargs.setdefault("seed", seed)
+    if backend == "array":
+        return ArraySetAssociativeCache(num_sets, eff_ways, policy=policy,
+                                        hashed_index=hashed_index,
+                                        index_seed=index_seed, **kwargs)
     factory = named_policy_factory(policy, num_sets, **kwargs)
-    return SetAssociativeCache(num_sets, eff_ways, factory)
+    return SetAssociativeCache(num_sets, eff_ways, factory,
+                               index_seed=index_seed,
+                               hashed_index=hashed_index)

@@ -14,9 +14,26 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["H3Hash", "SamplingFunction", "mix64", "set_index"]
+__all__ = ["H3Hash", "SamplingFunction", "GOLDEN64", "mix64", "mix64_array",
+           "seed_mix", "set_index"]
 
 _MASK64 = (1 << 64) - 1
+
+#: The splitmix64 increment (2^64 / golden ratio).  Every seed premix and
+#: constituency hash in the Python code AND the native kernel
+#: (``_sweepkernel.c``'s ``GOLDEN``) must use this same constant, or the
+#: scalar, vectorized and native paths stop selecting identical streams.
+GOLDEN64 = 0x9E3779B97F4A7C15
+
+
+def seed_mix(seed: int) -> int:
+    """The 64-bit seed premix ``(seed * GOLDEN64) mod 2^64``.
+
+    XORed into an address before :func:`mix64` to derive independent hash
+    functions from one seed; shared so the scalar, numpy and C paths agree
+    bit for bit.
+    """
+    return (seed * GOLDEN64) & _MASK64
 
 
 def mix64(value: int) -> int:
@@ -26,18 +43,35 @@ def mix64(value: int) -> int:
     indexing of a real LLC.
     """
     value &= _MASK64
-    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = (value + GOLDEN64) & _MASK64
     z = value
     z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
     return (z ^ (z >> 31)) & _MASK64
 
 
+def mix64_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`mix64` over an array of addresses.
+
+    Element-for-element identical to the scalar version (negative int64
+    inputs wrap to their two's-complement uint64 value, exactly as the
+    scalar's 64-bit masking does), so hash-sampled sub-streams selected
+    with either form are the same.  This is what lets the monitors
+    (:mod:`repro.monitor.umon`, :mod:`repro.monitor.multipoint`) replace
+    one Python hash call per access with a single numpy pass.
+    """
+    v = np.asarray(values).astype(np.uint64)
+    v = v + np.uint64(GOLDEN64)
+    v = (v ^ (v >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    v = (v ^ (v >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return v ^ (v >> np.uint64(31))
+
+
 def set_index(address: int, num_sets: int, seed: int = 0) -> int:
     """Map a line address to a set index using hashed indexing."""
     if num_sets <= 0:
         raise ValueError("num_sets must be positive")
-    return mix64(address ^ (seed * 0x9E3779B97F4A7C15)) % num_sets
+    return mix64(address ^ seed_mix(seed)) % num_sets
 
 
 class H3Hash:

@@ -106,6 +106,17 @@ class PDPPolicy(EvictionPolicy):
             raise ValueError("max_distance_factor must be positive")
         self.recompute_interval = recompute_interval
         self.max_distance_factor = max_distance_factor
+        #: Largest candidate protecting distance the selector considers.
+        #: The reuse sampler saturates here, as the PDP paper's bounded RD
+        #: sampler does: distances beyond it only contribute to the miss
+        #: term, which is counted from the total sample count.  One
+        #: deliberate behavioural consequence: a phase whose reuses are
+        #: *all* beyond the candidate range now leaves ``dp`` unchanged,
+        #: where the unbounded sampler degenerated it to 1 (every
+        #: candidate scored zero and the shortest won) — protecting
+        #: nothing exactly when protection is the only defence.
+        self.max_candidate_distance = max(
+            1, int(max_distance_factor * max(capacity, 1)))
         self._clock = 0
         self._dp = initial_distance if initial_distance else max(1, capacity)
         # tag -> access count at which protection expires
@@ -127,14 +138,16 @@ class PDPPolicy(EvictionPolicy):
         last = self._last_seen.get(tag)
         if last is not None:
             distance = self._clock - last
-            self._reuse_hist[distance] = self._reuse_hist.get(distance, 0) + 1
+            if distance <= self.max_candidate_distance:
+                self._reuse_hist[distance] = \
+                    self._reuse_hist.get(distance, 0) + 1
         self._last_seen[tag] = self._clock
         self._sample_count += 1
         if self._sample_count % self.recompute_interval == 0:
             self._recompute_dp()
 
     def _recompute_dp(self) -> None:
-        max_dp = max(1, int(self.max_distance_factor * max(self.capacity, 1)))
+        max_dp = self.max_candidate_distance
         if self._reuse_hist:
             self._dp = select_protecting_distance(
                 self._reuse_hist, max_dp, self._sample_count)

@@ -11,12 +11,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..cache.factory import named_policy_factory
 from ..core.convexhull import convex_hull
 from ..core.misscurve import MissCurve
-from ..monitor.multipoint import MultiPointMonitor
-from ..sim.engine import simulated_mpki_curve, talus_simulated_mpki_curve
-from ..workloads.scale import paper_mb_to_lines
+from ..sim.engine import (monitored_mpki_curve, simulated_mpki_curve,
+                          talus_simulated_mpki_curve)
 from ..workloads.spec_profiles import get_profile
 from .common import FigureResult, Series, fast_mode, trace_length
 
@@ -24,19 +22,18 @@ __all__ = ["run_fig9", "srrip_curve_from_monitor"]
 
 
 def srrip_curve_from_monitor(benchmark: str, sizes_mb, n_accesses: int,
-                             monitor_lines: int = 2048) -> MissCurve:
-    """Measure an SRRIP miss curve with a multi-point monitor (paper MB/MPKI)."""
+                             monitor_lines: int = 2048,
+                             backend: str = "auto") -> MissCurve:
+    """Measure an SRRIP miss curve with a multi-point monitor (paper MB/MPKI).
+
+    Runs on the monitoring fast path: set-sampled per-point monitors
+    replayed by the native kernel (see
+    :func:`repro.sim.engine.monitored_mpki_curve`).
+    """
     profile = get_profile(benchmark)
     trace = profile.trace(n_accesses=n_accesses)
-    sizes_lines = [0] + [paper_mb_to_lines(mb) for mb in sizes_mb]
-    monitor = MultiPointMonitor(sizes_lines,
-                                named_policy_factory("SRRIP", 1),
-                                monitor_lines=monitor_lines)
-    monitor.record_trace(trace.addresses)
-    raw = monitor.miss_curve()
-    mpki = raw.misses * 1000.0 / trace.instructions
-    sizes = [0.0] + sorted(set(float(s) for s in sizes_mb))
-    return MissCurve(np.asarray(sizes), np.asarray(mpki))
+    return monitored_mpki_curve(trace, sizes_mb, "SRRIP",
+                                monitor_lines=monitor_lines, backend=backend)
 
 
 def run_fig9(benchmark: str = "libquantum",

@@ -13,6 +13,18 @@ the whole miss curve at once.  The Talus paper uses:
 Sampling is by address hash, which per Assumption 3 yields a statistically
 self-similar stream, so the measured curve scales back up by the sampling
 factor on both axes.
+
+Fast path
+---------
+The monitor is batch-oriented: :meth:`UMON.record_trace` selects the
+sampled sub-stream with one vectorized splitmix64 pass
+(:func:`repro.cache.hashing.mix64_array`) instead of one Python hash call
+per access, and :meth:`UMON.miss_curve` runs the accumulated sub-stream
+through the native stack-distance kernel
+(:func:`repro.monitor.stack_distance.stack_distance_histogram`).  The
+scalar :meth:`UMON.record` path selects exactly the same sub-stream, so
+online and batch recording are interchangeable and the produced curves are
+bit-identical to the pre-vectorization implementation.
 """
 
 from __future__ import annotations
@@ -22,10 +34,19 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..core.misscurve import MissCurve
-from ..cache.hashing import mix64
-from .stack_distance import StackDistanceMonitor
+from ..cache.cache import materialize_addresses as _materialize
+from ..cache.hashing import mix64, mix64_array, seed_mix
+from .stack_distance import StackDistanceMonitor, stack_distance_histogram
 
 __all__ = ["UMON", "CombinedUMON"]
+
+#: Curve reads answered by full batch recomputation before the monitor
+#: switches to incremental (online) mode.  Batch mode re-runs the whole
+#: accumulated sub-stream through the native kernel on each read after new
+#: data — far cheaper than online recording for the few reads a normal
+#: sweep or short reconfiguration run performs, but quadratic in the limit;
+#: the switch bounds total work at O(sub-stream length) either way.
+_MAX_BATCH_QUERIES = 8
 
 
 class UMON:
@@ -62,26 +83,50 @@ class UMON:
         self.points = points
         self.seed = seed
         self._threshold = int(sampling_rate * (1 << 30))
-        self._monitor = StackDistanceMonitor(capacity_hint=1 << 12)
+        self._seed_mul = np.uint64(seed_mix(seed))
+        self._chunks: list[np.ndarray] = []
+        self._pending: list[int] = []
         self._observed = 0
         self._total = 0
+        # Cached (histogram, cold) keyed by the observed count at the time.
+        self._hist_cache: tuple[int, np.ndarray, int] | None = None
+        self._batch_queries = 0
+        # Online monitor, created only after _MAX_BATCH_QUERIES curve
+        # reads; from then on new chunks are consumed incrementally.
+        self._online: StackDistanceMonitor | None = None
 
     # ------------------------------------------------------------------ #
     def _sampled(self, address: int) -> bool:
-        return (mix64(address ^ (self.seed * 0x9E3779B97F4A7C15)) % (1 << 30)
+        return (mix64(address ^ seed_mix(self.seed)) % (1 << 30)
                 < self._threshold)
+
+    def _sample_mask(self, addrs: np.ndarray) -> np.ndarray:
+        """Vectorized twin of :meth:`_sampled` (same sub-stream exactly)."""
+        hashed = mix64_array(addrs.astype(np.uint64) ^ self._seed_mul)
+        return (hashed & np.uint64((1 << 30) - 1)) < np.uint64(self._threshold)
 
     def record(self, address: int) -> None:
         """Observe one access (the monitor decides whether to sample it)."""
         self._total += 1
         if self._sampled(address):
             self._observed += 1
-            self._monitor.record(address)
+            self._pending.append(int(address))
 
     def record_trace(self, trace: Iterable[int]) -> None:
-        """Observe every access of a trace."""
-        for address in trace:
-            self.record(int(address))
+        """Observe every access of a trace (one vectorized sampling pass)."""
+        addrs = _materialize(trace)
+        self._total += int(addrs.size)
+        if not addrs.size:
+            return
+        if self._pending:
+            # Keep the sub-stream in access order when scalar record()
+            # calls preceded this batch.
+            self._chunks.append(np.asarray(self._pending, dtype=np.int64))
+            self._pending = []
+        sub = addrs[self._sample_mask(addrs)]
+        if sub.size:
+            self._observed += int(sub.size)
+            self._chunks.append(sub)
 
     @property
     def total_accesses(self) -> int:
@@ -94,6 +139,40 @@ class UMON:
         return self._observed
 
     # ------------------------------------------------------------------ #
+    def _histogram(self) -> tuple[np.ndarray, int]:
+        """(stack-distance histogram, cold misses) of the sub-stream.
+
+        Batch mode (the common case: record everything, read the curve a
+        few times) recomputes via the native kernel; after
+        :data:`_MAX_BATCH_QUERIES` reads with new data in between, the
+        monitor switches to an online :class:`StackDistanceMonitor` fed
+        incrementally — the two produce identical histograms, so the
+        switch point is unobservable in the results.
+        """
+        if self._hist_cache is not None \
+                and self._hist_cache[0] == self._observed:
+            return self._hist_cache[1], self._hist_cache[2]
+        if self._pending:
+            self._chunks.append(np.asarray(self._pending, dtype=np.int64))
+            self._pending = []
+        if self._online is None and self._batch_queries < _MAX_BATCH_QUERIES:
+            self._batch_queries += 1
+            if len(self._chunks) > 1:
+                self._chunks = [np.concatenate(self._chunks)]
+            sub = (self._chunks[0] if self._chunks
+                   else np.zeros(0, dtype=np.int64))
+            dense, cold = stack_distance_histogram(sub)
+        else:
+            if self._online is None:
+                self._online = StackDistanceMonitor(
+                    capacity_hint=max(1024, self._observed))
+            for chunk in self._chunks:
+                self._online.record_trace(chunk)
+            self._chunks = []
+            dense, cold = self._online.histogram(), self._online.cold_misses
+        self._hist_cache = (self._observed, dense, cold)
+        return dense, cold
+
     def miss_curve(self, sizes: Sequence[float] | None = None) -> MissCurve:
         """Estimated full-stream LRU miss curve.
 
@@ -106,7 +185,9 @@ class UMON:
             sizes = np.linspace(0, self.max_size, self.points)
         sizes = np.asarray(sizes, dtype=float)
         sampled_sizes = sizes * self.sampling_rate
-        sampled_curve = self._monitor.miss_curve(sizes=sampled_sizes)
+        dense, cold = self._histogram()
+        sampled_curve = MissCurve.from_stack_distances(
+            dense, cold_misses=cold, sizes=sampled_sizes)
         scale = 1.0 / self.sampling_rate if self._observed else 1.0
         misses = sampled_curve.misses * scale
         # Guard against sampling noise: the curve should not exceed the
@@ -147,9 +228,10 @@ class CombinedUMON:
         self.secondary.record(address)
 
     def record_trace(self, trace: Iterable[int]) -> None:
-        """Observe every access of a trace."""
-        for address in trace:
-            self.record(int(address))
+        """Observe every access of a trace (vectorized, both monitors)."""
+        addrs = _materialize(trace)
+        self.primary.record_trace(addrs)
+        self.secondary.record_trace(addrs)
 
     @property
     def max_size(self) -> int:

@@ -27,6 +27,7 @@ from ..cache.replacement.base import PolicyFactory
 from ..cache.talus_cache import TalusCache
 from ..core.misscurve import MissCurve
 from ..core.talus import plan_shadow_partitions
+from ..monitor.multipoint import MultiPointMonitor
 from ..monitor.stack_distance import lru_miss_curve
 from ..workloads.access import Trace
 from ..workloads.scale import paper_mb_to_lines
@@ -36,6 +37,7 @@ from .sweep import DEFAULT_WAYS, SweepConfig, SweepSpec, run_sweep
 __all__ = [
     "lru_mpki_curve",
     "simulated_mpki_curve",
+    "monitored_mpki_curve",
     "talus_simulated_mpki_curve",
     "talus_sweep_configs",
     "simulate_policy_at_size",
@@ -75,6 +77,37 @@ def simulated_mpki_curve(trace: Trace, sizes_mb: Sequence[float], policy: str,
                      policies=(policy,), ways=ways, backend=backend,
                      max_workers=max_workers)
     return run_sweep(trace, spec).mpki_curve(policy)
+
+
+def monitored_mpki_curve(trace: Trace, sizes_mb: Sequence[float],
+                         policy: str,
+                         ways: int = DEFAULT_WAYS,
+                         monitor_lines: int = 2048,
+                         seed: int = 13,
+                         backend: str = "auto") -> MissCurve:
+    """Miss curve of ``policy`` as a multi-point monitor would measure it.
+
+    This is the planning-curve source the paper's Sec. VI-C prescribes for
+    non-stack policies: one set-sampled monitor per curve point
+    (:class:`repro.monitor.multipoint.MultiPointMonitor`), driven here on
+    the vectorized/native fast path.  The returned curve covers size 0 plus
+    every requested size, in (paper MB, MPKI) units — the measured stand-in
+    for :func:`simulated_mpki_curve`, with monitoring noise included.
+    Sizes that collapse to the same simulated line count (below the
+    half-line resolution of the paper-MB scale) share one monitor point
+    and appear once, under the smallest such size.
+    """
+    size_map: dict[int, float] = {0: 0.0}
+    for mb in sorted(set(float(s) for s in sizes_mb)):
+        size_map.setdefault(paper_mb_to_lines(mb), mb)
+    monitor = MultiPointMonitor(sorted(size_map), policy=policy, ways=ways,
+                                monitor_lines=monitor_lines, seed=seed,
+                                backend=backend)
+    monitor.record_trace(trace.addresses)
+    raw = monitor.miss_curve()   # points in ascending line order
+    mpki = raw.misses * 1000.0 / trace.instructions
+    sizes = [size_map[lines] for lines in sorted(size_map)]
+    return MissCurve(np.asarray(sizes), np.asarray(mpki))
 
 
 def talus_simulated_mpki_curve(profile: AppProfile,

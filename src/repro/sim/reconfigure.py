@@ -107,9 +107,13 @@ class ReconfiguringTalusRun:
             end = min(position + interval, total)
             misses = 0
             config_used = talus.shadow_pair(0).config
-            for address in addresses[position:end]:
-                address = int(address)
-                monitor.record(address)
+            chunk = addresses[position:end]
+            # The monitor is independent of the cache, so the interval's
+            # accesses can be batch-recorded (vectorized sampling + native
+            # stack-distance kernel) while only the Talus cache itself is
+            # replayed access by access.
+            monitor.record_trace(chunk)
+            for address in chunk.tolist():
                 if not talus.access(address, 0):
                     misses += 1
             self.records.append(IntervalRecord(index=interval_index,

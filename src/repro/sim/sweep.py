@@ -13,9 +13,9 @@ the *what* (a :class:`SweepSpec` describing all the points) from the *how*
   (:mod:`repro.cache.arraycache`): each config is replayed by a compiled
   kernel, typically 10-30x faster than the object model.
 * ``auto``   — the array backend where it is bit-identical to the object
-  model (LRU, SRRIP), the object model otherwise.  This is the default, so
-  existing experiments keep their exact results while getting the fast
-  path wherever it cannot change them.
+  model (LRU, LIP, SRRIP, PDP), the object model otherwise.  This is the
+  default, so existing experiments keep their exact results while getting
+  the fast path wherever it cannot change them.
 
 Independent configs can also be fanned out over a
 :class:`~concurrent.futures.ProcessPoolExecutor` with ``max_workers > 1``.

@@ -1,4 +1,6 @@
-"""Tests for stack-distance monitors, UMONs and multi-point monitors."""
+"""Tests for stack-distance monitors, UMONs and multi-point monitors,
+including the vectorized/native fast paths (batch stack distance, batched
+UMON sampling, set-sampled multi-point monitors on the array backend)."""
 
 import numpy as np
 import pytest
@@ -131,3 +133,188 @@ class TestMultiPointMonitor:
             MultiPointMonitor([], lambda i, c: LRUPolicy(c))
         with pytest.raises(ValueError):
             MultiPointMonitor([10], lambda i, c: LRUPolicy(c), monitor_lines=0)
+        with pytest.raises(ValueError):
+            MultiPointMonitor([10])  # neither policy nor factory
+        with pytest.raises(ValueError):
+            MultiPointMonitor([10], lambda i, c: LRUPolicy(c), policy="LRU")
+
+
+class TestBatchStackDistance:
+    """The batch histogram (native kernel) == the online reference monitor."""
+
+    @pytest.mark.parametrize("low,high,n", [(-5, 5, 1), (-50, 600, 5000),
+                                            (0, 40, 3000)])
+    def test_batch_matches_online(self, low, high, n):
+        rng = np.random.default_rng(41)
+        trace = rng.integers(low, high, n).astype(np.int64)
+        dense, cold = stack_distance_histogram(trace)
+        monitor = StackDistanceMonitor(capacity_hint=max(16, n // 3))
+        monitor.record_trace(trace)
+        assert cold == monitor.cold_misses
+        assert np.array_equal(np.asarray(dense, dtype=float),
+                              monitor.histogram())
+
+    def test_batch_curve_matches_online(self):
+        rng = np.random.default_rng(42)
+        trace = rng.integers(0, 300, 4000).astype(np.int64)
+        sizes = [0.0, 16.0, 100.0, 299.0, 500.0]
+        batch = lru_miss_curve(trace, sizes=sizes)
+        monitor = StackDistanceMonitor()
+        monitor.record_trace(trace)
+        online = monitor.miss_curve(sizes=sizes)
+        assert np.array_equal(batch.misses, online.misses)
+
+    def test_empty_trace(self):
+        dense, cold = stack_distance_histogram(np.zeros(0, dtype=np.int64))
+        assert cold == 0 and len(dense) == 0
+
+
+class TestUMONFastPath:
+    def test_batch_and_scalar_recording_agree(self):
+        """record_trace selects exactly record()'s sub-stream (same hash)."""
+        rng = np.random.default_rng(43)
+        trace = rng.integers(0, 4000, 30000).astype(np.int64)
+        batch = UMON(sampling_rate=1 / 8, max_size=4096, points=9, seed=5)
+        batch.record_trace(trace)
+        scalar = UMON(sampling_rate=1 / 8, max_size=4096, points=9, seed=5)
+        for a in trace.tolist():
+            scalar.record(a)
+        assert batch.sampled_accesses == scalar.sampled_accesses
+        assert np.array_equal(batch.miss_curve().misses,
+                              scalar.miss_curve().misses)
+
+    def test_scalar_then_batch_preserves_access_order(self):
+        """Mixing record() and record_trace() must keep the sub-stream in
+        access order (regression: an unflushed scalar prefix used to be
+        replayed after the batch suffix)."""
+        rng = np.random.default_rng(46)
+        trace = rng.integers(0, 500, 10000).astype(np.int64)
+        mixed = UMON(sampling_rate=1 / 2, max_size=512, points=9, seed=7)
+        for a in trace[:2000].tolist():
+            mixed.record(a)
+        mixed.record_trace(trace[2000:])
+        pure = UMON(sampling_rate=1 / 2, max_size=512, points=9, seed=7)
+        for a in trace.tolist():
+            pure.record(a)
+        assert np.array_equal(mixed.miss_curve().misses,
+                              pure.miss_curve().misses)
+
+    def test_record_trace_accepts_lazy_iterables(self):
+        """Generators (and Trace objects) remain valid record_trace input."""
+        umon = UMON(sampling_rate=1.0, max_size=64, points=5)
+        umon.record_trace(a % 50 for a in range(1000))
+        assert umon.total_accesses == 1000
+        monitor = MultiPointMonitor([0, 64], policy="LRU")
+        monitor.record_trace(a % 50 for a in range(1000))
+        assert float(monitor.miss_curve()(64)) == 50.0
+
+    def test_incremental_batches_match_one_shot(self):
+        """Interval-style recording (the reconfiguration loop's pattern)."""
+        rng = np.random.default_rng(44)
+        trace = rng.integers(0, 2000, 20000).astype(np.int64)
+        whole = UMON(sampling_rate=1 / 4, max_size=2048, points=9, seed=3)
+        whole.record_trace(trace)
+        chunked = UMON(sampling_rate=1 / 4, max_size=2048, points=9, seed=3)
+        for start in range(0, len(trace), 3000):
+            chunked.record_trace(trace[start:start + 3000])
+            chunked.miss_curve()   # interleaved curve reads must be safe
+        assert np.array_equal(whole.miss_curve().misses,
+                              chunked.miss_curve().misses)
+
+
+class TestUMONIncrementalMode:
+    def test_online_switch_is_unobservable(self):
+        """Past the batch-query budget the monitor switches to incremental
+        online recording; the curves must not change across the switch."""
+        rng = np.random.default_rng(47)
+        trace = rng.integers(0, 800, 24000).astype(np.int64)
+        many = UMON(sampling_rate=1 / 4, max_size=1024, points=9, seed=3)
+        curves = []
+        for start in range(0, len(trace), 1500):   # 16 reads > the budget
+            many.record_trace(trace[start:start + 1500])
+            curves.append(many.miss_curve().misses)
+        one = UMON(sampling_rate=1 / 4, max_size=1024, points=9, seed=3)
+        one.record_trace(trace)
+        assert many._online is not None            # the switch happened
+        assert np.array_equal(curves[-1], one.miss_curve().misses)
+
+
+class TestMultiPointFastPath:
+    def _curve(self, trace, sizes, policy, backend, record_batch=True):
+        monitor = MultiPointMonitor(sizes, policy=policy, backend=backend,
+                                    monitor_lines=512, seed=13)
+        if record_batch:
+            monitor.record_trace(trace)
+        else:
+            for a in trace.tolist():
+                monitor.record(a)
+        return monitor.miss_curve()
+
+    @pytest.mark.parametrize("policy", ["LRU", "SRRIP", "PDP"])
+    def test_array_backend_matches_object_backend(self, policy, rng_trace):
+        """Fast monitors == reference monitors, point for point (exact
+        policies), on identical set-sampled sub-streams."""
+        trace, sizes = rng_trace
+        fast = self._curve(trace, sizes, policy, "array")
+        reference = self._curve(trace, sizes, policy, "object")
+        assert np.array_equal(fast.misses, reference.misses)
+
+    @pytest.fixture
+    def rng_trace(self):
+        rng = np.random.default_rng(45)
+        return (rng.integers(0, 3000, 25000).astype(np.int64),
+                [0, 128, 512, 1024, 2048, 4096])
+
+    def test_batch_and_scalar_recording_agree(self, rng_trace):
+        trace, sizes = rng_trace
+        batch = self._curve(trace, sizes, "SRRIP", "array")
+        scalar = self._curve(trace, sizes, "SRRIP", "array",
+                             record_batch=False)
+        assert np.array_equal(batch.misses, scalar.misses)
+
+    @pytest.mark.parametrize("policy", ["BRRIP", "DRRIP"])
+    def test_seeded_policies_deterministic(self, policy, rng_trace):
+        trace, sizes = rng_trace
+        first = self._curve(trace, sizes, policy, "array")
+        second = self._curve(trace, sizes, policy, "array")
+        assert np.array_equal(first.misses, second.misses)
+
+    def test_monitored_mpki_curve_collapses_degenerate_sizes(self):
+        """Explicit 0.0 and sub-line-resolution sizes share monitor points
+        instead of crashing on a sizes/misses length mismatch."""
+        from repro.sim.engine import monitored_mpki_curve
+        from repro.workloads.spec_profiles import get_profile
+        trace = get_profile("omnetpp").trace(n_accesses=5000)
+        curve = monitored_mpki_curve(trace, [0.0, 0.001, 1.0, 1.0], "LRU",
+                                     monitor_lines=256)
+        assert list(curve.sizes) == [0.0, 1.0]
+        assert float(curve(0.0)) == pytest.approx(
+            1000.0 * len(trace) / trace.instructions)
+
+    def test_negative_addresses_are_remapped_safely(self):
+        """The set-sampling remap must never synthesize the array backend's
+        reserved address -1, and batch/scalar paths must still agree."""
+        trace = np.arange(-6000, 0, dtype=np.int64)
+        batch = MultiPointMonitor([4096], policy="LRU", monitor_lines=512)
+        batch.record_trace(trace)
+        scalar = MultiPointMonitor([4096], policy="LRU", monitor_lines=512)
+        for a in trace.tolist():
+            scalar.record(a)
+        assert np.array_equal(batch.miss_curve().misses,
+                              scalar.miss_curve().misses)
+
+    def test_set_sampling_preserves_scan_cliff(self):
+        """Regression for the fig. 9 libquantum planning failure: a scan's
+        capacity cliff must survive sampling (address-hash sampling into
+        modulo-indexed monitors smeared it over a 2x size range)."""
+        scan_lines = 4096
+        trace = np.tile(np.arange(scan_lines, dtype=np.int64), 12)
+        sizes = [0, 1024, 2048, 3072, 4096, 5120]
+        monitor = MultiPointMonitor(sizes, policy="LRU", monitor_lines=512)
+        monitor.record_trace(trace)
+        curve = monitor.miss_curve()
+        total = float(len(trace))
+        # Below the working set LRU thrashes; at/above it only the cold
+        # misses remain (the sampled estimate must see the same cliff).
+        assert float(curve(3072)) > 0.9 * total
+        assert float(curve(4096)) < 0.15 * total

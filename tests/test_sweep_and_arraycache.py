@@ -27,9 +27,12 @@ def traces(max_addr: int = 200, max_len: int = 400):
     return st.lists(st.integers(0, max_addr), min_size=1, max_size=max_len)
 
 
-def _object_counts(trace, num_sets, ways, policy):
+def _object_counts(trace, num_sets, ways, policy, hashed_index=False,
+                   index_seed=0):
     cache = SetAssociativeCache(num_sets, ways,
-                                named_policy_factory(policy, num_sets))
+                                named_policy_factory(policy, num_sets),
+                                hashed_index=hashed_index,
+                                index_seed=index_seed)
     for a in trace:
         cache.access(a)
     return cache.stats.hits, cache.stats.misses
@@ -38,7 +41,8 @@ def _object_counts(trace, num_sets, ways, policy):
 class TestArrayBackendParity:
     @settings(max_examples=40, deadline=None)
     @given(trace=traces(), num_sets=st.integers(1, 9),
-           ways=st.integers(1, 8), policy=st.sampled_from(("LRU", "SRRIP")))
+           ways=st.integers(1, 8),
+           policy=st.sampled_from(ARRAY_EXACT_POLICIES))
     def test_native_run_matches_object_model(self, trace, num_sets, ways,
                                              policy):
         """Array backend replay == object model, hit for hit."""
@@ -48,8 +52,25 @@ class TestArrayBackendParity:
             _object_counts(trace, num_sets, ways, policy)
 
     @settings(max_examples=25, deadline=None)
+    @given(trace=traces(), num_sets=st.integers(2, 9),
+           ways=st.integers(1, 8),
+           policy=st.sampled_from(ARRAY_EXACT_POLICIES),
+           index_seed=st.integers(0, 2**31 - 1))
+    def test_hashed_indexing_matches_object_model(self, trace, num_sets,
+                                                  ways, policy, index_seed):
+        """Hashed set indexing agrees between the backends, seed for seed."""
+        array = ArraySetAssociativeCache(num_sets, ways, policy=policy,
+                                         hashed_index=True,
+                                         index_seed=index_seed)
+        array.run(np.asarray(trace, dtype=np.int64))
+        assert (array.stats.hits, array.stats.misses) == \
+            _object_counts(trace, num_sets, ways, policy,
+                           hashed_index=True, index_seed=index_seed)
+
+    @settings(max_examples=25, deadline=None)
     @given(trace=traces(max_len=150), num_sets=st.integers(1, 5),
-           ways=st.integers(1, 6), policy=st.sampled_from(("LRU", "SRRIP")))
+           ways=st.integers(1, 6),
+           policy=st.sampled_from(ARRAY_EXACT_POLICIES))
     def test_python_access_path_matches_object_model(self, trace, num_sets,
                                                      ways, policy):
         """The per-access Python path is bit-compatible with the kernel."""
@@ -62,11 +83,11 @@ class TestArrayBackendParity:
     @settings(max_examples=15, deadline=None)
     @given(trace=traces(max_len=200), num_sets=st.integers(1, 5),
            ways=st.integers(1, 6),
-           policy=st.sampled_from(("BRRIP", "DRRIP")),
+           policy=st.sampled_from(("BIP", "DIP", "BRRIP", "DRRIP")),
            seed=st.integers(0, 2**31 - 1))
     def test_randomized_policies_deterministic_per_seed(self, trace, num_sets,
                                                         ways, policy, seed):
-        """BRRIP/DRRIP array runs reproduce exactly for a given seed."""
+        """BIP/DIP/BRRIP/DRRIP array runs reproduce exactly for a seed."""
         runs = []
         for _ in range(2):
             array = ArraySetAssociativeCache(num_sets, ways, policy=policy,
@@ -74,6 +95,53 @@ class TestArrayBackendParity:
             array.run(np.asarray(trace, dtype=np.int64))
             runs.append((array.stats.hits, array.stats.misses))
         assert runs[0] == runs[1]
+
+    def test_pdp_tuning_kwargs_stay_bit_identical(self):
+        """PDP tuning kwargs ride build_cache to both backends (auto
+        routes PDP to the array model, so they must agree beyond the
+        defaults too)."""
+        trace = get_profile("omnetpp").trace(n_accesses=12000)
+        kwargs = dict(recompute_interval=256, max_distance_factor=2.0,
+                      initial_distance=3)
+        arr = build_cache(256, policy="PDP", backend="auto", **kwargs)
+        assert isinstance(arr, ArraySetAssociativeCache)
+        arr.run(trace.addresses)
+        obj = build_cache(256, policy="PDP", backend="object", **kwargs)
+        for a in trace.addresses.tolist():
+            obj.access(a)
+        assert arr.stats.misses == obj.stats.misses
+        with pytest.raises(ValueError):
+            ArraySetAssociativeCache(4, 2, policy="LRU",
+                                     recompute_interval=256)
+        with pytest.raises(ValueError):
+            ArraySetAssociativeCache(4, 2, policy="PDP",
+                                     recompute_interval=8)
+
+    def test_minus_one_address_is_rejected(self):
+        """-1 is the empty-way sentinel; caching it would mis-report hits."""
+        cache = ArraySetAssociativeCache(4, 2)
+        with pytest.raises(ValueError):
+            cache.access(-1)
+        with pytest.raises(ValueError):
+            cache.run(np.array([0, -1, 2], dtype=np.int64))
+        cache.run(np.array([-2, 0, 7], dtype=np.int64))  # other ints are fine
+
+    def test_randomized_policies_track_object_model(self):
+        """Array BIP/DIP/BRRIP/DRRIP land near the reference hit rates.
+
+        These policies are statistically equivalent, not bit-identical
+        (splitmix64 vs per-set Mersenne twisters), so compare hit rates
+        with a tolerance on a workload long enough to average the noise.
+        """
+        trace = get_profile("omnetpp").trace(n_accesses=40000)
+        for policy in ("BIP", "DIP", "BRRIP", "DRRIP"):
+            array = build_cache(512, policy=policy, backend="array")
+            array.run(trace.addresses)
+            obj = build_cache(512, policy=policy, backend="object")
+            for a in trace.addresses.tolist():
+                obj.access(a)
+            assert array.stats.hit_rate == pytest.approx(
+                obj.stats.hit_rate, abs=0.05), policy
 
     @pytest.mark.skipif(not native_available(),
                         reason="no C compiler; python path already covered")
@@ -88,8 +156,10 @@ class TestArrayBackendParity:
                 cache._roles[:] = 3
             return cache
 
-        for policy, duel in (("LRU", False), ("SRRIP", False),
-                             ("BRRIP", False), ("DRRIP", False),
+        for policy, duel in (("LRU", False), ("LIP", False),
+                             ("SRRIP", False), ("BRRIP", False),
+                             ("BIP", False), ("DIP", False),
+                             ("PDP", False), ("DRRIP", False),
                              ("DRRIP", True)):
             whole = build(policy, duel)
             whole.run(addrs)
@@ -203,10 +273,18 @@ class TestFactoryAndStats:
     def test_resolve_backend(self):
         assert resolve_backend("auto", "LRU") == "array"
         assert resolve_backend("auto", "SRRIP") == "array"
+        # The whole exact tier rides the array backend under "auto" ...
+        assert resolve_backend("auto", "LIP") == "array"
+        assert resolve_backend("auto", "PDP") == "array"
+        # ... while the randomized policies stay on the reference model
+        # unless the array backend is requested explicitly.
         assert resolve_backend("auto", "DRRIP") == "object"
+        assert resolve_backend("auto", "DIP") == "object"
+        assert resolve_backend("array", "DIP") == "array"
+        assert resolve_backend("array", "PDP") == "array"
         assert resolve_backend("object", "LRU") == "object"
         with pytest.raises(ValueError):
-            resolve_backend("array", "PDP")
+            resolve_backend("array", "TA-DRRIP")
         with pytest.raises(ValueError):
             resolve_backend("turbo", "LRU")
 
