@@ -13,17 +13,23 @@ from .cache import (CacheStats, SetAssociativeCache, lru_factory,
 from .factory import (BACKENDS, POLICY_NAMES, build_cache, cache_geometry,
                       named_policy_factory, resolve_backend)
 from .hashing import H3Hash, SamplingFunction, mix64, set_index
-from .partition import (FutilityScalingCache, IdealPartitionedCache,
+from .partition import (ARRAY_SCHEMES, ArrayPartitionedCache,
+                        FutilityScalingCache, IdealPartitionedCache,
                         PartitionedCache, SetPartitionedCache,
                         VantagePartitionedCache, WayPartitionedCache,
-                        make_partitioned_cache)
+                        make_partitioned_cache, partitionable_lines_for)
 from .replacement import (BIPPolicy, BRRIPPolicy, BeladyMINPolicy, DIPPolicy,
                           DRRIPPolicy, EvictionPolicy, LIPPolicy, LRUPolicy,
                           PDPPolicy, RandomPolicy, SRRIPPolicy, TADRRIPPolicy,
                           make_policy)
+from .spec import CacheSpec, PartitionSpec, TalusSpec, build
 from .talus_cache import ShadowPair, TalusCache
 
 __all__ = [
+    "CacheSpec",
+    "PartitionSpec",
+    "TalusSpec",
+    "build",
     "CacheStats",
     "SetAssociativeCache",
     "ArraySetAssociativeCache",
@@ -48,7 +54,10 @@ __all__ = [
     "SetPartitionedCache",
     "VantagePartitionedCache",
     "FutilityScalingCache",
+    "ArrayPartitionedCache",
+    "ARRAY_SCHEMES",
     "make_partitioned_cache",
+    "partitionable_lines_for",
     "EvictionPolicy",
     "LRUPolicy",
     "LIPPolicy",

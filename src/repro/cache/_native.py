@@ -83,6 +83,20 @@ class NativeKernel:
         ]
         lib.stack_hist_run.restype = ctypes.c_int64
         lib.stack_hist_run.argtypes = [_I64, ctypes.c_int64, _I64]
+        lib.part_lru_run.restype = ctypes.c_int64
+        lib.part_lru_run.argtypes = [
+            _I64, _I64, ctypes.c_int64, ctypes.c_int64,
+            _I64, _I64, _I64,
+            _I64, _I64, _I64,
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, _I64,
+        ]
+        lib.part_srrip_run.restype = ctypes.c_int64
+        lib.part_srrip_run.argtypes = [
+            _I64, _I64, ctypes.c_int64, ctypes.c_int64,
+            _I64, _I64, _I64,
+            _I64, _I64, _I64, _I64,
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, _I64,
+        ]
 
     def lru_run(self, addrs, num_sets, ways, tags, stamp, counter,
                 lip=0, hashed=0, index_seed=0) -> int:
@@ -122,6 +136,28 @@ class NativeKernel:
         """Fill ``hist`` with stack-distance counts; returns cold misses
         (or -1 when scratch allocation failed and nothing was written)."""
         return int(self.lib.stack_hist_run(addrs, addrs.size, hist))
+
+    def part_lru_run(self, addrs, parts, num_regions, region_sets,
+                     region_ways, region_off, tags, stamp, counter, lip,
+                     miss_out, hashed=0, index_seed=0) -> int:
+        """Interleaved multi-partition LRU/LIP replay; fills per-partition
+        miss counts into ``miss_out`` and returns the total (-1 on a bad
+        partition id)."""
+        return int(self.lib.part_lru_run(addrs, parts, addrs.size,
+                                         num_regions, region_sets,
+                                         region_ways, region_off, tags,
+                                         stamp, counter, lip, hashed,
+                                         index_seed, miss_out))
+
+    def part_srrip_run(self, addrs, parts, num_regions, region_sets,
+                       region_ways, region_off, tags, rrpv, stamp, counter,
+                       max_rrpv, miss_out, hashed=0, index_seed=0) -> int:
+        """Interleaved multi-partition SRRIP replay (see part_lru_run)."""
+        return int(self.lib.part_srrip_run(addrs, parts, addrs.size,
+                                           num_regions, region_sets,
+                                           region_ways, region_off, tags,
+                                           rrpv, stamp, counter, max_rrpv,
+                                           hashed, index_seed, miss_out))
 
 
 def _cache_dir() -> Path:

@@ -479,6 +479,145 @@ int64_t pdp_run(const int64_t *addrs, int64_t n, int64_t num_sets,
     return misses;
 }
 
+/* ------------------------------------------------------ partitioned replay --- */
+
+/* Interleaved multi-partition replay (way/set partitioning, Talus shadow
+ * pairs).  Each access carries the id of the partition that owns it
+ * (parts[i]); partition p's lines live in the caller-owned flat buffers at
+ * region_off[p], organized as region_sets[p] x region_ways[p] — the
+ * per-partition occupancy target granted by the partitioning scheme.
+ * Regions are fully independent (no line migrates between partitions), so
+ * this is bit-identical to replaying each partition's subsequence through
+ * the corresponding single-cache kernel.
+ *
+ * A region with zero sets or ways is a zero-capacity partition: every
+ * access misses and nothing is retained (matching a zero-capacity object
+ * policy region).  Fills per-partition miss counts into miss_out (caller-
+ * zeroed) and returns the total miss count, or -1 on an out-of-range
+ * partition id (state may be partially advanced; callers validate first).
+ */
+int64_t part_lru_run(const int64_t *addrs, const int64_t *parts, int64_t n,
+                     int64_t num_regions, const int64_t *region_sets,
+                     const int64_t *region_ways, const int64_t *region_off,
+                     int64_t *tags, int64_t *stamp, int64_t *counter_io,
+                     int64_t lip, int64_t hashed, int64_t index_seed,
+                     int64_t *miss_out)
+{
+    int64_t total_misses = 0;
+    int64_t t = counter_io[0];
+    uint64_t seed_mul = (uint64_t)index_seed * GOLDEN;
+
+    for (int64_t i = 0; i < n; i++) {
+        int64_t a = addrs[i];
+        int64_t p = parts[i];
+        if (p < 0 || p >= num_regions)
+            return -1;
+        int64_t nsets = region_sets[p], ways = region_ways[p];
+        if (nsets <= 0 || ways <= 0) {
+            miss_out[p]++;
+            total_misses++;
+            continue;
+        }
+        int64_t s = set_of(a, nsets, hashed, seed_mul);
+        int64_t *row = tags + region_off[p] + s * ways;
+        int64_t *st = stamp + region_off[p] + s * ways;
+        int64_t hit = -1, empty = -1, victim = 0;
+        int64_t best = I64_MAX;
+
+        for (int64_t w = 0; w < ways; w++) {
+            int64_t tag = row[w];
+            if (tag == a) { hit = w; break; }
+            if (tag == EMPTY) {
+                if (empty < 0) empty = w;
+            } else if (st[w] < best) {
+                best = st[w];
+                victim = w;
+            }
+        }
+        t++;
+        if (hit >= 0) {
+            st[hit] = t;
+        } else {
+            miss_out[p]++;
+            total_misses++;
+            int64_t w = (empty >= 0) ? empty : victim;
+            row[w] = a;
+            if (lip && best != I64_MAX)
+                st[w] = best - 1;   /* in front of the current LRU line */
+            else
+                st[w] = t;
+        }
+    }
+    counter_io[0] = t;
+    return total_misses;
+}
+
+/* SRRIP variant of part_lru_run: same region layout plus a flat RRPV
+ * buffer.  Insertion is always the SRRIP long re-reference position
+ * (max_rrpv - 1); the bimodal/dueling variants keep per-region state on
+ * the Python side and are replayed per partition instead. */
+int64_t part_srrip_run(const int64_t *addrs, const int64_t *parts, int64_t n,
+                       int64_t num_regions, const int64_t *region_sets,
+                       const int64_t *region_ways, const int64_t *region_off,
+                       int64_t *tags, int64_t *rrpv, int64_t *stamp,
+                       int64_t *counter_io, int64_t max_rrpv, int64_t hashed,
+                       int64_t index_seed, int64_t *miss_out)
+{
+    int64_t total_misses = 0;
+    int64_t t = counter_io[0];
+    uint64_t seed_mul = (uint64_t)index_seed * GOLDEN;
+
+    for (int64_t i = 0; i < n; i++) {
+        int64_t a = addrs[i];
+        int64_t p = parts[i];
+        if (p < 0 || p >= num_regions)
+            return -1;
+        int64_t nsets = region_sets[p], ways = region_ways[p];
+        if (nsets <= 0 || ways <= 0) {
+            miss_out[p]++;
+            total_misses++;
+            continue;
+        }
+        int64_t s = set_of(a, nsets, hashed, seed_mul);
+        int64_t *row = tags + region_off[p] + s * ways;
+        int64_t *rv = rrpv + region_off[p] + s * ways;
+        int64_t *st = stamp + region_off[p] + s * ways;
+        int64_t hit = -1, empty = -1;
+
+        for (int64_t w = 0; w < ways; w++) {
+            int64_t tag = row[w];
+            if (tag == a) { hit = w; break; }
+            if (tag == EMPTY && empty < 0) empty = w;
+        }
+        t++;
+        if (hit >= 0) {
+            rv[hit] = 0; /* hit priority */
+            st[hit] = t;
+            continue;
+        }
+        miss_out[p]++;
+        total_misses++;
+
+        if (empty < 0) {
+            int64_t maxp = -1;
+            for (int64_t w = 0; w < ways; w++)
+                if (rv[w] > maxp) maxp = rv[w];
+            int64_t victim = 0, best = I64_MAX;
+            for (int64_t w = 0; w < ways; w++)
+                if (rv[w] == maxp && st[w] < best) { best = st[w]; victim = w; }
+            int64_t d = max_rrpv - maxp;
+            if (d > 0)
+                for (int64_t w = 0; w < ways; w++) rv[w] += d;
+            empty = victim;
+        }
+        row[empty] = a;
+        rv[empty] = max_rrpv - 1; /* SRRIP long re-reference insertion */
+        st[empty] = t;
+    }
+    counter_io[0] = t;
+    return total_misses;
+}
+
 /* --------------------------------------------------------- stack distance --- */
 
 static inline void fen_add(int64_t *tree, int64_t size, int64_t index,

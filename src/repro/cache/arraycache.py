@@ -151,6 +151,11 @@ class ArraySetAssociativeCache:
         constructors would.
     """
 
+    #: Marker for the sweep engine: ``run`` replays a whole trace in one
+    #: batched (native-kernel) call, so streaming it access by access
+    #: alongside object caches would waste the fast path.
+    supports_batch_replay = True
+
     def __init__(self, num_sets: int, ways: int, policy: str = "LRU",
                  m_bits: int = 2, epsilon: float = 1.0 / 32.0,
                  seed: int = 0, hashed_index: bool = False,
@@ -544,6 +549,37 @@ class ArraySetAssociativeCache:
                               self.tags, self.stamp, self._counter,
                               1 if self.policy == "LIP" else 0,
                               hashed, self.index_seed)
+
+    def to_spec(self):
+        """A :class:`~repro.cache.spec.CacheSpec` rebuilding this cache.
+
+        Caches built from a spec return it verbatim; directly constructed
+        caches are reconstructed from their own attributes (non-default
+        RRIP/bimodal parameters included; PDP tuning parameters are only
+        preserved when the cache was built from a spec).
+        """
+        stored = getattr(self, "_built_spec", None)
+        if stored is not None:
+            return stored
+        from .spec import CacheSpec
+        kwargs = {}
+        if self.policy in _RRIP_FAMILY and self.m_bits != 2:
+            kwargs["m_bits"] = self.m_bits
+        if (self.policy in _RRIP_FAMILY or self.policy in _DIP_FAMILY) \
+                and self.epsilon != 1.0 / 32.0:
+            kwargs["epsilon"] = self.epsilon
+        return CacheSpec(capacity_lines=self.capacity_lines, ways=self.ways,
+                         policy=self.policy, backend="array",
+                         seed=self.seed or None,
+                         hashed_index=self.hashed_index,
+                         index_seed=self.index_seed,
+                         policy_kwargs=tuple(sorted(kwargs.items())))
+
+    @classmethod
+    def from_spec(cls, spec):
+        """Build a cache from a :class:`~repro.cache.spec.CacheSpec`."""
+        from .spec import build
+        return build(spec)
 
     def __repr__(self) -> str:
         return (f"ArraySetAssociativeCache(sets={self.num_sets}, "

@@ -197,6 +197,33 @@ class SetAssociativeCache:
         """Zero the statistics without touching cache contents."""
         self.stats = CacheStats()
 
+    def to_spec(self):
+        """A :class:`~repro.cache.spec.CacheSpec` rebuilding this cache.
+
+        Caches built from a spec (or through ``build_cache``) return it
+        verbatim; directly constructed caches recover the policy name from
+        the first set's policy instance (constructor keyword arguments of
+        custom factories are not recoverable).
+        """
+        stored = getattr(self, "_built_spec", None)
+        if stored is not None:
+            return stored
+        from .spec import CacheSpec
+        return CacheSpec(capacity_lines=self.capacity_lines, ways=self.ways,
+                         policy=self._sets[0].name, backend="object",
+                         hashed_index=self.hashed_index,
+                         index_seed=self.index_seed)
+
+    @classmethod
+    def from_spec(cls, spec):
+        """Build a cache from a :class:`~repro.cache.spec.CacheSpec`.
+
+        The concrete class follows the spec's backend, so the result is
+        not necessarily an instance of ``cls``.
+        """
+        from .spec import build
+        return build(spec)
+
     def __repr__(self) -> str:
         return (f"SetAssociativeCache(sets={self.num_sets}, ways={self.ways}, "
                 f"capacity={self.capacity_lines} lines)")

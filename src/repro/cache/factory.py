@@ -8,9 +8,7 @@ experiments can just ask for a policy by name.
 
 from __future__ import annotations
 
-from .arraycache import (ARRAY_EXACT_POLICIES, ARRAY_POLICIES,
-                         ArraySetAssociativeCache)
-from .cache import SetAssociativeCache
+from .arraycache import ARRAY_EXACT_POLICIES, ARRAY_POLICIES
 from .replacement import (BIPPolicy, BRRIPPolicy, DIPPolicy, DRRIPPolicy,
                           LIPPolicy, LRUPolicy, PDPPolicy, RandomPolicy,
                           SRRIPPolicy, TADRRIPPolicy)
@@ -110,7 +108,11 @@ def resolve_backend(backend: str, policy: str) -> str:
     speed.
     """
     if backend not in BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}; known: {BACKENDS}")
+        raise ValueError(f"unknown backend {backend!r}; valid backends: "
+                         f"{', '.join(BACKENDS)}")
+    if policy not in POLICY_NAMES:
+        raise ValueError(f"unknown policy {policy!r}; valid policies: "
+                         f"{', '.join(POLICY_NAMES)}")
     if backend == "auto":
         return "array" if policy in ARRAY_EXACT_POLICIES else "object"
     if backend == "array" and policy not in ARRAY_POLICIES:
@@ -125,6 +127,10 @@ def build_cache(capacity_lines: int, ways: int = 16, policy: str = "LRU",
                 hashed_index: bool = False, index_seed: int = 0,
                 **policy_kwargs):
     """Build a simulatable cache of ``capacity_lines`` for ``policy``.
+
+    Legacy shim over the declarative spec API: the arguments are packed
+    into a :class:`repro.cache.spec.CacheSpec` and built through it, so
+    this signature and ``build(CacheSpec(...))`` are interchangeable.
 
     Returns either a :class:`~repro.cache.cache.SetAssociativeCache` (object
     backend) or an :class:`~repro.cache.arraycache.ArraySetAssociativeCache`
@@ -143,16 +149,8 @@ def build_cache(capacity_lines: int, ways: int = 16, policy: str = "LRU",
         indexing by default, or the :func:`repro.cache.hashing.set_index`
         hash when ``hashed_index`` is true.
     """
-    num_sets, eff_ways = cache_geometry(capacity_lines, ways)
-    backend = resolve_backend(backend, policy)
-    kwargs = dict(policy_kwargs)
-    if seed is not None and policy in SEEDED_POLICIES:
-        kwargs.setdefault("seed", seed)
-    if backend == "array":
-        return ArraySetAssociativeCache(num_sets, eff_ways, policy=policy,
-                                        hashed_index=hashed_index,
-                                        index_seed=index_seed, **kwargs)
-    factory = named_policy_factory(policy, num_sets, **kwargs)
-    return SetAssociativeCache(num_sets, eff_ways, factory,
-                               index_seed=index_seed,
-                               hashed_index=hashed_index)
+    from .spec import CacheSpec
+    return CacheSpec(capacity_lines=capacity_lines, ways=ways, policy=policy,
+                     backend=backend, seed=seed, hashed_index=hashed_index,
+                     index_seed=index_seed,
+                     policy_kwargs=tuple(sorted(policy_kwargs.items()))).build()

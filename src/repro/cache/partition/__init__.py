@@ -1,10 +1,11 @@
 """Cache partitioning schemes (hardware enforcement of capacity allocations)."""
 
+from .array import ARRAY_SCHEMES, ArrayPartitionedCache
 from .base import PartitionedCache
 from .futility import FutilityScalingCache
 from .ideal import IdealPartitionedCache
 from .setpart import SetPartitionedCache
-from .vantage import VantagePartitionedCache
+from .vantage import VantagePartitionedCache, vantage_managed_lines
 from .way import WayPartitionedCache
 
 __all__ = [
@@ -14,8 +15,11 @@ __all__ = [
     "SetPartitionedCache",
     "VantagePartitionedCache",
     "FutilityScalingCache",
+    "ArrayPartitionedCache",
+    "ARRAY_SCHEMES",
     "SCHEME_REGISTRY",
     "make_partitioned_cache",
+    "partitionable_lines_for",
 ]
 
 #: Registry of partitioning schemes by the short names used in the paper's
@@ -29,15 +33,47 @@ SCHEME_REGISTRY = {
 }
 
 
+def partitionable_lines_for(scheme: str, capacity_lines: int,
+                            num_partitions: int, ways: int = 16,
+                            scheme_kwargs: dict | None = None) -> int:
+    """Partitionable capacity of a scheme configuration, without building it.
+
+    Matches ``make_partitioned_cache(...).partitionable_lines`` exactly —
+    including the way/set geometry truncation (capacity rounds down to
+    whole sets) and Vantage's unmanaged region — so planners
+    (:func:`repro.sim.engine.talus_sweep_configs`, the spec layer) can
+    plan allocations from a declarative description alone.
+    """
+    scheme = scheme.lower()
+    kwargs = scheme_kwargs or {}
+    if scheme in ("ideal", "futility"):
+        return capacity_lines
+    if scheme == "vantage":
+        return vantage_managed_lines(
+            capacity_lines, kwargs.get("unmanaged_fraction", 0.10))
+    if scheme == "way":
+        return max(1, capacity_lines // ways) * ways
+    if scheme == "set":
+        return max(num_partitions, capacity_lines // ways) * ways
+    raise ValueError(f"unknown partitioning scheme {scheme!r}; "
+                     f"known: {sorted(SCHEME_REGISTRY)}")
+
+
 def make_partitioned_cache(scheme: str, capacity_lines: int, num_partitions: int,
                            policy_factory=None, ways: int = 16,
                            **kwargs) -> PartitionedCache:
-    """Construct a partitioned cache by scheme name.
+    """Construct an object-model partitioned cache by scheme name.
+
+    This is the reference (object-backend) factory; the declarative
+    entry point :func:`repro.cache.spec.build` routes
+    :class:`~repro.cache.spec.PartitionSpec` objects here or to the
+    array-backend :class:`ArrayPartitionedCache` fast path.
 
     Parameters
     ----------
     scheme:
-        One of ``"ideal"``, ``"way"``, ``"set"``, ``"vantage"``.
+        One of ``"ideal"``, ``"way"``, ``"set"``, ``"vantage"``,
+        ``"futility"``.
     capacity_lines:
         Total capacity in lines.
     num_partitions:

@@ -1,0 +1,505 @@
+"""Array-backed partitioned caches: the Talus/partition fast path.
+
+This is the partitioned counterpart of
+:class:`repro.cache.arraycache.ArraySetAssociativeCache`.  Way, set and
+ideal partitioning all share one structural property the object model
+enforces implicitly: partitions are *independent regions* — no line ever
+moves between partitions and no replacement decision reads another
+partition's state.  That independence is what makes a batched fast path
+possible:
+
+* each partition's state lives in numpy matrices (for way/set
+  partitioning, slices of one flat per-line buffer, so a single native
+  kernel call can replay an interleaved multi-partition access stream with
+  per-line partition ownership and per-partition occupancy targets);
+* a whole trace *with per-access partition ids* is replayed by
+  :meth:`ArrayPartitionedCache.run_partitioned` in one pass — one
+  ``part_lru_run``/``part_srrip_run`` kernel call for the recency/RRIP
+  policies, or one existing per-region kernel call per partition for the
+  rest (PDP and the seeded tier), which is equivalent exactly because the
+  regions are independent;
+* idealized (fully-associative) partitioning runs LRU through a one-shot
+  stack-distance pass per partition (hit iff stack distance < allocation),
+  which is bit-identical to a fully-associative
+  :class:`~repro.cache.replacement.lru.LRUPolicy` region and avoids an
+  O(allocation) scan per access.
+
+Exactness matches the plain array cache: LRU, LIP and SRRIP (and PDP via
+the per-region path) are bit-identical to the object-model schemes in
+:mod:`repro.cache.partition`; BIP/DIP/BRRIP/DRRIP are deterministic per
+seed but draw from splitmix64 streams, and their set-dueling state is
+per-region rather than shared across a shadow pair, so they stay off the
+``auto`` tier.
+
+Allocations are granted with the *same* rounding helpers as the object
+schemes (:func:`~repro.cache.partition.way.round_to_ways`,
+:func:`~repro.cache.partition.setpart.round_to_sets`,
+:func:`~repro.cache.partition.base.trim_line_allocations`).  Reallocation
+is supported only while every partition is empty — the array backend
+targets the build/configure/replay pattern of the sweeps; use the object
+backend for interval-based dynamic reconfiguration.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .._native import get_kernel
+from ..arraycache import ARRAY_POLICIES, ArraySetAssociativeCache
+from ..cache import materialize_addresses
+from ..replacement.lru import LRUPolicy
+from .base import PartitionedCache, trim_line_allocations
+from .setpart import round_to_sets
+from .way import round_to_ways
+
+__all__ = ["ArrayPartitionedCache", "ARRAY_SCHEMES"]
+
+#: Partitioning schemes the array backend implements.
+ARRAY_SCHEMES = ("ideal", "way", "set")
+
+#: Policies replayed by the interleaved multi-region part kernels.
+_PART_KERNEL_POLICIES = ("LRU", "LIP", "SRRIP")
+
+_EMPTY = -1
+
+
+class _FastIdealLRURegion:
+    """A fully-associative LRU region with a stack-distance batch replay.
+
+    The per-access path is the object model itself (an
+    :class:`~repro.cache.replacement.lru.LRUPolicy`); the batch path
+    replays the region's resident lines (LRU -> MRU) followed by the new
+    accesses through the native ``stack_hist_run`` kernel and counts hits
+    as accesses with stack distance below the allocation — which is the
+    stack property, so results are bit-identical to the per-access path.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = int(capacity)
+        self._policy = LRUPolicy(self.capacity)
+
+    def access(self, address: int) -> bool:
+        return self._policy.access(int(address))
+
+    def occupancy(self) -> int:
+        return len(self._policy)
+
+    def _run_python(self, addrs: np.ndarray) -> int:
+        misses = 0
+        access = self._policy.access
+        for a in addrs.tolist():
+            if not access(a):
+                misses += 1
+        return misses
+
+    def run_batch(self, addrs: np.ndarray) -> int:
+        """Replay ``addrs``; returns the miss count and updates the state."""
+        n = int(addrs.size)
+        if n == 0:
+            return 0
+        if self.capacity == 0:
+            return n
+        kernel = get_kernel()
+        if kernel is None:
+            return self._run_python(addrs)
+        resident = np.asarray(list(self._policy.resident()), dtype=np.int64)
+        replay = np.concatenate([resident, addrs]) if resident.size else addrs
+        hist = np.zeros(replay.size, dtype=np.int64)
+        cold = kernel.stack_hist_run(replay, hist)
+        if cold < 0:  # scratch allocation failed inside the kernel
+            return self._run_python(addrs)
+        hits = int(hist[:min(self.capacity, hist.size)].sum())
+        # The resident-prefix accesses are all cold (distinct tags), so
+        # every counted hit belongs to the new accesses.
+        misses = n - hits
+        # Final LRU state: the last `capacity` distinct addresses, most
+        # recent at MRU.
+        reversed_replay = replay[::-1]
+        uniq, first = np.unique(reversed_replay, return_index=True)
+        recent_first = uniq[np.argsort(first)][: self.capacity]
+        policy = LRUPolicy(self.capacity)
+        for tag in recent_first[::-1].tolist():
+            policy.access(int(tag))
+        self._policy = policy
+        return misses
+
+
+class ArrayPartitionedCache(PartitionedCache):
+    """Way/set/ideal partitioning with numpy state and batched native replay.
+
+    Parameters
+    ----------
+    scheme:
+        One of :data:`ARRAY_SCHEMES` ("ideal", "way", "set").  Vantage and
+        futility scaling couple partitions through shared victim state and
+        stay object-only.
+    capacity_lines, num_partitions, ways:
+        As in :func:`repro.cache.partition.make_partitioned_cache`; the
+        way/set geometries derive the set count exactly as the object
+        factory does.
+    policy:
+        One of :data:`~repro.cache.arraycache.ARRAY_POLICIES` for way/set
+        partitioning; idealized partitions are fully associative and
+        support "LRU" only.
+    hashed_index, index_seed:
+        Set-index scheme of the way/set organizations (same hash as the
+        object model).
+    min_ways_per_partition:
+        Way-partitioning coarsening floor (as in
+        :class:`~repro.cache.partition.way.WayPartitionedCache`).
+    policy_kwargs:
+        Extra policy parameters (e.g. ``seed`` or ``epsilon``), forwarded
+        to every region's :class:`ArraySetAssociativeCache`.
+    """
+
+    def __init__(self, scheme: str, capacity_lines: int, num_partitions: int,
+                 policy: str = "LRU", ways: int = 16,
+                 hashed_index: bool = False, index_seed: int = 0,
+                 min_ways_per_partition: int = 1, **policy_kwargs):
+        scheme = scheme.lower()
+        if scheme not in ARRAY_SCHEMES:
+            raise ValueError(
+                f"the array backend does not implement partitioning scheme "
+                f"{scheme!r} (supported: {ARRAY_SCHEMES}); use backend='object'")
+        if capacity_lines <= 0:
+            raise ValueError("capacity_lines must be positive")
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        if scheme == "ideal":
+            if policy != "LRU":
+                raise ValueError(
+                    f"array-backed ideal partitioning is fully associative "
+                    f"and supports policy 'LRU' only, got {policy!r}; use "
+                    f"backend='object' or scheme 'way'/'set'")
+            capacity = capacity_lines
+            num_sets = 0
+        else:
+            if policy not in ARRAY_POLICIES:
+                raise ValueError(
+                    f"array backend does not implement {policy!r}; "
+                    f"supported: {ARRAY_POLICIES}")
+            if scheme == "way":
+                num_sets = max(1, capacity_lines // ways)
+                if num_partitions > ways:
+                    raise ValueError(
+                        f"cannot way-partition {ways} ways into "
+                        f"{num_partitions} partitions")
+            else:
+                num_sets = max(num_partitions, capacity_lines // ways)
+            capacity = num_sets * ways
+        super().__init__(capacity, num_partitions)
+        self.scheme = scheme
+        self.scheme_name = scheme
+        self.policy = policy
+        self.ways = ways
+        self.num_sets = num_sets
+        self.hashed_index = bool(hashed_index)
+        self.index_seed = index_seed
+        self.min_ways = min_ways_per_partition
+        self._policy_kwargs = dict(policy_kwargs)
+        if scheme == "way":
+            self._way_alloc = round_to_ways(
+                [self.capacity_lines / num_partitions] * num_partitions,
+                num_sets, ways, self.min_ways)
+            # The object model builds each partition's policy regions once,
+            # at this equal-split allocation, and later reallocations only
+            # change capacities — so capacity-derived policy parameters
+            # (PDP's tuning) are frozen at these way counts.  Recorded so
+            # the array regions can replicate that exactly.
+            self._initial_ways = list(self._way_alloc)
+        elif scheme == "set":
+            base_sets = num_sets // num_partitions
+            self._set_alloc = [base_sets] * num_partitions
+            self._set_alloc[0] += num_sets - base_sets * num_partitions
+        else:
+            base = capacity // num_partitions
+            self._line_alloc = [base] * num_partitions
+        self._rebuild_regions()
+
+    # ------------------------------------------------------------------ #
+    # Region construction
+    # ------------------------------------------------------------------ #
+    def _region_geometries(self) -> list[tuple[int, int]]:
+        """Per-partition (num_sets, ways) geometry; (0, 0) when empty."""
+        if self.scheme == "way":
+            return [(self.num_sets, w) if w > 0 else (0, 0)
+                    for w in self._way_alloc]
+        if self.scheme == "set":
+            return [(s, self.ways) if s > 0 else (0, 0)
+                    for s in self._set_alloc]
+        return [(1, c) if c > 0 else (0, 0) for c in self._line_alloc]
+
+    def _rebuild_regions(self) -> None:
+        if self.scheme == "ideal":
+            self._regions = [
+                _FastIdealLRURegion(c) if c > 0 else None
+                for c in self._line_alloc]
+            self._flat_ready = False
+            return
+        self._regions = []
+        for p, (sets_p, ways_p) in enumerate(self._region_geometries()):
+            if sets_p <= 0 or ways_p <= 0:
+                self._regions.append(None)
+                continue
+            kwargs = self._region_policy_kwargs(p, ways_p)
+            self._regions.append(ArraySetAssociativeCache(
+                sets_p, ways_p, policy=self.policy,
+                hashed_index=self.hashed_index, index_seed=self.index_seed,
+                **kwargs))
+        self._link_flat_state()
+
+    def _region_policy_kwargs(self, partition: int, ways_p: int) -> dict:
+        """Policy kwargs for one region, replicating object-model quirks.
+
+        Way-partitioned PDP regions in the object model keep the tuning
+        parameters derived from their *construction-time* (equal-split)
+        capacity even after reallocation shrinks or grows them — only the
+        capacity itself changes.  The array regions are rebuilt at the
+        final way count, so the construction-time derivations are passed
+        explicitly to stay bit-identical.
+        """
+        kwargs = dict(self._policy_kwargs)
+        if self.policy != "PDP" or self.scheme != "way":
+            return kwargs
+        w0 = max(self._initial_ways[partition], 1)
+        interval = kwargs.get("recompute_interval")
+        if interval is None:
+            interval = max(128, 16 * w0)
+        factor = kwargs.get("max_distance_factor", 3.0)
+        max_candidate = max(1, int(factor * w0))
+        initial = kwargs.get("initial_distance")
+        if not initial:
+            initial = max(1, self._initial_ways[partition])
+        kwargs.update(
+            recompute_interval=interval,
+            initial_distance=initial,
+            # Chosen so int(factor * ways_p) lands exactly on the object
+            # model's construction-time candidate bound.
+            max_distance_factor=(max_candidate + 0.5) / max(ways_p, 1),
+        )
+        return kwargs
+
+    def _link_flat_state(self) -> None:
+        """Re-point region matrices into one flat per-line buffer.
+
+        Lines of all partitions live in a single tags/stamp (and, for the
+        RRIP family, RRPV) buffer, each partition owning the slice
+        described by the region geometry arrays — the layout the
+        interleaved ``part_*_run`` kernels replay in one call.  The region
+        objects keep views into the same memory, so the per-access Python
+        path and the kernels stay interchangeable.
+        """
+        self._flat_ready = self.policy in _PART_KERNEL_POLICIES
+        geoms = self._region_geometries()
+        self._region_sets = np.array([g[0] for g in geoms], dtype=np.int64)
+        self._region_ways = np.array([g[1] for g in geoms], dtype=np.int64)
+        lengths = self._region_sets * self._region_ways
+        self._region_off = np.zeros(self.num_partitions, dtype=np.int64)
+        np.cumsum(lengths[:-1], out=self._region_off[1:])
+        if not self._flat_ready:
+            return
+        total = int(lengths.sum())
+        self._flat_tags = np.full(total, _EMPTY, dtype=np.int64)
+        self._flat_stamp = np.zeros(total, dtype=np.int64)
+        rrip = self.policy == "SRRIP"
+        max_rrpv = 3
+        self._flat_rrpv = None
+        if rrip:
+            for region in self._regions:
+                if region is not None:
+                    max_rrpv = region.max_rrpv
+                    break
+            self._flat_rrpv = np.full(total, max_rrpv, dtype=np.int64)
+        self._max_rrpv = max_rrpv
+        self._shared_counter = np.zeros(1, dtype=np.int64)
+        for p, region in enumerate(self._regions):
+            if region is None:
+                continue
+            start = int(self._region_off[p])
+            end = start + int(lengths[p])
+            shape = (region.num_sets, region.ways)
+            region.tags = self._flat_tags[start:end].reshape(shape)
+            region.stamp = self._flat_stamp[start:end].reshape(shape)
+            if rrip:
+                region.rrpv = self._flat_rrpv[start:end].reshape(shape)
+            region._counter = self._shared_counter
+
+    def _occupied(self) -> bool:
+        return any(self.partition_occupancy(p) > 0
+                   for p in range(self.num_partitions))
+
+    # ------------------------------------------------------------------ #
+    # PartitionedCache interface
+    # ------------------------------------------------------------------ #
+    def set_allocations(self, sizes: Sequence[float]) -> list[int]:
+        sizes = self._check_requests(sizes)
+        if self.scheme == "way":
+            new = round_to_ways(sizes, self.num_sets, self.ways, self.min_ways)
+            current = self._way_alloc
+        elif self.scheme == "set":
+            new = round_to_sets(sizes, self.num_sets, self.ways)
+            current = self._set_alloc
+        else:
+            new = trim_line_allocations(sizes, self.capacity_lines)
+            current = self._line_alloc
+        if new != current:
+            if self._occupied():
+                raise RuntimeError(
+                    "ArrayPartitionedCache supports reallocation only while "
+                    "all partitions are empty (the build/configure/replay "
+                    "pattern); use backend='object' for dynamic "
+                    "reconfiguration")
+            if self.scheme == "way":
+                self._way_alloc = new
+            elif self.scheme == "set":
+                self._set_alloc = new
+            else:
+                self._line_alloc = new
+            self._rebuild_regions()
+        return self.granted_allocations()
+
+    def granted_allocations(self) -> list[int]:
+        if self.scheme == "way":
+            return [w * self.num_sets for w in self._way_alloc]
+        if self.scheme == "set":
+            return [s * self.ways for s in self._set_alloc]
+        return list(self._line_alloc)
+
+    def access(self, address: int, partition: int) -> bool:
+        self._check_partition(partition)
+        region = self._regions[partition]
+        if region is None:
+            self.record(partition, False)
+            return False
+        hit = region.access(address)
+        self.record(partition, hit)
+        return hit
+
+    def partition_occupancy(self, partition: int) -> int:
+        self._check_partition(partition)
+        region = self._regions[partition]
+        return 0 if region is None else region.occupancy()
+
+    # ------------------------------------------------------------------ #
+    # Batched replay
+    # ------------------------------------------------------------------ #
+    def run_partitioned(self, trace, parts) -> tuple[np.ndarray, np.ndarray]:
+        """Replay a trace with per-access partition ids in one batch.
+
+        Parameters
+        ----------
+        trace:
+            Addresses (any form :func:`materialize_addresses` accepts).
+        parts:
+            Partition id of each access (int array, same length).
+
+        Returns
+        -------
+        (accesses, misses):
+            Per-partition int64 access and miss counts of this replay.
+            Per-partition statistics are updated as the per-access path
+            would (counts are order-independent, so both paths agree).
+        """
+        addrs = materialize_addresses(trace)
+        parts = np.ascontiguousarray(np.asarray(parts, dtype=np.int64))
+        if addrs.shape != parts.shape or addrs.ndim != 1:
+            raise ValueError("trace and parts must be 1-D and equally long")
+        accesses = np.zeros(self.num_partitions, dtype=np.int64)
+        misses = np.zeros(self.num_partitions, dtype=np.int64)
+        if addrs.size == 0:
+            return accesses, misses
+        if int(parts.min()) < 0 or int(parts.max()) >= self.num_partitions:
+            raise ValueError(
+                f"partition ids must be in [0, {self.num_partitions})")
+        accesses += np.bincount(parts, minlength=self.num_partitions)
+        kernel = get_kernel()
+        if self._flat_ready and kernel is not None:
+            if bool(np.any(addrs == _EMPTY)):
+                raise ValueError("address -1 is reserved as the empty-way "
+                                 "sentinel; the array backend cannot cache it")
+            self._run_part_kernel(kernel, addrs, parts, accesses, misses)
+        else:
+            for p in range(self.num_partitions):
+                if accesses[p] == 0:
+                    continue
+                sub = addrs[parts == p]
+                region = self._regions[p]
+                if region is None:
+                    misses[p] = sub.size
+                elif isinstance(region, _FastIdealLRURegion):
+                    misses[p] = region.run_batch(sub)
+                else:
+                    before = region.stats.misses
+                    region.run(sub)
+                    misses[p] = region.stats.misses - before
+        for p in range(self.num_partitions):
+            stats = self.partition_stats[p]
+            a, m = int(accesses[p]), int(misses[p])
+            stats.accesses += a
+            stats.misses += m
+            stats.hits += a - m
+        return accesses, misses
+
+    def _run_part_kernel(self, kernel, addrs: np.ndarray, parts: np.ndarray,
+                         accesses: np.ndarray, miss_out: np.ndarray) -> None:
+        hashed = 1 if self.hashed_index else 0
+        if self.policy == "SRRIP":
+            result = kernel.part_srrip_run(
+                addrs, parts, self.num_partitions, self._region_sets,
+                self._region_ways, self._region_off, self._flat_tags,
+                self._flat_rrpv, self._flat_stamp, self._shared_counter,
+                self._max_rrpv, miss_out, hashed, self.index_seed)
+        else:
+            result = kernel.part_lru_run(
+                addrs, parts, self.num_partitions, self._region_sets,
+                self._region_ways, self._region_off, self._flat_tags,
+                self._flat_stamp, self._shared_counter,
+                1 if self.policy == "LIP" else 0, miss_out, hashed,
+                self.index_seed)
+        if result < 0:
+            raise RuntimeError("native partitioned replay rejected the input")
+        # Keep the per-region counters coherent with the split path.
+        for p, region in enumerate(self._regions):
+            if region is None:
+                continue
+            sub_accesses = int(accesses[p])
+            sub_misses = int(miss_out[p])
+            region.stats.accesses += sub_accesses
+            region.stats.misses += sub_misses
+            region.stats.hits += sub_accesses - sub_misses
+
+    # ------------------------------------------------------------------ #
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        for region in self._regions:
+            if isinstance(region, ArraySetAssociativeCache):
+                region.reset_stats()
+
+    def to_spec(self):
+        """A :class:`~repro.cache.spec.PartitionSpec` rebuilding this cache."""
+        from ..spec import PartitionSpec
+        return PartitionSpec(
+            scheme=self.scheme,
+            capacity_lines=self.capacity_lines,
+            num_partitions=self.num_partitions,
+            policy=self.policy,
+            ways=self.ways,
+            backend="array",
+            hashed_index=self.hashed_index,
+            index_seed=self.index_seed,
+            targets=tuple(float(g) for g in self.granted_allocations()),
+            policy_kwargs=tuple(sorted(self._policy_kwargs.items())),
+            scheme_kwargs=self._spec_scheme_kwargs(),
+        )
+
+    def _spec_scheme_kwargs(self) -> tuple:
+        if self.scheme == "way" and self.min_ways != 1:
+            return (("min_ways_per_partition", self.min_ways),)
+        return ()
+
+    def __repr__(self) -> str:
+        return (f"ArrayPartitionedCache(scheme={self.scheme!r}, "
+                f"capacity={self.capacity_lines} lines, "
+                f"partitions={self.num_partitions}, policy={self.policy!r})")

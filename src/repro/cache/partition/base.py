@@ -25,11 +25,31 @@ from typing import Sequence
 
 from ..cache import CacheStats
 
-__all__ = ["PartitionedCache"]
+__all__ = ["PartitionedCache", "trim_line_allocations"]
+
+
+def trim_line_allocations(sizes: Sequence[float], capacity: int) -> list[int]:
+    """Round fractional line requests and trim the total back to ``capacity``.
+
+    Rounding can push the total one or two lines above capacity; the largest
+    allocations are decremented until it fits.  This is the line-granularity
+    rounding rule shared by every scheme without coarser quantization (ideal,
+    Vantage's managed region, futility scaling) and by their array-backend
+    counterparts — keeping it in one place is what makes the backends grant
+    identical allocations.
+    """
+    granted = [int(round(s)) for s in sizes]
+    while sum(granted) > capacity:
+        granted[granted.index(max(granted))] -= 1
+    return granted
 
 
 class PartitionedCache(ABC):
     """Abstract base class for partitioned cache organizations."""
+
+    #: Scheme name under which :func:`repro.cache.spec.build` rebuilds this
+    #: organization (set by each concrete subclass).
+    scheme_name: str = ""
 
     def __init__(self, capacity_lines: int, num_partitions: int):
         if capacity_lines <= 0:
@@ -95,6 +115,57 @@ class PartitionedCache(ABC):
                 f"requested {total} lines exceeds partitionable capacity "
                 f"{self.partitionable_lines}")
         return sizes
+
+    # ------------------------------------------------------------------ #
+    # Declarative-spec round-tripping
+    # ------------------------------------------------------------------ #
+    def _first_policy(self):
+        """The first region's policy instance (None when unavailable).
+
+        Used by :meth:`to_spec` to recover the policy name; subclasses with
+        non-trivial region containers override it.
+        """
+        regions = getattr(self, "_regions", None)
+        return regions[0] if regions else None
+
+    def _spec_scheme_kwargs(self) -> tuple:
+        """Non-default scheme parameters to record in the spec."""
+        return ()
+
+    def to_spec(self):
+        """A :class:`~repro.cache.spec.PartitionSpec` rebuilding this cache.
+
+        Best effort: the policy name is recovered from the first region's
+        policy instance (constructor keyword arguments of custom policy
+        factories are not recoverable), and the current granted allocations
+        become the spec's targets.  ``build(cache.to_spec())`` therefore
+        reproduces this organization as configured *now*, not its access
+        history.
+        """
+        from ..spec import PartitionSpec
+        policy = self._first_policy()
+        return PartitionSpec(
+            scheme=self.scheme_name,
+            capacity_lines=self.capacity_lines,
+            num_partitions=self.num_partitions,
+            policy=policy.name if policy is not None else "LRU",
+            ways=getattr(self, "ways", 16),
+            backend="object",
+            hashed_index=getattr(self, "hashed_index", False),
+            index_seed=getattr(self, "index_seed", 0),
+            targets=tuple(float(g) for g in self.granted_allocations()),
+            scheme_kwargs=self._spec_scheme_kwargs(),
+        )
+
+    @classmethod
+    def from_spec(cls, spec) -> "PartitionedCache":
+        """Build a partitioned cache from a :class:`PartitionSpec`.
+
+        The concrete class is chosen by the spec's scheme and backend, so
+        the result is not necessarily an instance of ``cls``.
+        """
+        from ..spec import build
+        return build(spec)
 
     def record(self, partition: int, hit: bool) -> None:
         """Update the per-partition statistics."""

@@ -40,6 +40,8 @@ class FutilityScalingCache(PartitionedCache):
         decides *which* partition gives up a line.
     """
 
+    scheme_name = "futility"
+
     def __init__(self, capacity_lines: int, num_partitions: int,
                  policy_factory: PolicyFactory = lru_factory):
         super().__init__(capacity_lines, num_partitions)

@@ -13,7 +13,7 @@ from typing import Sequence
 
 from ..cache import lru_factory
 from ..replacement.base import PolicyFactory
-from .base import PartitionedCache
+from .base import PartitionedCache, trim_line_allocations
 
 __all__ = ["IdealPartitionedCache"]
 
@@ -33,6 +33,8 @@ class IdealPartitionedCache(PartitionedCache):
         :meth:`set_allocations`.
     """
 
+    scheme_name = "ideal"
+
     def __init__(self, capacity_lines: int, num_partitions: int,
                  policy_factory: PolicyFactory = lru_factory):
         super().__init__(capacity_lines, num_partitions)
@@ -42,11 +44,7 @@ class IdealPartitionedCache(PartitionedCache):
 
     def set_allocations(self, sizes: Sequence[float]) -> list[int]:
         sizes = self._check_requests(sizes)
-        granted = [int(round(s)) for s in sizes]
-        # Rounding can push the total one or two lines above capacity; trim
-        # the largest allocations until it fits.
-        while sum(granted) > self.capacity_lines:
-            granted[granted.index(max(granted))] -= 1
+        granted = trim_line_allocations(sizes, self.capacity_lines)
         for region, lines in zip(self._regions, granted):
             region.set_capacity(lines)
         self._allocations = granted

@@ -16,7 +16,20 @@ from ..hashing import mix64
 from ..replacement.base import EvictionPolicy, PolicyFactory
 from .base import PartitionedCache
 
-__all__ = ["SetPartitionedCache"]
+__all__ = ["SetPartitionedCache", "round_to_sets"]
+
+
+def round_to_sets(sizes: Sequence[float], num_sets: int, ways: int) -> list[int]:
+    """Convert per-partition line requests to whole sets (sum <= num_sets).
+
+    Nonzero requests get at least one set; the total is trimmed from the
+    largest allocations.  Shared by the object and array backends.
+    """
+    requested_sets = [s / ways for s in sizes]
+    granted = [max(1, int(round(r))) if r > 0 else 0 for r in requested_sets]
+    while sum(granted) > num_sets:
+        granted[granted.index(max(granted))] -= 1
+    return granted
 
 
 class SetPartitionedCache(PartitionedCache):
@@ -27,6 +40,8 @@ class SetPartitionedCache(PartitionedCache):
     partition with more sets behaves exactly like a larger cache — which is
     the property the Talus worked example relies on.
     """
+
+    scheme_name = "set"
 
     def __init__(self, num_sets: int, ways: int, num_partitions: int,
                  policy_factory: PolicyFactory = lru_factory,
@@ -51,11 +66,7 @@ class SetPartitionedCache(PartitionedCache):
         ]
 
     def _round_to_sets(self, sizes: Sequence[float]) -> list[int]:
-        requested_sets = [s / self.ways for s in sizes]
-        granted = [max(1, int(round(r))) if r > 0 else 0 for r in requested_sets]
-        while sum(granted) > self.num_sets:
-            granted[granted.index(max(granted))] -= 1
-        return granted
+        return round_to_sets(sizes, self.num_sets, self.ways)
 
     def set_allocations(self, sizes: Sequence[float]) -> list[int]:
         sizes = self._check_requests(sizes)
@@ -95,3 +106,9 @@ class SetPartitionedCache(PartitionedCache):
     def partition_occupancy(self, partition: int) -> int:
         self._check_partition(partition)
         return sum(len(region) for region in self._regions[partition])
+
+    def _first_policy(self):
+        for regions in self._regions:
+            if regions:
+                return regions[0]
+        return None

@@ -22,9 +22,19 @@ from typing import Sequence
 
 from ..cache import lru_factory
 from ..replacement.base import EvictionPolicy, PolicyFactory
-from .base import PartitionedCache
+from .base import PartitionedCache, trim_line_allocations
 
-__all__ = ["VantagePartitionedCache"]
+__all__ = ["VantagePartitionedCache", "vantage_managed_lines"]
+
+
+def vantage_managed_lines(capacity_lines: int,
+                          unmanaged_fraction: float = 0.10) -> int:
+    """Lines of a Vantage cache that are partitionable (the managed region).
+
+    Kept as a module function so planners can compute the partitionable
+    capacity of a configuration without building the cache.
+    """
+    return capacity_lines - int(round(capacity_lines * unmanaged_fraction))
 
 
 class VantagePartitionedCache(PartitionedCache):
@@ -42,6 +52,8 @@ class VantagePartitionedCache(PartitionedCache):
         Fraction of capacity in the unmanaged region (paper: 0.10).
     """
 
+    scheme_name = "vantage"
+
     def __init__(self, capacity_lines: int, num_partitions: int,
                  policy_factory: PolicyFactory = lru_factory,
                  unmanaged_fraction: float = 0.10):
@@ -49,8 +61,9 @@ class VantagePartitionedCache(PartitionedCache):
             raise ValueError("unmanaged_fraction must be in [0, 1)")
         super().__init__(capacity_lines, num_partitions)
         self.unmanaged_fraction = unmanaged_fraction
-        self._unmanaged_capacity = int(round(capacity_lines * unmanaged_fraction))
-        self._managed_capacity = capacity_lines - self._unmanaged_capacity
+        self._managed_capacity = vantage_managed_lines(capacity_lines,
+                                                       unmanaged_fraction)
+        self._unmanaged_capacity = capacity_lines - self._managed_capacity
         base = self._managed_capacity // num_partitions
         self._regions = [policy_factory(i, base) for i in range(num_partitions)]
         self._allocations = [base] * num_partitions
@@ -70,9 +83,7 @@ class VantagePartitionedCache(PartitionedCache):
 
     def set_allocations(self, sizes: Sequence[float]) -> list[int]:
         sizes = self._check_requests(sizes)
-        granted = [int(round(s)) for s in sizes]
-        while sum(granted) > self._managed_capacity:
-            granted[granted.index(max(granted))] -= 1
+        granted = trim_line_allocations(sizes, self._managed_capacity)
         for part, (region, lines) in enumerate(zip(self._regions, granted)):
             for victim in region.set_capacity(lines):
                 self._demote(victim, part)
@@ -130,3 +141,8 @@ class VantagePartitionedCache(PartitionedCache):
     def unmanaged_occupancy(self) -> int:
         """Number of lines currently resident in the unmanaged region."""
         return len(self._unmanaged)
+
+    def _spec_scheme_kwargs(self) -> tuple:
+        if self.unmanaged_fraction != 0.10:
+            return (("unmanaged_fraction", self.unmanaged_fraction),)
+        return ()

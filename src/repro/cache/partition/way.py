@@ -18,7 +18,43 @@ from ..hashing import mix64
 from ..replacement.base import EvictionPolicy, PolicyFactory
 from .base import PartitionedCache
 
-__all__ = ["WayPartitionedCache"]
+__all__ = ["WayPartitionedCache", "round_to_ways"]
+
+
+def round_to_ways(sizes: Sequence[float], num_sets: int, ways: int,
+                  min_ways: int = 1) -> list[int]:
+    """Convert per-partition line requests to integer ways (sum <= ways).
+
+    Partitions with a nonzero request get at least ``min_ways``; leftover
+    ways go to the largest fractional remainders.  Shared by the object and
+    array backends so both grant identical way allocations.
+    """
+    requested_ways = [s / num_sets for s in sizes]
+    granted = [int(w) for w in requested_ways]
+    for i, req in enumerate(requested_ways):
+        if req > 0 and granted[i] < min_ways:
+            granted[i] = min_ways
+    # Distribute leftover ways by largest fractional remainder.
+    remainders = sorted(range(len(sizes)),
+                        key=lambda i: requested_ways[i] - int(requested_ways[i]),
+                        reverse=True)
+    spare = ways - sum(granted)
+    idx = 0
+    while spare > 0 and remainders:
+        granted[remainders[idx % len(remainders)]] += 1
+        spare -= 1
+        idx += 1
+    while sum(granted) > ways:
+        # Shrink the largest allocation (never below min_ways if nonzero).
+        order = sorted(range(len(granted)), key=lambda i: granted[i],
+                       reverse=True)
+        for i in order:
+            if granted[i] > min_ways or (granted[i] > 0 and sum(granted) - granted[i] >= ways):
+                granted[i] -= 1
+                break
+        else:
+            granted[order[0]] -= 1
+    return granted
 
 
 class WayPartitionedCache(PartitionedCache):
@@ -41,6 +77,8 @@ class WayPartitionedCache(PartitionedCache):
         ways (real systems cannot give a core zero ways without effectively
         disabling its cache).
     """
+
+    scheme_name = "way"
 
     def __init__(self, num_sets: int, ways: int, num_partitions: int,
                  policy_factory: PolicyFactory = lru_factory,
@@ -72,32 +110,7 @@ class WayPartitionedCache(PartitionedCache):
     # ------------------------------------------------------------------ #
     def _round_to_ways(self, sizes: Sequence[float]) -> list[int]:
         """Convert line requests to integer ways per partition (sum <= ways)."""
-        requested_ways = [s / self.num_sets for s in sizes]
-        granted = [int(w) for w in requested_ways]
-        for i, req in enumerate(requested_ways):
-            if req > 0 and granted[i] < self.min_ways:
-                granted[i] = self.min_ways
-        # Distribute leftover ways by largest fractional remainder.
-        remainders = sorted(range(len(sizes)),
-                            key=lambda i: requested_ways[i] - int(requested_ways[i]),
-                            reverse=True)
-        spare = self.ways - sum(granted)
-        idx = 0
-        while spare > 0 and remainders:
-            granted[remainders[idx % len(remainders)]] += 1
-            spare -= 1
-            idx += 1
-        while sum(granted) > self.ways:
-            # Shrink the largest allocation (never below min_ways if nonzero).
-            order = sorted(range(len(granted)), key=lambda i: granted[i],
-                           reverse=True)
-            for i in order:
-                if granted[i] > self.min_ways or (granted[i] > 0 and sum(granted) - granted[i] >= self.ways):
-                    granted[i] -= 1
-                    break
-            else:
-                granted[order[0]] -= 1
-        return granted
+        return round_to_ways(sizes, self.num_sets, self.ways, self.min_ways)
 
     def set_allocations(self, sizes: Sequence[float]) -> list[int]:
         sizes = self._check_requests(sizes)
@@ -133,3 +146,11 @@ class WayPartitionedCache(PartitionedCache):
     def partition_occupancy(self, partition: int) -> int:
         self._check_partition(partition)
         return sum(len(region) for region in self._regions[partition])
+
+    def _first_policy(self):
+        return self._regions[0][0] if self._regions and self._regions[0] else None
+
+    def _spec_scheme_kwargs(self) -> tuple:
+        if self.min_ways != 1:
+            return (("min_ways_per_partition", self.min_ways),)
+        return ()

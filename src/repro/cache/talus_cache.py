@@ -20,9 +20,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..core.misscurve import MissCurve
 from ..core.talus import TalusConfig, plan_shadow_partitions
-from .cache import CacheStats
+from .cache import CacheStats, materialize_addresses
 from .hashing import SamplingFunction
 from .partition.base import PartitionedCache
 
@@ -153,10 +155,42 @@ class TalusCache:
         self.logical_stats[logical].record(hit)
         return hit
 
+    @property
+    def supports_batch_replay(self) -> bool:
+        """Whether :meth:`run` replays a whole trace in one batched pass.
+
+        True when the underlying partitioned cache offers
+        ``run_partitioned`` (the array backend); the steering decisions are
+        then vectorized and the replay runs in the native kernel.
+        """
+        return hasattr(self.base, "run_partitioned")
+
     def run(self, trace, logical: int = 0, instructions: int = 0) -> CacheStats:
-        """Replay a trace on behalf of one logical partition."""
-        for address in trace:
-            self.access(int(address), logical)
+        """Replay a trace on behalf of one logical partition.
+
+        On an array-backed base (:attr:`supports_batch_replay`) the whole
+        trace is steered in one vectorized H3 pass and replayed through
+        ``run_partitioned`` — bit-identical to the per-access path, since
+        the sampling function is a pure function of the address.
+        """
+        self._check_logical(logical)
+        if self.supports_batch_replay:
+            addrs = materialize_addresses(trace)
+            pair = self._pairs[logical]
+            hashes = pair.sampler.hash.hash_array(addrs)
+            parts = np.where(hashes < np.uint64(pair.sampler.limit),
+                             pair.alpha_index, pair.beta_index
+                             ).astype(np.int64)
+            _, misses = self.base.run_partitioned(addrs, parts)
+            stats = self.logical_stats[logical]
+            n = int(addrs.size)
+            m = int(misses[pair.alpha_index] + misses[pair.beta_index])
+            stats.accesses += n
+            stats.misses += m
+            stats.hits += n - m
+        else:
+            for address in trace:
+                self.access(int(address), logical)
         if instructions:
             self.logical_stats[logical].instructions += instructions
         return self.logical_stats[logical]
@@ -180,6 +214,28 @@ class TalusCache:
         """Zero logical and underlying partition statistics."""
         self.logical_stats = [CacheStats() for _ in range(self.num_logical)]
         self.base.reset_stats()
+
+    def to_spec(self):
+        """A :class:`~repro.cache.spec.TalusSpec` rebuilding this cache.
+
+        The underlying partitioned cache round-trips through its own
+        ``to_spec``, and the currently programmed (effective, post-
+        coarsening) configurations are recorded per logical partition, so
+        ``build(talus.to_spec())`` reproduces this cache as configured now.
+        """
+        from .spec import TalusSpec
+        sampler = self._pairs[0].sampler
+        return TalusSpec(partition=self.base.to_spec(),
+                         num_logical=self.num_logical,
+                         sampler_bits=sampler.out_bits,
+                         sampler_seed=sampler.hash.seed,
+                         configs=tuple(pair.config for pair in self._pairs))
+
+    @classmethod
+    def from_spec(cls, spec) -> "TalusCache":
+        """Build a Talus cache from a :class:`~repro.cache.spec.TalusSpec`."""
+        from .spec import build
+        return build(spec)
 
     def _check_logical(self, logical: int) -> None:
         if not 0 <= logical < self.num_logical:

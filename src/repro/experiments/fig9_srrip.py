@@ -52,8 +52,10 @@ def run_fig9(benchmark: str = "libquantum",
         curve (as in the paper); if False, it plans on the directly
         simulated SRRIP curve (an idealized monitor).
     backend:
-        Simulation backend for the SRRIP size sweep (the default "auto"
-        picks the array/native core, which is bit-identical for SRRIP).
+        Simulation backend for the SRRIP size sweep *and* the Talus
+        replay (the default "auto" picks the array/native core — for the
+        Talus+W/SRRIP points via the partition-aware fast path — which is
+        bit-identical to the object model for SRRIP).
     """
     profile = get_profile(benchmark)
     if max_mb is None:
@@ -71,7 +73,8 @@ def run_fig9(benchmark: str = "libquantum",
         planning = srrip
     talus = talus_simulated_mpki_curve(
         profile, sizes_mb, scheme="way", policy="SRRIP",
-        planning_curve=planning, safety_margin=safety_margin, n_accesses=n)
+        planning_curve=planning, safety_margin=safety_margin, n_accesses=n,
+        backend=backend)
     hull = convex_hull(srrip)
 
     sizes = tuple(float(s) for s in sizes_mb)

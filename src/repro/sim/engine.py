@@ -21,9 +21,9 @@ from typing import Sequence
 
 import numpy as np
 
-from ..cache.factory import named_policy_factory
 from ..cache.partition import make_partitioned_cache
 from ..cache.replacement.base import PolicyFactory
+from ..cache.spec import PartitionSpec, TalusSpec
 from ..cache.talus_cache import TalusCache
 from ..core.misscurve import MissCurve
 from ..core.talus import plan_shadow_partitions
@@ -40,6 +40,7 @@ __all__ = [
     "monitored_mpki_curve",
     "talus_simulated_mpki_curve",
     "talus_sweep_configs",
+    "plan_talus_spec",
     "simulate_policy_at_size",
     "DEFAULT_WAYS",
 ]
@@ -121,15 +122,18 @@ def talus_simulated_mpki_curve(profile: AppProfile,
                                ways: int = DEFAULT_WAYS,
                                policy_factory: PolicyFactory | None = None,
                                scheme_kwargs: dict | None = None,
+                               backend: str = "auto",
                                ) -> MissCurve:
     """Simulated Talus MPKI curve on a partitioning scheme (Fig. 8 / Fig. 9).
 
     For each target size, a Talus configuration is planned from
     ``planning_curve`` (default: the profile's exact LRU curve — the role the
-    UMONs play in hardware), programmed into a :class:`TalusCache` built on
-    ``scheme``, and the profile's trace is replayed through it.  All sizes
-    ride one :func:`repro.sim.sweep.run_sweep` pass: the trace is streamed
-    once through every planned Talus cache instead of once per size.
+    UMONs play in hardware), packed into a
+    :class:`~repro.cache.spec.TalusSpec`, and the profile's trace is
+    replayed through the built cache.  All sizes ride one
+    :func:`repro.sim.sweep.run_sweep` pass; on the (default) "auto"
+    backend, way/set/ideal schemes with exact-tier policies replay in the
+    partition-aware native kernel, bit-identical to the object model.
 
     Parameters
     ----------
@@ -147,6 +151,9 @@ def talus_simulated_mpki_curve(profile: AppProfile,
         :class:`~repro.monitor.multipoint.MultiPointMonitor`.
     safety_margin:
         Sampling-rate margin (the paper's implementation uses 5 %).
+    backend:
+        Backend of the underlying partitioned caches ("object", "array"
+        or "auto").
     """
     sizes_mb = sorted(set(float(s) for s in sizes_mb))
     trace = profile.trace(n_accesses=n_accesses) if n_accesses else profile.trace(seed=seed)
@@ -157,10 +164,42 @@ def talus_simulated_mpki_curve(profile: AppProfile,
                                   planning_curve=planning_curve,
                                   safety_margin=safety_margin, ways=ways,
                                   policy_factory=policy_factory,
-                                  scheme_kwargs=scheme_kwargs)
-    result = run_sweep(trace, configs, backend="object")
+                                  scheme_kwargs=scheme_kwargs,
+                                  backend=backend)
+    result = run_sweep(trace, configs)
     mpki_values = [result.mpki(("talus", size_mb)) for size_mb in sizes_mb]
     return MissCurve(np.asarray(sizes_mb), np.asarray(mpki_values))
+
+
+def plan_talus_spec(size_mb: float,
+                    planning_curve: MissCurve,
+                    scheme: str = "vantage",
+                    policy: str = "LRU",
+                    safety_margin: float = 0.05,
+                    ways: int = DEFAULT_WAYS,
+                    backend: str = "auto",
+                    scheme_kwargs: dict | None = None) -> TalusSpec:
+    """Plan one Talus configuration and pack it as a declarative spec.
+
+    The shadow-partition split is planned on ``planning_curve`` at the
+    scheme's partitionable capacity (computed from the description alone
+    via :func:`repro.cache.partition.partitionable_lines_for`, without
+    building the cache) and converted to simulated lines; the result is a
+    frozen, picklable :class:`~repro.cache.spec.TalusSpec` ready for
+    ``build(spec)`` or a :class:`~repro.sim.sweep.SweepConfig`.
+    """
+    lines = paper_mb_to_lines(size_mb)
+    partition = PartitionSpec(
+        scheme=scheme, capacity_lines=lines, num_partitions=2,
+        policy=policy, ways=ways, backend=backend,
+        scheme_kwargs=tuple(sorted((scheme_kwargs or {}).items())))
+    partitionable_mb = partition.partitionable_lines / paper_mb_to_lines(1.0)
+    config = plan_shadow_partitions(planning_curve,
+                                    min(size_mb, partitionable_mb)
+                                    if partitionable_mb > 0 else size_mb,
+                                    safety_margin=safety_margin)
+    return TalusSpec(partition=partition,
+                     configs=(_config_to_lines(config),))
 
 
 def talus_sweep_configs(sizes_mb: Sequence[float],
@@ -171,7 +210,8 @@ def talus_sweep_configs(sizes_mb: Sequence[float],
                         ways: int = DEFAULT_WAYS,
                         policy_factory: PolicyFactory | None = None,
                         scheme_kwargs: dict | None = None,
-                        label: object = "talus") -> list[SweepConfig]:
+                        label: object = "talus",
+                        backend: str = "auto") -> list[SweepConfig]:
     """Sweep configs for planned Talus caches, one per target size.
 
     Each config's key is ``(label, size_mb)``, so several scheme/policy/
@@ -181,6 +221,12 @@ def talus_sweep_configs(sizes_mb: Sequence[float],
     that map to zero lines become builder-less zero-capacity configs, which
     the sweep engine reports as all-miss — the trace's full miss rate, as
     the seed per-size loop did.
+
+    Configs are declarative :func:`plan_talus_spec` specs (picklable, and
+    batched through the partition-aware fast path wherever ``backend``
+    resolves to the array model).  A custom ``policy_factory`` cannot be
+    expressed declaratively, so it falls back to the legacy object-model
+    builder closure.
     """
     if planning_curve is None:
         raise ValueError("planning_curve is required")
@@ -189,13 +235,9 @@ def talus_sweep_configs(sizes_mb: Sequence[float],
     def talus_builder(size_mb: float):
         def build():
             lines = paper_mb_to_lines(size_mb)
-            factory = policy_factory
-            if factory is None:
-                # Two shadow partitions: dueling-by-set is unavailable, so
-                # use the standalone variants of each policy.
-                factory = named_policy_factory(policy, 2)
             base = make_partitioned_cache(scheme, lines, 2,
-                                          policy_factory=factory, ways=ways,
+                                          policy_factory=policy_factory,
+                                          ways=ways,
                                           **(scheme_kwargs or {}))
             talus = TalusCache(base, num_logical=1)
             # Plan in MB on the planning curve, then convert the shadow
@@ -209,10 +251,22 @@ def talus_sweep_configs(sizes_mb: Sequence[float],
             return talus
         return build
 
-    return [SweepConfig(key=(label, size_mb), size_mb=size_mb,
-                        builder=(talus_builder(size_mb)
-                                 if paper_mb_to_lines(size_mb) > 0 else None))
-            for size_mb in sizes_mb]
+    configs = []
+    for size_mb in sizes_mb:
+        if paper_mb_to_lines(size_mb) <= 0:
+            configs.append(SweepConfig(key=(label, size_mb), size_mb=size_mb))
+        elif policy_factory is not None:
+            configs.append(SweepConfig(key=(label, size_mb), size_mb=size_mb,
+                                       builder=talus_builder(size_mb)))
+        else:
+            spec = plan_talus_spec(size_mb, planning_curve, scheme=scheme,
+                                   policy=policy,
+                                   safety_margin=safety_margin, ways=ways,
+                                   backend=backend,
+                                   scheme_kwargs=scheme_kwargs)
+            configs.append(SweepConfig(key=(label, size_mb), size_mb=size_mb,
+                                       spec=spec))
+    return configs
 
 
 def _config_to_lines(config):

@@ -156,6 +156,12 @@ class SharedCacheExperiment:
         Fraction of the cache the partitioning hardware manages (all
         partitioned schemes run on Vantage in the paper's methodology, so
         the same fraction applies to every partitioned scheme).
+    substrate:
+        Optional :class:`~repro.cache.spec.PartitionSpec` describing the
+        partitioning hardware declaratively; when given, the managed
+        fraction is derived from its exact partitionable capacity
+        (``partitionable_lines / capacity_lines``) instead of
+        ``vantage_fraction``.
     """
 
     def __init__(self, mix: WorkloadMix, total_mb: float,
@@ -164,11 +170,16 @@ class SharedCacheExperiment:
                  granularity_mb: float | None = None,
                  safety_margin: float = 0.0,
                  equilibrium_seed: int = 1,
-                 vantage_fraction: float = TALUS_PARTITIONABLE_FRACTION):
+                 vantage_fraction: float = TALUS_PARTITIONABLE_FRACTION,
+                 substrate=None):
         if total_mb <= 0:
             raise ValueError("total_mb must be positive")
+        if substrate is not None:
+            vantage_fraction = (substrate.partitionable_lines
+                                / substrate.capacity_lines)
         if not 0.0 < vantage_fraction <= 1.0:
             raise ValueError("vantage_fraction must be in (0, 1]")
+        self.substrate = substrate
         self.mix = mix
         self.total_mb = float(total_mb)
         self.curve_max_mb = float(curve_max_mb if curve_max_mb is not None

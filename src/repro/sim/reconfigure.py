@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..cache.partition import make_partitioned_cache
+from ..cache.spec import PartitionSpec, TalusSpec, build
 from ..cache.talus_cache import TalusCache
 from ..core.misscurve import MissCurve
 from ..core.talus import TalusConfig, plan_shadow_partitions
@@ -81,12 +81,21 @@ class ReconfiguringTalusRun:
         lines = paper_mb_to_lines(self.target_mb)
         if lines <= 0:
             raise ValueError("target_mb too small for the configured scale")
-        base = make_partitioned_cache(self.scheme, lines, 2)
-        talus = TalusCache(base, num_logical=1)
-        # Start degenerate: all capacity in the beta partition.
-        talus.configure(0, TalusConfig(total_size=float(lines), alpha=float(lines),
-                                       beta=float(lines), rho=0.0, s1=0.0,
-                                       s2=float(lines), degenerate=True))
+        # Dynamic reconfiguration needs capacity changes on warm partitions,
+        # which only the object model supports — so the spec pins the
+        # backend explicitly.
+        spec = TalusSpec(partition=PartitionSpec(
+            scheme=self.scheme, capacity_lines=lines, num_partitions=2,
+            backend="object"))
+        talus: TalusCache = build(spec)
+        # Start degenerate: all capacity in the beta partition.  The
+        # request is clamped to the scheme's partitionable capacity —
+        # Vantage only partitions its managed 90 %, and an unclamped
+        # full-capacity request is rejected.
+        cap = float(talus.base.partitionable_lines)
+        talus.configure(0, TalusConfig(total_size=cap, alpha=cap,
+                                       beta=cap, rho=0.0, s1=0.0,
+                                       s2=cap, degenerate=True))
         # Hardware UMONs sample at ~1/64 because real LLCs hold millions of
         # lines; at this reproduction's scaled-down sizes that would leave
         # only a handful of sampled lines, so scale the rate to keep a few

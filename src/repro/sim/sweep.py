@@ -71,11 +71,20 @@ class SweepConfig:
     """One point of a sweep.
 
     Standard points are ``(policy, size_mb)`` pairs simulated through
-    :func:`repro.cache.factory.build_cache`.  Arbitrary cache
-    organizations (partitioned caches, Talus wrappers, ...) ride the same
-    engine through ``builder``: a zero-argument callable returning any
-    object with an ``access(address) -> bool`` method.  Builder configs
-    always run on the object path, in-process.
+    :func:`repro.cache.factory.build_cache`.  Richer organizations ride
+    the same engine two ways:
+
+    * ``spec`` — a declarative :mod:`repro.cache.spec` spec
+      (:class:`~repro.cache.spec.TalusSpec` or an explicit
+      :class:`~repro.cache.spec.CacheSpec`; the built cache must accept
+      single-address accesses).  Specs are picklable, so these configs
+      can fan out over a process pool, and caches whose backend supports
+      batched replay run one native-kernel pass instead of joining the
+      per-access streaming loop.
+    * ``builder`` — a zero-argument callable returning any object with an
+      ``access(address) -> bool`` method (the legacy escape hatch, e.g.
+      for custom policy factories).  Builder configs always run
+      in-process.
     """
 
     key: Hashable
@@ -86,6 +95,7 @@ class SweepConfig:
     policy_kwargs: tuple = ()
     builder: Callable[[], object] | None = field(
         default=None, compare=False)
+    spec: object | None = None
 
     @property
     def capacity_lines(self) -> int:
@@ -93,7 +103,14 @@ class SweepConfig:
         return paper_mb_to_lines(self.size_mb)
 
     def build(self, backend: str):
-        """Instantiate the cache for this config on ``backend``."""
+        """Instantiate the cache for this config on ``backend``.
+
+        ``spec`` and ``builder`` configs carry their own backend choice;
+        ``backend`` applies to the standard (policy, size) points.
+        """
+        if self.spec is not None:
+            from ..cache.spec import build as build_spec
+            return build_spec(self.spec)
         if self.builder is not None:
             return self.builder()
         return build_cache(self.capacity_lines, ways=self.ways,
@@ -230,12 +247,22 @@ def _simulate_chunk(addrs: np.ndarray, configs: Sequence[SweepConfig],
     out = []
     object_caches, object_keys = [], []
     for config in configs:
-        if config.builder is None and config.capacity_lines <= 0:
+        custom = config.spec is not None or config.builder is not None
+        if not custom and config.capacity_lines <= 0:
             out.append((config.key, _all_miss_stats(int(addrs.size))))
             continue
-        effective = (backend if config.builder is not None
-                     else resolve_backend(backend, config.policy))
-        if config.builder is None and effective == "array":
+        if custom:
+            cache = config.build(backend)
+            if getattr(cache, "supports_batch_replay", False):
+                # Array-backed organizations (incl. Talus on an array
+                # base) replay the whole trace in one batched pass.
+                cache.run(addrs)
+                out.append((config.key, _extract_stats(cache)))
+            else:
+                object_caches.append(cache)
+                object_keys.append(config.key)
+            continue
+        if resolve_backend(backend, config.policy) == "array":
             cache = config.build("array")
             cache.run(addrs)
             out.append((config.key, _extract_stats(cache)))
@@ -260,10 +287,11 @@ def run_sweep(trace: Trace | np.ndarray | Sequence[int],
     single streaming pass; with the array backend each config is replayed
     by the native kernel.  ``backend``/``max_workers`` override the spec.
 
-    Parallel runs (``max_workers > 1``) fan the standard (non-builder)
-    configs out over a process pool; builder configs always run serially
-    in-process because their closures may not be picklable.  Results are
-    identical regardless of the execution strategy.
+    Parallel runs (``max_workers > 1``) fan the standard and spec-based
+    configs out over a process pool (specs are picklable by construction);
+    builder configs always run serially in-process because their closures
+    may not be.  Results are identical regardless of the execution
+    strategy.
     """
     if isinstance(trace, Trace):
         addrs = np.ascontiguousarray(trace.addresses, dtype=np.int64)

@@ -148,9 +148,12 @@ class TestSharedCacheModel:
 
 class TestReconfiguration:
     def test_reconfiguring_run_tracks_hull(self):
+        # Uses the default scheme (Vantage, as the paper's hardware does):
+        # the degenerate warm-up request is clamped to the managed region,
+        # which the seed failed to do (it crashed on scheme="vantage").
         profile = get_profile("omnetpp")
         trace = profile.trace(n_accesses=60000)
-        run = ReconfiguringTalusRun(target_mb=1.5, scheme="ideal",
+        run = ReconfiguringTalusRun(target_mb=1.5,
                                     interval_accesses=10000)
         run.run(trace)
         assert len(run.records) == 6
