@@ -45,8 +45,13 @@ class NativeKernel:
 
     One method per exported C function: ``lru_run`` (LRU/LIP), ``rrip_run``
     (SRRIP/BRRIP/DRRIP), ``dip_run`` (BIP/DIP), ``pdp_run`` (protecting
-    distance) and ``stack_hist_run`` (one-shot Mattson stack-distance
-    histogram).  All replay kernels accept modulo or hashed set indexing.
+    distance), ``random_run`` (seeded random replacement), ``multi_lru_run``
+    (several LRU/LIP configs in one trace pass), ``stack_hist_run``
+    (one-shot Mattson stack-distance histogram) and ``stack_hist_chunk`` /
+    ``stack_state_rehash`` (the incremental, caller-owned-state variant).
+    All replay kernels accept modulo or hashed set indexing, and all are
+    chunk-resumable: state is passed in and returned, so split replays are
+    bit-identical to one-shot replays.
     """
 
     def __init__(self, lib: ctypes.CDLL):
@@ -56,6 +61,28 @@ class NativeKernel:
             _I64, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
             _I64, _I64, _I64,
             ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+        ]
+        lib.random_run.restype = ctypes.c_int64
+        lib.random_run.argtypes = [
+            _I64, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            _I64, _U64, ctypes.c_int64, ctypes.c_int64,
+        ]
+        lib.multi_lru_run.restype = ctypes.c_int64
+        lib.multi_lru_run.argtypes = [
+            _I64, ctypes.c_int64, ctypes.c_int64,
+            _I64, _I64, _I64, _I64, _I64, _I64, _I64,
+            ctypes.c_int64, ctypes.c_int64, _I64,
+        ]
+        lib.stack_hist_chunk.restype = ctypes.c_int64
+        lib.stack_hist_chunk.argtypes = [
+            _I64, ctypes.c_int64,
+            _I64, _I64, ctypes.c_int64,
+            _I64, ctypes.c_int64, _I64, _I64, _I64,
+            _I64, ctypes.c_int64,
+        ]
+        lib.stack_state_rehash.restype = None
+        lib.stack_state_rehash.argtypes = [
+            _I64, _I64, ctypes.c_int64, _I64, _I64, ctypes.c_int64,
         ]
         lib.rrip_run.restype = ctypes.c_int64
         lib.rrip_run.argtypes = [
@@ -132,10 +159,42 @@ class NativeKernel:
                                     ls_clocks, ls_count, tsize, hashed,
                                     index_seed))
 
+    def random_run(self, addrs, num_sets, ways, tags, rng_state,
+                   hashed=0, index_seed=0) -> int:
+        return int(self.lib.random_run(addrs, addrs.size, num_sets, ways,
+                                       tags, rng_state, hashed, index_seed))
+
+    def multi_lru_run(self, addrs, num_configs, cfg_sets, cfg_ways, cfg_off,
+                      tags, stamp, counters, lip, miss_out,
+                      hashed=0, index_seed=0) -> int:
+        """Replay one trace through several LRU/LIP configs in one pass;
+        fills per-config miss counts into ``miss_out`` and returns the
+        total."""
+        return int(self.lib.multi_lru_run(addrs, addrs.size, num_configs,
+                                          cfg_sets, cfg_ways, cfg_off, tags,
+                                          stamp, counters, lip, hashed,
+                                          index_seed, miss_out))
+
     def stack_hist_run(self, addrs, hist) -> int:
         """Fill ``hist`` with stack-distance counts; returns cold misses
         (or -1 when scratch allocation failed and nothing was written)."""
         return int(self.lib.stack_hist_run(addrs, addrs.size, hist))
+
+    def stack_hist_chunk(self, addrs, tab_tags, tab_vals, tree, pos, live,
+                         cold, hist) -> int:
+        """Advance a caller-owned incremental stack-distance state by one
+        chunk; returns 0, or -1 when the state arrays are too small for the
+        chunk (grow and retry)."""
+        return int(self.lib.stack_hist_chunk(
+            addrs, addrs.size, tab_tags, tab_vals, tab_tags.size, tree,
+            tree.size - 1, pos, live, cold, hist, hist.size))
+
+    def stack_state_rehash(self, old_tags, old_vals, new_tags,
+                           new_vals) -> None:
+        """Re-probe every occupied slot of a last-position table into a
+        larger caller-allocated table (``new_vals`` pre-filled with -1)."""
+        self.lib.stack_state_rehash(old_tags, old_vals, old_tags.size,
+                                    new_tags, new_vals, new_tags.size)
 
     def part_lru_run(self, addrs, parts, num_regions, region_sets,
                      region_ways, region_off, tags, stamp, counter, lip,

@@ -27,7 +27,17 @@
  * repro.cache.hashing.set_index.
  *
  * stack_hist_run is a one-shot Mattson stack-distance pass (Fenwick tree +
- * open-addressing last-position table) used by the LRU miss-curve monitors.
+ * open-addressing last-position table) used by the LRU miss-curve monitors;
+ * stack_hist_chunk is its *stateful* sibling: the table, tree, position
+ * counter and histogram are caller-owned, so a monitor can feed the trace
+ * in chunks (the resumable-runtime contract) without ever re-replaying.
+ *
+ * Every replay kernel is chunk-resumable by construction: all state is
+ * passed in and returned through caller-owned arrays, so calling a kernel
+ * on a trace split at arbitrary boundaries is bit-identical to one call on
+ * the whole trace.  multi_lru_run additionally replays one trace through
+ * several independent LRU/LIP configurations in a single pass (shared
+ * trace decode for batched sweeps).
  *
  * Compiled on demand by repro.cache._native with a plain `cc -O3 -shared`;
  * no Python headers are required (the library is loaded through ctypes).
@@ -125,6 +135,44 @@ int64_t lru_run(const int64_t *addrs, int64_t n, int64_t num_sets,
         }
     }
     counter_io[0] = t;
+    return misses;
+}
+
+/* --------------------------------------------------------------- Random --- */
+
+/* Replay `n` addresses through a random-replacement cache.  Hits leave all
+ * state untouched; misses fill the first empty way, or evict a uniformly
+ * random way when the set is full (every way is resident then, so this is
+ * uniform over resident lines — the object model's RandomPolicy semantics).
+ * Victims are drawn from the shared splitmix64 stream, so the kernel is
+ * deterministic per seed and matches the Python fallback draw for draw,
+ * but it is not bit-identical to the object model's Mersenne twister. */
+int64_t random_run(const int64_t *addrs, int64_t n, int64_t num_sets,
+                   int64_t ways, int64_t *tags, uint64_t *rng_state,
+                   int64_t hashed, int64_t index_seed)
+{
+    int64_t misses = 0;
+    uint64_t seed_mul = (uint64_t)index_seed * GOLDEN;
+
+    for (int64_t i = 0; i < n; i++) {
+        int64_t a = addrs[i];
+        int64_t s = set_of(a, num_sets, hashed, seed_mul);
+        int64_t *row = tags + s * ways;
+        int64_t hit = -1, empty = -1;
+
+        for (int64_t w = 0; w < ways; w++) {
+            int64_t tag = row[w];
+            if (tag == a) { hit = w; break; }
+            if (tag == EMPTY && empty < 0) empty = w;
+        }
+        if (hit >= 0)
+            continue;
+        misses++;
+        int64_t w = empty;
+        if (w < 0)
+            w = (int64_t)(splitmix64_next(rng_state) % (uint64_t)ways);
+        row[w] = a;
+    }
     return misses;
 }
 
@@ -618,6 +666,68 @@ int64_t part_srrip_run(const int64_t *addrs, const int64_t *parts, int64_t n,
     return total_misses;
 }
 
+/* ----------------------------------------------------- multi-config replay --- */
+
+/* Replay one trace through `num_configs` independent LRU/LIP caches in a
+ * single pass (shared trace decode).  Config c's lines live in the flat
+ * caller-owned buffers at cfg_off[c], organized as cfg_sets[c] x
+ * cfg_ways[c]; counters and the LIP flag are per config.  Bit-identical to
+ * `num_configs` separate lru_run calls over the same trace — the configs
+ * never interact — but the trace is streamed through memory once instead
+ * of once per config.  Fills per-config miss counts into miss_out
+ * (caller-zeroed) and returns the total. */
+int64_t multi_lru_run(const int64_t *addrs, int64_t n, int64_t num_configs,
+                      const int64_t *cfg_sets, const int64_t *cfg_ways,
+                      const int64_t *cfg_off, int64_t *tags, int64_t *stamp,
+                      int64_t *counters, const int64_t *lip, int64_t hashed,
+                      int64_t index_seed, int64_t *miss_out)
+{
+    int64_t total_misses = 0;
+    uint64_t seed_mul = (uint64_t)index_seed * GOLDEN;
+
+    for (int64_t i = 0; i < n; i++) {
+        int64_t a = addrs[i];
+        for (int64_t c = 0; c < num_configs; c++) {
+            int64_t nsets = cfg_sets[c], ways = cfg_ways[c];
+            if (nsets <= 0 || ways <= 0) {
+                miss_out[c]++;
+                total_misses++;
+                continue;
+            }
+            int64_t s = set_of(a, nsets, hashed, seed_mul);
+            int64_t *row = tags + cfg_off[c] + s * ways;
+            int64_t *st = stamp + cfg_off[c] + s * ways;
+            int64_t hit = -1, empty = -1, victim = 0;
+            int64_t best = I64_MAX;
+
+            for (int64_t w = 0; w < ways; w++) {
+                int64_t tag = row[w];
+                if (tag == a) { hit = w; break; }
+                if (tag == EMPTY) {
+                    if (empty < 0) empty = w;
+                } else if (st[w] < best) {
+                    best = st[w];
+                    victim = w;
+                }
+            }
+            int64_t t = ++counters[c];
+            if (hit >= 0) {
+                st[hit] = t;
+            } else {
+                miss_out[c]++;
+                total_misses++;
+                int64_t w = (empty >= 0) ? empty : victim;
+                row[w] = a;
+                if (lip[c] && best != I64_MAX)
+                    st[w] = best - 1;
+                else
+                    st[w] = t;
+            }
+        }
+    }
+    return total_misses;
+}
+
 /* --------------------------------------------------------- stack distance --- */
 
 static inline void fen_add(int64_t *tree, int64_t size, int64_t index,
@@ -682,4 +792,88 @@ int64_t stack_hist_run(const int64_t *addrs, int64_t n, int64_t *hist)
     }
     free(ttags); free(tvals); free(tree);
     return cold;
+}
+
+/* Stateful chunked Mattson pass: the incremental twin of stack_hist_run.
+ *
+ * All state is caller-owned, so a monitor can feed its sub-stream chunk by
+ * chunk and read the histogram at any boundary without re-replaying:
+ *
+ *   tab_tags/tab_vals  open-addressing last-position table (tsize slots,
+ *                      power of two; tab_vals[slot] < 0 == empty slot)
+ *   tree               Fenwick tree over positions [0, cap)
+ *   pos_io[0]          next access position (monotonic within a tree epoch)
+ *   live_io[0]         occupied table slots (== live position markers)
+ *   cold_io[0]         running cold-miss count
+ *   hist               distance histogram, hist_cap entries
+ *
+ * The caller guarantees pos + n <= cap and live + n <= tsize / 2 before
+ * calling (growing / compacting the arrays otherwise — position compaction
+ * preserves the relative order of live markers, which is all the distance
+ * computation reads).  Returns 0, or -1 without touching any state when
+ * those bounds do not hold, or -2 if a distance would overflow hist
+ * (cannot happen when hist_cap > cap; defensive).  Identical histograms to
+ * stack_hist_run over the concatenated chunks, enforced by
+ * tests/test_monitors.py. */
+int64_t stack_hist_chunk(const int64_t *addrs, int64_t n,
+                         int64_t *tab_tags, int64_t *tab_vals, int64_t tsize,
+                         int64_t *tree, int64_t cap, int64_t *pos_io,
+                         int64_t *live_io, int64_t *cold_io,
+                         int64_t *hist, int64_t hist_cap)
+{
+    int64_t pos = pos_io[0];
+    int64_t live = live_io[0];
+    int64_t cold = cold_io[0];
+    if (n < 0 || pos + n > cap || live + n > tsize / 2)
+        return -1;
+    uint64_t tmask = (uint64_t)(tsize - 1);
+
+    for (int64_t i = 0; i < n; i++) {
+        int64_t a = addrs[i];
+        uint64_t slot = mix64((uint64_t)a) & tmask;
+        while (tab_vals[slot] >= 0 && tab_tags[slot] != a)
+            slot = (slot + 1) & tmask;
+        if (tab_vals[slot] >= 0) {
+            int64_t last = tab_vals[slot];
+            int64_t d = fen_prefix(tree, pos - 1) - fen_prefix(tree, last);
+            if (d >= hist_cap) {
+                pos_io[0] = pos; live_io[0] = live; cold_io[0] = cold;
+                return -2;
+            }
+            hist[d]++;
+            fen_add(tree, cap, last, -1);
+        } else {
+            tab_tags[slot] = a;
+            live++;
+            cold++;
+        }
+        fen_add(tree, cap, pos, 1);
+        tab_vals[slot] = pos;
+        pos++;
+    }
+    pos_io[0] = pos;
+    live_io[0] = live;
+    cold_io[0] = cold;
+    return 0;
+}
+
+/* Rebuild an open-addressing last-position table into a larger one.  The
+ * new arrays are caller-allocated with new_vals pre-filled to -1; every
+ * occupied old slot is re-probed into the new table.  Positions are copied
+ * unchanged. */
+void stack_state_rehash(const int64_t *old_tags, const int64_t *old_vals,
+                        int64_t old_size, int64_t *new_tags,
+                        int64_t *new_vals, int64_t new_size)
+{
+    uint64_t nmask = (uint64_t)(new_size - 1);
+    for (int64_t i = 0; i < old_size; i++) {
+        if (old_vals[i] < 0)
+            continue;
+        int64_t a = old_tags[i];
+        uint64_t slot = mix64((uint64_t)a) & nmask;
+        while (new_vals[slot] >= 0)
+            slot = (slot + 1) & nmask;
+        new_tags[slot] = a;
+        new_vals[slot] = old_vals[i];
+    }
 }

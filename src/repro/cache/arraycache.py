@@ -48,11 +48,24 @@ empty-way sentinel; :meth:`ArraySetAssociativeCache.access`/``run`` reject
 it rather than silently mis-reporting a hit (the object model has no such
 reservation).
 
-``BIP``, ``DIP``, ``BRRIP`` and ``DRRIP`` are *statistically* equivalent
-but not bit-identical: their bimodal insertion draws come from a shared
-splitmix64 stream (used by both the kernel and the Python fallback, so the
-array backend is deterministic per seed across machines) rather than each
-set's ``random.Random`` instance.
+``BIP``, ``DIP``, ``BRRIP``, ``DRRIP`` and ``Random`` are *statistically*
+equivalent but not bit-identical: their randomized draws (bimodal
+insertions, random victims) come from a shared splitmix64 stream (used by
+both the kernel and the Python fallback, so the array backend is
+deterministic per seed across machines) rather than each set's
+``random.Random`` instance.
+
+Resumable-runtime contract
+--------------------------
+All replay state lives in caller-visible arrays that every entry point
+reads *and* writes, so a trace split at arbitrary boundaries —
+:meth:`ArraySetAssociativeCache.run_chunk`, :meth:`run`, or scalar
+:meth:`access` calls, freely interleaved — produces bit-identical state
+and statistics to a single one-shot :meth:`run`.  Warm caches can also be
+*resized* in place (:meth:`resize_ways`, :meth:`resize_sets`), evicting
+per-policy victims exactly as the object policies' ``set_capacity`` does;
+this is what lets :class:`~repro.cache.partition.array.ArrayPartitionedCache`
+reallocate warm partitions.
 """
 
 from __future__ import annotations
@@ -66,11 +79,12 @@ from .cache import CacheStats, materialize_addresses
 from .hashing import GOLDEN64 as _GOLDEN
 from .hashing import mix64, seed_mix
 
-__all__ = ["ArraySetAssociativeCache", "ARRAY_POLICIES", "ARRAY_EXACT_POLICIES"]
+__all__ = ["ArraySetAssociativeCache", "ARRAY_POLICIES",
+           "ARRAY_EXACT_POLICIES", "run_lru_family_batch"]
 
 #: Policies the array backend implements.
 ARRAY_POLICIES = ("LRU", "LIP", "BIP", "DIP", "SRRIP", "BRRIP", "DRRIP",
-                  "PDP")
+                  "PDP", "Random")
 
 #: Policies whose array implementation is bit-identical to the object model.
 ARRAY_EXACT_POLICIES = ("LRU", "LIP", "SRRIP", "PDP")
@@ -221,6 +235,8 @@ class ArraySetAssociativeCache:
         if max_distance_factor <= 0:
             raise ValueError("max_distance_factor must be positive")
         self._pdp_max_dp = max(1, int(max_distance_factor * max(ways, 1)))
+        self._pdp_initial_dp = (initial_distance if initial_distance
+                                else max(1, ways))
         self._pdp_interval = recompute_interval
         self._pdp_clear_threshold = 8 * max(ways, 64)
         self._pdp_tsize = _next_pow2(
@@ -276,6 +292,19 @@ class ArraySetAssociativeCache:
         if address == _EMPTY:
             raise ValueError("address -1 is reserved as the empty-way "
                              "sentinel; the array backend cannot cache it")
+        if self.ways == 0 or self.num_sets == 0:
+            # A region warm-resized to zero capacity: every access misses,
+            # but side state advances exactly as the object policies' do
+            # with ``capacity == 0`` (PDP keeps sampling reuse distances,
+            # the dueling policies keep updating PSEL).
+            if self.num_sets > 0:
+                s = self.set_index(address)
+                if self.policy == "PDP":
+                    self._pdp_sample(address, s)
+                elif self.policy in _DUELING:
+                    self._duel_role(address, s)
+            self.stats.record(False)
+            return False
         s = self.set_index(address)
         if self.policy in _RRIP_FAMILY:
             hit = self._rrip_access(address, s)
@@ -283,6 +312,8 @@ class ArraySetAssociativeCache:
             hit = self._dip_access(address, s)
         elif self.policy == "PDP":
             hit = self._pdp_access(address, s)
+        elif self.policy == "Random":
+            hit = self._random_access(address, s)
         else:
             hit = self._lru_access(address, s)
         self.stats.record(hit)
@@ -411,6 +442,21 @@ class ArraySetAssociativeCache:
                 st[w] = int(st[others].min()) - 1
         return False
 
+    def _random_access(self, a: int, s: int) -> bool:
+        """Random replacement: uniform victim from the shared splitmix
+        stream (draw-for-draw identical to the native ``random_run``)."""
+        row = self.tags[s]
+        match = np.nonzero(row == a)[0]
+        if match.size:
+            return True
+        empty = np.nonzero(row == _EMPTY)[0]
+        if empty.size:
+            w = int(empty[0])
+        else:
+            w = int(_splitmix64(self._rng_state) % self.ways)
+        row[w] = a
+        return False
+
     # -- PDP ------------------------------------------------------------- #
     def _ls_lookup(self, s: int, a: int) -> int:
         """Slot of ``a`` in set ``s``'s last-seen table (linear probing)."""
@@ -449,13 +495,12 @@ class ArraySetAssociativeCache:
             self._ls_tags[s].fill(_EMPTY)
             self._ls_count[s] = 0
 
-    def _pdp_access(self, a: int, s: int) -> bool:
-        row = self.tags[s]
-        st = self.stamp[s]
-        ex = self.expires[s]
+    def _pdp_sample(self, a: int, s: int) -> int:
+        """Advance set ``s``'s reuse sampler for one access; returns the
+        set-local clock (runs even at zero capacity, like the object
+        policy's sampler)."""
         self._pdp_clock[s] += 1
         c = int(self._pdp_clock[s])
-
         slot = self._ls_lookup(s, a)
         if self._ls_tags[s, slot] == a:
             d = c - int(self._ls_clocks[s, slot])
@@ -468,6 +513,13 @@ class ArraySetAssociativeCache:
         self._pdp_samples[s] += 1
         if self._pdp_samples[s] % self._pdp_interval == 0:
             self._pdp_recompute(s)
+        return c
+
+    def _pdp_access(self, a: int, s: int) -> bool:
+        row = self.tags[s]
+        st = self.stamp[s]
+        ex = self.expires[s]
+        c = self._pdp_sample(a, s)
 
         self._counter[0] += 1
         t = int(self._counter[0])
@@ -505,7 +557,11 @@ class ArraySetAssociativeCache:
             raise ValueError("address -1 is reserved as the empty-way "
                              "sentinel; the array backend cannot cache it")
         kernel = get_kernel()
-        if kernel is None:
+        if kernel is None or self.ways == 0 or self.num_sets == 0:
+            # No kernel, or a zero-capacity warm-resized region (the
+            # kernels index per-way rows, which a zero-way geometry does
+            # not have; the Python path advances the capacity-independent
+            # side state exactly).
             for a in addrs.tolist():
                 self.access(a)
         elif addrs.size:
@@ -516,6 +572,25 @@ class ArraySetAssociativeCache:
         if instructions:
             self.stats.instructions += instructions
         return self.stats
+
+    def run_chunk(self, trace: Iterable[int] | Sequence[int] | np.ndarray,
+                  instructions: int = 0) -> CacheStats:
+        """Replay one chunk of a trace; returns this chunk's stats only.
+
+        The chunked entry point of the resumable runtime: state is carried
+        across calls, so any sequence of ``run_chunk`` calls is
+        bit-identical to one :meth:`run` over the concatenated trace.  The
+        cumulative statistics remain available in :attr:`stats`.
+        """
+        before = CacheStats(accesses=self.stats.accesses,
+                            hits=self.stats.hits, misses=self.stats.misses,
+                            instructions=self.stats.instructions)
+        self.run(trace, instructions=instructions)
+        return CacheStats(
+            accesses=self.stats.accesses - before.accesses,
+            hits=self.stats.hits - before.hits,
+            misses=self.stats.misses - before.misses,
+            instructions=self.stats.instructions - before.instructions)
 
     def _run_native(self, kernel, addrs: np.ndarray) -> int:
         hashed = 1 if self.hashed_index else 0
@@ -545,10 +620,155 @@ class ArraySetAssociativeCache:
                                   self._ls_tags, self._ls_clocks,
                                   self._ls_count, self._pdp_tsize,
                                   hashed, self.index_seed)
+        if self.policy == "Random":
+            return kernel.random_run(addrs, self.num_sets, self.ways,
+                                     self.tags, self._rng_state,
+                                     hashed, self.index_seed)
         return kernel.lru_run(addrs, self.num_sets, self.ways,
                               self.tags, self.stamp, self._counter,
                               1 if self.policy == "LIP" else 0,
                               hashed, self.index_seed)
+
+    # ------------------------------------------------------------------ #
+    # Warm resizing (the reallocation primitive of the resumable runtime)
+    # ------------------------------------------------------------------ #
+    def _shrink_survivors(self, s: int, new_ways: int) -> np.ndarray:
+        """Way indices (ascending) surviving a shrink of set ``s``.
+
+        Victims are chosen exactly as the object policies' ``evict_one``
+        would choose them: oldest stamp for the recency family (LRU order),
+        highest-RRPV-then-oldest-entrant for the RRIP family,
+        oldest-unprotected-then-oldest for PDP, and uniformly random draws
+        from the shared splitmix stream for Random.
+        """
+        row = self.tags[s]
+        occupied = np.nonzero(row != _EMPTY)[0]
+        k = occupied.size - new_ways
+        if k <= 0:
+            return occupied
+        if new_ways == 0:
+            return occupied[:0]
+        if self.policy == "Random":
+            resident = occupied.tolist()
+            for _ in range(k):
+                idx = int(_splitmix64(self._rng_state) % len(resident))
+                resident[idx] = resident[-1]
+                resident.pop()
+            return np.sort(np.asarray(resident, dtype=np.int64))
+        st = self.stamp[s, occupied]
+        if self.policy in _RRIP_FAMILY:
+            order = occupied[np.lexsort((st, -self.rrpv[s, occupied]))]
+        elif self.policy == "PDP":
+            protected = (self.expires[s, occupied]
+                         > int(self._pdp_clock[s])).astype(np.int64)
+            order = occupied[np.lexsort((st, protected))]
+        else:
+            order = occupied[np.argsort(st, kind="stable")]
+        return np.sort(order[k:])
+
+    def resize_ways(self, new_ways: int) -> None:
+        """Warm-resize every set to ``new_ways`` ways, keeping contents.
+
+        Growing keeps all lines (new ways start empty).  Shrinking evicts
+        per-policy victims per set, replicating repeated ``evict_one``
+        calls of the object policies — including RRIP aging: survivors age
+        by the same delta the object model's eviction-driven aging applies.
+        Capacity-derived PDP tuning (candidate-distance bound, recompute
+        interval, table sizes) stays frozen at construction-time values,
+        exactly as the object model's ``set_capacity`` leaves them.
+        Resizing to zero ways is allowed; such a region misses every
+        access while its capacity-independent side state keeps advancing.
+        """
+        if new_ways < 0:
+            raise ValueError("new_ways must be non-negative")
+        if new_ways == self.ways:
+            return
+        old_ways = self.ways
+        shape = (self.num_sets, new_ways)
+        new_tags = np.full(shape, _EMPTY, dtype=np.int64)
+        new_stamp = np.zeros(shape, dtype=np.int64)
+        new_rrpv = np.full(shape, self.max_rrpv, dtype=np.int64)
+        new_expires = (np.zeros(shape, dtype=np.int64)
+                       if self.policy == "PDP" else None)
+        if new_ways > old_ways:
+            new_tags[:, :old_ways] = self.tags
+            new_stamp[:, :old_ways] = self.stamp
+            new_rrpv[:, :old_ways] = self.rrpv
+            if new_expires is not None:
+                new_expires[:, :old_ways] = self.expires
+        else:
+            for s in range(self.num_sets):
+                surv = self._shrink_survivors(s, new_ways)
+                m = int(surv.size)
+                if m == 0:
+                    continue
+                new_tags[s, :m] = self.tags[s, surv]
+                new_stamp[s, :m] = self.stamp[s, surv]
+                if self.policy in _RRIP_FAMILY:
+                    rv = self.rrpv[s, surv]
+                    evicted = np.setdiff1d(
+                        np.nonzero(self.tags[s] != _EMPTY)[0], surv)
+                    if evicted.size:
+                        # Survivors age by the delta that brought the last
+                        # victim's bucket to max RRPV (object-model aging).
+                        delta = self.max_rrpv - int(
+                            self.rrpv[s, evicted].min())
+                        if delta > 0:
+                            rv = np.minimum(rv + delta, self.max_rrpv)
+                    new_rrpv[s, :m] = rv
+                if new_expires is not None:
+                    new_expires[s, :m] = self.expires[s, surv]
+        self.tags = new_tags
+        self.stamp = new_stamp
+        self.rrpv = new_rrpv
+        if new_expires is not None:
+            self.expires = new_expires
+        self.ways = new_ways
+
+    def resize_sets(self, new_num_sets: int) -> None:
+        """Warm-resize to ``new_num_sets`` sets, keeping the leading sets.
+
+        The first ``min(old, new)`` sets keep their full state (lines,
+        recency, RRPVs, PDP samplers); extra sets start empty with fresh
+        per-set policy state — exactly how the object
+        :class:`~repro.cache.partition.setpart.SetPartitionedCache` drops
+        trailing regions on shrink and appends fresh ones on growth.  The
+        dueling policies' leader-set wiring is recomputed for the new set
+        count (they are on the seeded tier; the object model instead keeps
+        per-region roles by absolute index).
+        """
+        if new_num_sets < 0:
+            raise ValueError("new_num_sets must be non-negative")
+        if new_num_sets == self.num_sets:
+            return
+        n = min(self.num_sets, new_num_sets)
+
+        def pad2(arr: np.ndarray, fill) -> np.ndarray:
+            out = np.full((new_num_sets, arr.shape[1]), fill, dtype=arr.dtype)
+            out[:n] = arr[:n]
+            return out
+
+        def pad1(arr: np.ndarray, fill) -> np.ndarray:
+            out = np.full(new_num_sets, fill, dtype=arr.dtype)
+            out[:n] = arr[:n]
+            return out
+
+        self.tags = pad2(self.tags, _EMPTY)
+        self.stamp = pad2(self.stamp, 0)
+        self.rrpv = pad2(self.rrpv, self.max_rrpv)
+        if self.policy == "PDP":
+            self.expires = pad2(self.expires, 0)
+            self._pdp_clock = pad1(self._pdp_clock, 0)
+            self._pdp_dp = pad1(self._pdp_dp, self._pdp_initial_dp)
+            self._pdp_samples = pad1(self._pdp_samples, 0)
+            self._pdp_hist = pad2(self._pdp_hist, 0)
+            self._ls_tags = pad2(self._ls_tags, _EMPTY)
+            self._ls_clocks = pad2(self._ls_clocks, 0)
+            self._ls_count = pad1(self._ls_count, 0)
+        self._roles = (_dueling_roles(new_num_sets)
+                       if self.policy in _DUELING and new_num_sets > 0
+                       else np.zeros(new_num_sets, dtype=np.int64))
+        self.num_sets = new_num_sets
 
     def to_spec(self):
         """A :class:`~repro.cache.spec.CacheSpec` rebuilding this cache.
@@ -585,3 +805,75 @@ class ArraySetAssociativeCache:
         return (f"ArraySetAssociativeCache(sets={self.num_sets}, "
                 f"ways={self.ways}, policy={self.policy!r}, "
                 f"capacity={self.capacity_lines} lines)")
+
+
+def run_lru_family_batch(trace, caches: Sequence[ArraySetAssociativeCache]
+                         ) -> np.ndarray:
+    """Replay one trace through several LRU/LIP caches in a single pass.
+
+    The shared-trace-decode fast path of batched sweeps: instead of one
+    kernel call per configuration (each streaming the whole trace through
+    memory again), all configurations advance together in one
+    ``multi_lru_run`` call.  Results — per-cache state, statistics and the
+    returned per-cache miss counts of this replay — are bit-identical to
+    calling ``cache.run(trace)`` on each cache separately; without a native
+    kernel that is exactly what happens.
+
+    All caches must be LRU or LIP and share the same set-indexing scheme
+    (``hashed_index``/``index_seed``).
+    """
+    caches = list(caches)
+    misses = np.zeros(len(caches), dtype=np.int64)
+    if not caches:
+        return misses
+    for cache in caches:
+        if cache.policy not in ("LRU", "LIP"):
+            raise ValueError(
+                f"run_lru_family_batch supports LRU/LIP only, got "
+                f"{cache.policy!r}")
+        if (cache.hashed_index != caches[0].hashed_index
+                or cache.index_seed != caches[0].index_seed):
+            raise ValueError("all caches must share one set-indexing scheme")
+    addrs = materialize_addresses(trace)
+    if addrs.ndim != 1:
+        raise ValueError("trace must be one-dimensional")
+    if addrs.size == 0:
+        return misses
+    if bool(np.any(addrs == _EMPTY)):
+        raise ValueError("address -1 is reserved as the empty-way "
+                         "sentinel; the array backend cannot cache it")
+    kernel = get_kernel()
+    if kernel is None:
+        for i, cache in enumerate(caches):
+            before = cache.stats.misses
+            cache.run(addrs)
+            misses[i] = cache.stats.misses - before
+        return misses
+    cfg_sets = np.array([c.num_sets for c in caches], dtype=np.int64)
+    cfg_ways = np.array([c.ways for c in caches], dtype=np.int64)
+    lengths = cfg_sets * cfg_ways
+    cfg_off = np.zeros(len(caches), dtype=np.int64)
+    np.cumsum(lengths[:-1], out=cfg_off[1:])
+    flat_tags = np.concatenate([c.tags.ravel() for c in caches]) \
+        if lengths.sum() else np.zeros(0, dtype=np.int64)
+    flat_stamp = np.concatenate([c.stamp.ravel() for c in caches]) \
+        if lengths.sum() else np.zeros(0, dtype=np.int64)
+    counters = np.array([int(c._counter[0]) for c in caches], dtype=np.int64)
+    lip = np.array([1 if c.policy == "LIP" else 0 for c in caches],
+                   dtype=np.int64)
+    kernel.multi_lru_run(addrs, len(caches), cfg_sets, cfg_ways, cfg_off,
+                         flat_tags, flat_stamp, counters, lip, misses,
+                         1 if caches[0].hashed_index else 0,
+                         caches[0].index_seed)
+    n = int(addrs.size)
+    for i, cache in enumerate(caches):
+        start, end = int(cfg_off[i]), int(cfg_off[i] + lengths[i])
+        shape = (cache.num_sets, cache.ways)
+        cache.tags[:] = flat_tags[start:end].reshape(shape)
+        cache.stamp[:] = flat_stamp[start:end].reshape(shape)
+        cache._counter[0] = counters[i]
+        m = int(misses[i])
+        cache.stats.accesses += n
+        cache.stats.misses += m
+        cache.stats.hits += n - m
+    return misses

@@ -100,9 +100,9 @@ def resolve_backend(backend: str, policy: str) -> str:
 
     "auto" selects the array backend only where it is bit-identical to the
     reference object model (:data:`~repro.cache.arraycache.ARRAY_EXACT_POLICIES`).
-    The randomized policies (BIP, DIP, BRRIP, DRRIP) also exist on the
-    array backend — deterministic per seed, but drawing from a splitmix64
-    stream instead of the object model's per-set Mersenne twisters — so
+    The randomized policies (BIP, DIP, BRRIP, DRRIP, Random) also exist on
+    the array backend — deterministic per seed, but drawing from a
+    splitmix64 stream instead of the object model's Mersenne twisters — so
     "auto" keeps them on the object model to preserve reference results;
     ask for ``backend="array"`` explicitly to trade bit-exactness for
     speed.

@@ -104,6 +104,22 @@ class H3Hash:
         self._rows = [int(v) for v in
                       rng.integers(0, 1 << out_bits, size=in_bits, dtype=np.uint64)]
         self._mask = (1 << out_bits) - 1
+        # Byte-sliced lookup tables: H3 is XOR-linear over GF(2), so the
+        # hash of an address is the XOR of one table entry per input byte.
+        # This turns the vectorized hash into a handful of table gathers
+        # instead of one pass per input bit — the hot step of Talus's
+        # batched shadow-pair steering.
+        n_bytes = (in_bits + 7) // 8
+        byte_values = np.arange(256, dtype=np.uint64)
+        self._byte_luts = np.zeros((n_bytes, 256), dtype=np.uint64)
+        for k in range(n_bytes):
+            lut = self._byte_luts[k]
+            for bit in range(8):
+                global_bit = 8 * k + bit
+                if global_bit >= in_bits:
+                    break
+                has_bit = (byte_values >> np.uint64(bit)) & np.uint64(1)
+                lut ^= has_bit * np.uint64(self._rows[global_bit])
 
     def __call__(self, value: int) -> int:
         """Hash ``value`` to an integer in ``[0, 2**out_bits)``."""
@@ -118,14 +134,17 @@ class H3Hash:
         return result & self._mask
 
     def hash_array(self, values: np.ndarray) -> np.ndarray:
-        """Vectorized hash of an array of addresses (used by trace tooling)."""
+        """Vectorized hash of an array of addresses.
+
+        Bit-identical to the scalar :meth:`__call__` (XOR-linearity makes
+        the byte-sliced tables exact), element for element.
+        """
         values = np.asarray(values, dtype=np.uint64)
-        result = np.zeros(values.shape, dtype=np.uint64)
         masked = values & np.uint64((1 << self.in_bits) - 1)
-        for bit in range(self.in_bits):
-            row = np.uint64(self._rows[bit])
-            has_bit = (masked >> np.uint64(bit)) & np.uint64(1)
-            result ^= has_bit * row
+        result = self._byte_luts[0][masked & np.uint64(0xFF)]
+        for k in range(1, self._byte_luts.shape[0]):
+            chunk = (masked >> np.uint64(8 * k)) & np.uint64(0xFF)
+            result = result ^ self._byte_luts[k][chunk]
         return result & np.uint64(self._mask)
 
     def __repr__(self) -> str:

@@ -34,10 +34,20 @@ per-region rather than shared across a shadow pair, so they stay off the
 Allocations are granted with the *same* rounding helpers as the object
 schemes (:func:`~repro.cache.partition.way.round_to_ways`,
 :func:`~repro.cache.partition.setpart.round_to_sets`,
-:func:`~repro.cache.partition.base.trim_line_allocations`).  Reallocation
-is supported only while every partition is empty — the array backend
-targets the build/configure/replay pattern of the sweeps; use the object
-backend for interval-based dynamic reconfiguration.
+:func:`~repro.cache.partition.base.trim_line_allocations`).
+
+Warm reallocation
+-----------------
+:meth:`ArrayPartitionedCache.reallocate` (which ``set_allocations`` routes
+through) resizes partitions *in place*, warm: shrinking a partition evicts
+per-policy victims exactly as the object schemes' ``set_capacity`` does
+(oldest lines for the recency family, highest-RRPV-then-oldest for RRIP
+with the same eviction-driven aging, oldest-unprotected for PDP, dropped
+trailing sets for set partitioning), and growing only adds empty capacity
+— no resident line ever moves between partitions.  This is what lets the
+interval-based reconfiguration loop (:mod:`repro.sim.reconfigure`) run on
+the array backend: ``run_chunk``/``reallocate`` alternate on a warm cache
+with results bit-identical to the object model for the exact policy tier.
 """
 
 from __future__ import annotations
@@ -82,6 +92,11 @@ class _FastIdealLRURegion:
 
     def access(self, address: int) -> bool:
         return self._policy.access(int(address))
+
+    def set_capacity(self, capacity: int) -> None:
+        """Warm-resize the region (shrinking evicts LRU overflow)."""
+        self.capacity = int(capacity)
+        self._policy.set_capacity(self.capacity)
 
     def occupancy(self) -> int:
         return len(self._policy)
@@ -222,13 +237,17 @@ class ArrayPartitionedCache(PartitionedCache):
     # Region construction
     # ------------------------------------------------------------------ #
     def _region_geometries(self) -> list[tuple[int, int]]:
-        """Per-partition (num_sets, ways) geometry; (0, 0) when empty."""
+        """Per-partition (num_sets, ways) geometry.
+
+        Zero-allocation way/set partitions keep a degenerate (but
+        well-shaped) geometry — ``(num_sets, 0)`` / ``(0, ways)`` — so a
+        warm-resized zero-capacity region's arrays still line up with the
+        flat buffers; the kernels treat any zero dimension as all-miss.
+        """
         if self.scheme == "way":
-            return [(self.num_sets, w) if w > 0 else (0, 0)
-                    for w in self._way_alloc]
+            return [(self.num_sets, w) for w in self._way_alloc]
         if self.scheme == "set":
-            return [(s, self.ways) if s > 0 else (0, 0)
-                    for s in self._set_alloc]
+            return [(s, self.ways) for s in self._set_alloc]
         return [(1, c) if c > 0 else (0, 0) for c in self._line_alloc]
 
     def _rebuild_regions(self) -> None:
@@ -290,6 +309,11 @@ class ArrayPartitionedCache(PartitionedCache):
         interleaved ``part_*_run`` kernels replay in one call.  The region
         objects keep views into the same memory, so the per-access Python
         path and the kernels stay interchangeable.
+
+        Existing region state is *copied* into the (re-)built flat buffer,
+        so re-linking after a warm :meth:`reallocate` preserves resident
+        lines, recency and RRPVs; at construction the regions are freshly
+        initialized, making the copy equivalent to the initial fill.
         """
         self._flat_ready = self.policy in _PART_KERNEL_POLICIES
         geoms = self._region_geometries()
@@ -313,27 +337,45 @@ class ArrayPartitionedCache(PartitionedCache):
                     break
             self._flat_rrpv = np.full(total, max_rrpv, dtype=np.int64)
         self._max_rrpv = max_rrpv
-        self._shared_counter = np.zeros(1, dtype=np.int64)
+        counter = int(getattr(self, "_shared_counter", np.zeros(1))[0])
+        self._shared_counter = np.array([counter], dtype=np.int64)
         for p, region in enumerate(self._regions):
             if region is None:
                 continue
             start = int(self._region_off[p])
             end = start + int(lengths[p])
             shape = (region.num_sets, region.ways)
+            self._flat_tags[start:end] = region.tags.ravel()
+            self._flat_stamp[start:end] = region.stamp.ravel()
             region.tags = self._flat_tags[start:end].reshape(shape)
             region.stamp = self._flat_stamp[start:end].reshape(shape)
             if rrip:
+                self._flat_rrpv[start:end] = region.rrpv.ravel()
                 region.rrpv = self._flat_rrpv[start:end].reshape(shape)
             region._counter = self._shared_counter
-
-    def _occupied(self) -> bool:
-        return any(self.partition_occupancy(p) > 0
-                   for p in range(self.num_partitions))
 
     # ------------------------------------------------------------------ #
     # PartitionedCache interface
     # ------------------------------------------------------------------ #
     def set_allocations(self, sizes: Sequence[float]) -> list[int]:
+        return self.reallocate(sizes)
+
+    def reallocate(self, sizes: Sequence[float]) -> list[int]:
+        """Apply new capacity targets to *warm* partitions, in place.
+
+        The warm-reallocation entry point of the resumable runtime (the
+        object schemes' ``set_allocations`` semantics): shrinking a
+        partition evicts its policy's victims (repeated ``evict_one``
+        order — see :meth:`ArraySetAssociativeCache.resize_ways` /
+        :meth:`~repro.cache.arraycache.ArraySetAssociativeCache.resize_sets`),
+        growing adds empty capacity, and surviving lines never move between
+        partitions.  Partitions resized to zero keep their region object
+        (and its capacity-independent side state, e.g. PDP's reuse
+        sampler), again matching the object model's zero-capacity regions.
+
+        Returns the granted allocations, rounded with the same helpers the
+        object schemes use.
+        """
         sizes = self._check_requests(sizes)
         if self.scheme == "way":
             new = round_to_ways(sizes, self.num_sets, self.ways, self.min_ways)
@@ -344,20 +386,38 @@ class ArrayPartitionedCache(PartitionedCache):
         else:
             new = trim_line_allocations(sizes, self.capacity_lines)
             current = self._line_alloc
-        if new != current:
-            if self._occupied():
-                raise RuntimeError(
-                    "ArrayPartitionedCache supports reallocation only while "
-                    "all partitions are empty (the build/configure/replay "
-                    "pattern); use backend='object' for dynamic "
-                    "reconfiguration")
-            if self.scheme == "way":
-                self._way_alloc = new
-            elif self.scheme == "set":
-                self._set_alloc = new
+        if new == current:
+            return self.granted_allocations()
+        if self.scheme == "ideal":
+            for p, lines in enumerate(new):
+                region = self._regions[p]
+                if region is None:
+                    if lines > 0:
+                        self._regions[p] = _FastIdealLRURegion(lines)
+                else:
+                    region.set_capacity(lines)
+            self._line_alloc = new
+            return self.granted_allocations()
+        for p, region in enumerate(self._regions):
+            if region is None:
+                if new[p] <= 0:
+                    continue
+                geometry = ((self.num_sets, new[p]) if self.scheme == "way"
+                            else (new[p], self.ways))
+                kwargs = self._region_policy_kwargs(p, geometry[1])
+                self._regions[p] = ArraySetAssociativeCache(
+                    geometry[0], geometry[1], policy=self.policy,
+                    hashed_index=self.hashed_index,
+                    index_seed=self.index_seed, **kwargs)
+            elif self.scheme == "way":
+                region.resize_ways(new[p])
             else:
-                self._line_alloc = new
-            self._rebuild_regions()
+                region.resize_sets(new[p])
+        if self.scheme == "way":
+            self._way_alloc = new
+        else:
+            self._set_alloc = new
+        self._link_flat_state()
         return self.granted_allocations()
 
     def granted_allocations(self) -> list[int]:
@@ -441,6 +501,17 @@ class ArrayPartitionedCache(PartitionedCache):
             stats.misses += m
             stats.hits += a - m
         return accesses, misses
+
+    def run_chunk(self, trace, parts) -> tuple[np.ndarray, np.ndarray]:
+        """Replay one chunk of a partition-tagged trace.
+
+        The chunked entry point of the resumable runtime: identical to
+        :meth:`run_partitioned` (state carries across calls, so chunked
+        and one-shot replays are bit-identical at any boundary), named to
+        make call sites that interleave replay chunks with
+        :meth:`reallocate` read naturally.
+        """
+        return self.run_partitioned(trace, parts)
 
     def _run_part_kernel(self, kernel, addrs: np.ndarray, parts: np.ndarray,
                          accesses: np.ndarray, miss_out: np.ndarray) -> None:

@@ -19,6 +19,7 @@ interface.  Configurations come from the planner in :mod:`repro.core.talus`
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -94,6 +95,45 @@ class TalusCache:
         pair = self._pairs[logical]
         requests = self._build_requests(logical, config)
         granted = self.base.set_allocations(requests)
+        return self._apply_granted(pair, config, granted)
+
+    def configure_many(self, configs: "Sequence[TalusConfig | None]"
+                       ) -> list[TalusConfig | None]:
+        """Reconfigure several logical partitions in one atomic step.
+
+        All shadow-partition sizes are granted by a *single*
+        ``set_allocations`` call on the underlying scheme, so a plan that
+        simultaneously grows one logical partition and shrinks another is
+        applied without the transient over-capacity state that sequential
+        :meth:`configure` calls would request (grow-before-shrink exceeds
+        the partitionable capacity and is rejected).  ``None`` entries
+        leave that logical partition's current configuration in place.
+
+        Returns the effective (post-coarsening) configuration per logical
+        partition.
+        """
+        configs = list(configs)
+        if len(configs) != self.num_logical:
+            raise ValueError(
+                f"expected {self.num_logical} configs, got {len(configs)}")
+        requests = [0.0] * self.base.num_partitions
+        for pair, config in zip(self._pairs, configs):
+            effective = config if config is not None else pair.config
+            if effective is not None:
+                requests[pair.alpha_index] = effective.s1
+                requests[pair.beta_index] = effective.s2
+        granted = self.base.set_allocations(requests)
+        out: list[TalusConfig | None] = []
+        for pair, config in zip(self._pairs, configs):
+            if config is None:
+                out.append(pair.config)
+            else:
+                out.append(self._apply_granted(pair, config, granted))
+        return out
+
+    def _apply_granted(self, pair: ShadowPair, config: TalusConfig,
+                       granted: list[int]) -> TalusConfig:
+        """Derive and program one pair's effective config from a grant."""
         granted_s1 = granted[pair.alpha_index]
         granted_s2 = granted[pair.beta_index]
 
@@ -194,6 +234,28 @@ class TalusCache:
         if instructions:
             self.logical_stats[logical].instructions += instructions
         return self.logical_stats[logical]
+
+    def run_chunk(self, trace, logical: int = 0,
+                  instructions: int = 0) -> CacheStats:
+        """Replay one chunk on behalf of a logical partition.
+
+        Returns this chunk's statistics only (the cumulative statistics
+        stay in :attr:`logical_stats`).  State carries across calls on
+        both backends, and on the array backend warm reallocation
+        (:meth:`configure`/:meth:`configure_many`) may be interleaved
+        between chunks — the interval-based reconfiguration loop of
+        :mod:`repro.sim.reconfigure` is exactly this alternation.
+        """
+        self._check_logical(logical)
+        stats = self.logical_stats[logical]
+        before_accesses = stats.accesses
+        before_hits = stats.hits
+        before_misses = stats.misses
+        self.run(trace, logical, instructions=instructions)
+        return CacheStats(accesses=stats.accesses - before_accesses,
+                          hits=stats.hits - before_hits,
+                          misses=stats.misses - before_misses,
+                          instructions=instructions)
 
     # ------------------------------------------------------------------ #
     # Introspection

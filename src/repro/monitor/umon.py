@@ -16,14 +16,17 @@ factor on both axes.
 
 Fast path
 ---------
-The monitor is batch-oriented: :meth:`UMON.record_trace` selects the
-sampled sub-stream with one vectorized splitmix64 pass
+The monitor is incremental end to end: :meth:`UMON.record_trace` selects
+the sampled sub-stream with one vectorized splitmix64 pass
 (:func:`repro.cache.hashing.mix64_array`) instead of one Python hash call
-per access, and :meth:`UMON.miss_curve` runs the accumulated sub-stream
-through the native stack-distance kernel
-(:func:`repro.monitor.stack_distance.stack_distance_histogram`).  The
-scalar :meth:`UMON.record` path selects exactly the same sub-stream, so
-online and batch recording are interchangeable and the produced curves are
+per access, and the sub-stream advances a persistent native
+stack-distance state
+(:class:`repro.monitor.stack_distance.IncrementalStackMonitor`) on the
+first curve read after new data — accumulated accesses are never
+re-replayed, so a reconfiguration loop that reads the curve every
+interval does O(sub-stream length) total monitoring work.  The scalar
+:meth:`UMON.record` path selects exactly the same sub-stream, so online
+and batch recording are interchangeable and the produced curves are
 bit-identical to the pre-vectorization implementation.
 """
 
@@ -36,17 +39,9 @@ import numpy as np
 from ..core.misscurve import MissCurve
 from ..cache.cache import materialize_addresses as _materialize
 from ..cache.hashing import mix64, mix64_array, seed_mix
-from .stack_distance import StackDistanceMonitor, stack_distance_histogram
+from .stack_distance import IncrementalStackMonitor
 
 __all__ = ["UMON", "CombinedUMON"]
-
-#: Curve reads answered by full batch recomputation before the monitor
-#: switches to incremental (online) mode.  Batch mode re-runs the whole
-#: accumulated sub-stream through the native kernel on each read after new
-#: data — far cheaper than online recording for the few reads a normal
-#: sweep or short reconfiguration run performs, but quadratic in the limit;
-#: the switch bounds total work at O(sub-stream length) either way.
-_MAX_BATCH_QUERIES = 8
 
 
 class UMON:
@@ -90,10 +85,9 @@ class UMON:
         self._total = 0
         # Cached (histogram, cold) keyed by the observed count at the time.
         self._hist_cache: tuple[int, np.ndarray, int] | None = None
-        self._batch_queries = 0
-        # Online monitor, created only after _MAX_BATCH_QUERIES curve
-        # reads; from then on new chunks are consumed incrementally.
-        self._online: StackDistanceMonitor | None = None
+        # Persistent stack-distance state; pending chunks are folded in
+        # lazily at the first curve read after new data.
+        self._monitor: IncrementalStackMonitor | None = None
 
     # ------------------------------------------------------------------ #
     def _sampled(self, address: int) -> bool:
@@ -142,12 +136,12 @@ class UMON:
     def _histogram(self) -> tuple[np.ndarray, int]:
         """(stack-distance histogram, cold misses) of the sub-stream.
 
-        Batch mode (the common case: record everything, read the curve a
-        few times) recomputes via the native kernel; after
-        :data:`_MAX_BATCH_QUERIES` reads with new data in between, the
-        monitor switches to an online :class:`StackDistanceMonitor` fed
-        incrementally — the two produce identical histograms, so the
-        switch point is unobservable in the results.
+        Chunks recorded since the last read are folded into the
+        persistent :class:`IncrementalStackMonitor` (native state when a
+        kernel is available, the online reference monitor otherwise), so
+        each sampled access is processed exactly once no matter how often
+        the curve is read — the resumable-runtime contract the
+        reconfiguration loop relies on.
         """
         if self._hist_cache is not None \
                 and self._hist_cache[0] == self._observed:
@@ -155,21 +149,13 @@ class UMON:
         if self._pending:
             self._chunks.append(np.asarray(self._pending, dtype=np.int64))
             self._pending = []
-        if self._online is None and self._batch_queries < _MAX_BATCH_QUERIES:
-            self._batch_queries += 1
-            if len(self._chunks) > 1:
-                self._chunks = [np.concatenate(self._chunks)]
-            sub = (self._chunks[0] if self._chunks
-                   else np.zeros(0, dtype=np.int64))
-            dense, cold = stack_distance_histogram(sub)
-        else:
-            if self._online is None:
-                self._online = StackDistanceMonitor(
-                    capacity_hint=max(1024, self._observed))
-            for chunk in self._chunks:
-                self._online.record_trace(chunk)
-            self._chunks = []
-            dense, cold = self._online.histogram(), self._online.cold_misses
+        if self._monitor is None:
+            self._monitor = IncrementalStackMonitor(
+                capacity_hint=max(1024, self._observed))
+        for chunk in self._chunks:
+            self._monitor.record_trace(chunk)
+        self._chunks = []
+        dense, cold = self._monitor.histogram(), self._monitor.cold_misses
         self._hist_cache = (self._observed, dense, cold)
         return dense, cold
 

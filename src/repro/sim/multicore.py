@@ -25,23 +25,29 @@ CoV of per-core IPC).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
+from ..cache.spec import PartitionSpec, TalusSpec, build
 from ..core.bypass import optimal_bypass_curve
 from ..core.convexhull import convex_hull
 from ..core.misscurve import MissCurve
+from ..core.talus import TalusConfig
+from ..monitor.umon import CombinedUMON
 from ..partitioning import (PartitioningProblem, fair, hill_climbing,
                             lookahead)
 from ..partitioning.talus_wrap import TalusPartitioning
+from ..workloads.access import Trace
 from ..workloads.mixes import WorkloadMix
+from ..workloads.scale import lines_to_paper_mb, paper_mb_to_lines
 from .metrics import coefficient_of_variation, harmonic_speedup, weighted_speedup
 from .perf_model import AppPerformance, ipc_from_mpki
 
 __all__ = ["SharedCacheExperiment", "MixResult", "SCHEMES",
-           "shared_cache_equilibrium"]
+           "shared_cache_equilibrium", "ReconfiguringSharedRun",
+           "SharedIntervalRecord"]
 
 #: Scheme names accepted by :meth:`SharedCacheExperiment.evaluate`.
 SCHEMES = (
@@ -89,6 +95,37 @@ class MixResult:
         return harmonic_speedup(self.ipcs, baseline.ipcs)
 
 
+class _CurveBank:
+    """Several miss curves resampled onto one shared grid for vectorized
+    per-app evaluation.
+
+    The grid is the union of every curve's sample sizes, so the piecewise-
+    linear resampling is exact; evaluating all ``n`` curves at ``n``
+    per-app sizes is then one ``searchsorted`` plus one fused lerp instead
+    of ``n`` Python-level ``MissCurve`` calls — the hot inner step of the
+    equilibrium iteration.
+    """
+
+    def __init__(self, curves: Sequence[MissCurve]):
+        self.grid = np.unique(np.concatenate([c.sizes for c in curves]))
+        self.values = np.stack([c(self.grid) for c in curves])
+        self._rows = np.arange(len(curves))
+
+    def __call__(self, sizes: np.ndarray) -> np.ndarray:
+        """Evaluate curve ``i`` at ``sizes[i]`` for every app at once,
+        clamping outside the sampled range exactly as ``MissCurve`` does."""
+        grid = self.grid
+        x = np.clip(sizes, grid[0], grid[-1])
+        hi = np.clip(np.searchsorted(grid, x, side="right"), 1,
+                     grid.size - 1)
+        lo = hi - 1
+        g0, g1 = grid[lo], grid[hi]
+        span = np.where(g1 > g0, g1 - g0, 1.0)
+        y0 = self.values[self._rows, lo]
+        y1 = self.values[self._rows, hi]
+        return y0 + (x - g0) / span * (y1 - y0)
+
+
 def shared_cache_equilibrium(curves: Sequence[MissCurve],
                              profiles,
                              total_mb: float,
@@ -106,6 +143,9 @@ def shared_cache_equilibrium(curves: Sequence[MissCurve],
     asymmetric equilibria the paper observes ("one or a few unlucky cores"
     in Sec. VII-D).
 
+    Every iteration evaluates all curves and the analytic IPC model in a
+    few numpy operations over per-app vectors (no per-app Python loop).
+
     Returns the per-application effective capacities (paper MB).
     """
     n = len(curves)
@@ -114,18 +154,19 @@ def shared_cache_equilibrium(curves: Sequence[MissCurve],
     if len(profiles) != n:
         raise ValueError("curves and profiles must have the same length")
     rng = np.random.default_rng(seed)
+    bank = _CurveBank(curves)
+    inv_ipc_peak = np.array([1.0 / p.ipc_peak for p in profiles])
+    penalty = np.array([p.miss_penalty_cycles for p in profiles])
     sizes = np.full(n, total_mb / n)
     if perturbation > 0:
         noise = 1.0 + perturbation * (rng.random(n) - 0.5)
         sizes = sizes * noise
         sizes *= total_mb / sizes.sum()
     for _ in range(iterations):
-        weights = np.empty(n)
-        for i, (curve, profile) in enumerate(zip(curves, profiles)):
-            mpki = float(curve(sizes[i]))
-            ipc = ipc_from_mpki(profile, mpki)
-            # Misses per cycle: how fast this app inserts new lines.
-            weights[i] = (mpki / 1000.0) * ipc + 1e-9
+        mpki = bank(sizes)
+        ipc = 1.0 / (inv_ipc_peak + (mpki / 1000.0) * penalty)
+        # Misses per cycle: how fast each app inserts new lines.
+        weights = (mpki / 1000.0) * ipc + 1e-9
         target = total_mb * weights / weights.sum()
         sizes = damping * sizes + (1.0 - damping) * target
     return [float(s) for s in sizes]
@@ -284,3 +325,173 @@ class SharedCacheExperiment:
     def hull_curves(self) -> List[MissCurve]:
         """Convex hulls of the per-application curves (Talus pre-processing)."""
         return [convex_hull(curve) for curve in self.curves]
+
+
+# --------------------------------------------------------------------- #
+# Execution-driven multi-application reconfiguration (Figs. 12/13)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SharedIntervalRecord:
+    """Outcome of one interval of a multi-application reconfiguration run."""
+
+    index: int
+    accesses: tuple[int, ...]
+    misses: tuple[int, ...]
+    #: Planned per-application allocations (paper MB) in effect during the
+    #: interval (the equal split during warm-up).
+    allocations_mb: tuple[float, ...]
+
+    def miss_rate(self, app: int) -> float:
+        """Miss rate of one application within the interval."""
+        return (self.misses[app] / self.accesses[app]
+                if self.accesses[app] else 0.0)
+
+
+@dataclass
+class ReconfiguringSharedRun:
+    """Execution-driven multi-application Talus loop on one shared cache.
+
+    The analytic side of Figs. 12/13 (:class:`SharedCacheExperiment`)
+    evaluates each scheme by reading miss curves at planned allocations.
+    This class is its execution-driven counterpart — the full Fig. 7
+    closed loop with one logical partition per application: per-app UMONs
+    accumulate miss curves over each interval, the Talus software wrapper
+    (hulls + the system's partitioning algorithm + Theorem 6) re-plans,
+    and all shadow-partition pairs are reprogrammed *warm* in one atomic
+    :meth:`~repro.cache.talus_cache.TalusCache.configure_many` step while
+    every application's chunk replays through the resumable runtime
+    (`run_chunk` on the array backend's chunked native replay wherever the
+    exact policy tier allows, the object model otherwise).
+
+    Parameters
+    ----------
+    total_mb:
+        Shared LLC capacity in paper MB.
+    scheme:
+        Underlying partitioning scheme ("ideal" by default: line-granular
+        allocations for any number of applications).
+    algorithm:
+        The system's partitioning algorithm Talus wraps (default hill
+        climbing, which the hulls make optimal).
+    interval_accesses:
+        Reconfiguration interval in accesses *per application* (hardware:
+        ~10 ms).
+    backend:
+        Backend of the partitioned substrate, as in
+        :class:`~repro.sim.reconfigure.ReconfiguringTalusRun`.
+    """
+
+    total_mb: float
+    scheme: str = "ideal"
+    algorithm: Callable = hill_climbing
+    interval_accesses: int = 20_000
+    safety_margin: float = 0.05
+    warmup_intervals: int = 1
+    monitor_points: int = 33
+    granularity_mb: float | None = None
+    backend: str = "auto"
+    records: list[SharedIntervalRecord] = field(default_factory=list)
+
+    def run(self, traces: Sequence[Trace]) -> list[SharedIntervalRecord]:
+        """Replay all traces with periodic coordinated reconfiguration."""
+        n = len(traces)
+        if n == 0:
+            raise ValueError("need at least one application trace")
+        lines = paper_mb_to_lines(self.total_mb)
+        if lines <= 0:
+            raise ValueError("total_mb too small for the configured scale")
+        spec = TalusSpec(partition=PartitionSpec(
+            scheme=self.scheme, capacity_lines=lines, num_partitions=2 * n,
+            backend=self.backend), num_logical=n)
+        talus = build(spec)
+        per = float(talus.base.partitionable_lines) / n
+        talus.configure_many([
+            TalusConfig(total_size=per, alpha=per, beta=per, rho=0.0,
+                        s1=0.0, s2=per, degenerate=True)] * n)
+        primary_rate = min(1.0, max(1.0 / 64.0, 2048.0 / lines))
+        monitors = [CombinedUMON(llc_size=lines, points=self.monitor_points,
+                                 primary_rate=primary_rate,
+                                 coverage_ratio=0.25, seed=11 + 13 * i)
+                    for i in range(n)]
+        positions = [0] * n
+        interval = max(1, self.interval_accesses)
+        current_alloc = tuple(lines_to_paper_mb(per) for _ in range(n))
+        self.records = []
+        self._traces = list(traces)
+        index = 0
+        while any(positions[i] < len(traces[i]) for i in range(n)):
+            accesses, misses = [], []
+            for i, trace in enumerate(traces):
+                end = min(positions[i] + interval, len(trace))
+                chunk = trace.addresses[positions[i]:end]
+                if chunk.size:
+                    monitors[i].record_trace(chunk)
+                    stats = talus.run_chunk(chunk, i)
+                    misses.append(stats.misses)
+                else:
+                    misses.append(0)
+                accesses.append(end - positions[i])
+                positions[i] = end
+            self.records.append(SharedIntervalRecord(
+                index=index, accesses=tuple(accesses), misses=tuple(misses),
+                allocations_mb=current_alloc))
+            index += 1
+            remaining = any(positions[i] < len(traces[i]) for i in range(n))
+            if index >= self.warmup_intervals and remaining:
+                current_alloc = self._replan(talus, monitors, traces)
+        return self.records
+
+    def _replan(self, talus, monitors: Sequence[CombinedUMON],
+                traces: Sequence[Trace]) -> tuple[float, ...]:
+        """Plan from every monitor's current curve; reprogram all pairs."""
+        from .reconfigure import config_mb_to_lines, planning_curve_from_monitor
+        curves = [planning_curve_from_monitor(monitor, trace)
+                  for monitor, trace in zip(monitors, traces)]
+        partitionable_mb = lines_to_paper_mb(talus.base.partitionable_lines)
+        granularity = (self.granularity_mb if self.granularity_mb
+                       else self.total_mb / 64.0)
+        wrapper = TalusPartitioning(algorithm=self.algorithm,
+                                    safety_margin=self.safety_margin)
+        outcome = wrapper.partition(curves, partitionable_mb,
+                                    granularity=granularity)
+        talus.configure_many([config_mb_to_lines(c)
+                              for c in outcome.configs])
+        return tuple(float(s) for s in outcome.sizes)
+
+    # ------------------------------------------------------------------ #
+    def app_misses(self, app: int, skip_warmup: bool = True) -> int:
+        """Total misses of one application (optionally post-warm-up only)."""
+        records = (self.records[self.warmup_intervals:] if skip_warmup
+                   else self.records)
+        return sum(r.misses[app] for r in records)
+
+    def app_accesses(self, app: int, skip_warmup: bool = True) -> int:
+        """Total accesses of one application over the recorded intervals."""
+        records = (self.records[self.warmup_intervals:] if skip_warmup
+                   else self.records)
+        return sum(r.accesses[app] for r in records)
+
+    def mix_result(self, profiles, scheme_label: str = "talus-execution",
+                   skip_warmup: bool = True) -> MixResult:
+        """Measured per-app performance as a Fig. 12/13 :class:`MixResult`.
+
+        MPKIs come from the *executed* misses (converted through each
+        trace's APKI), so the result is directly comparable — via
+        ``weighted_speedup_over``/``cov_ipc`` — with the analytic
+        :meth:`SharedCacheExperiment.evaluate` results for the same mix.
+        """
+        if not self.records:
+            raise ValueError("run() must be called first")
+        if len(profiles) != len(self.records[0].accesses):
+            raise ValueError("one profile per application required")
+        apps = []
+        last_alloc = self.records[-1].allocations_mb
+        for i, profile in enumerate(profiles):
+            accesses = self.app_accesses(i, skip_warmup)
+            misses = self.app_misses(i, skip_warmup)
+            apki = self._traces[i].apki
+            mpki = (misses / max(accesses, 1)) * apki
+            apps.append(AppPerformance(
+                name=profile.name, allocation_mb=float(last_alloc[i]),
+                mpki=float(mpki), ipc=ipc_from_mpki(profile, float(mpki))))
+        return MixResult(scheme=scheme_label, apps=tuple(apps))

@@ -4,8 +4,9 @@ In hardware, Talus re-plans every ~10 ms: UMONs accumulate a miss curve over
 an interval, software computes the convex hull, runs the partitioning
 algorithm, derives shadow partition sizes and sampling rates, and programs
 the cache for the next interval.  This module reproduces that closed loop
-for a single application (the multi-partition version lives in
-:mod:`repro.sim.multicore` as an analytic model).
+for a single application; the multi-application loop is
+:class:`repro.sim.multicore.ReconfiguringSharedRun` (with the analytic
+equilibrium model next to it).
 
 Assumption 1 of the paper — miss curves are stable across intervals — is
 what makes planning on the *previous* interval's curve work; the tests use
@@ -27,7 +28,42 @@ from ..monitor.umon import CombinedUMON
 from ..workloads.access import Trace
 from ..workloads.scale import lines_to_paper_mb, paper_mb_to_lines
 
-__all__ = ["ReconfiguringTalusRun", "IntervalRecord"]
+__all__ = ["ReconfiguringTalusRun", "IntervalRecord",
+           "planning_curve_from_monitor", "config_mb_to_lines"]
+
+
+def planning_curve_from_monitor(monitor: CombinedUMON,
+                                trace: Trace) -> MissCurve:
+    """The monitor's current miss curve in planner units (paper MB, MPKI).
+
+    The planner is scale invariant, but MB/MPKI units keep records human
+    readable.  Instructions are estimated from the fraction of the trace
+    the monitor has observed so far; the monotone envelope removes the
+    small non-monotonicities of spliced sampled monitors.  Shared by the
+    single-app (:class:`ReconfiguringTalusRun`) and multi-app
+    (:class:`~repro.sim.multicore.ReconfiguringSharedRun`) loops so both
+    plan from identically derived curves.
+    """
+    raw = monitor.miss_curve()
+    observed = max(monitor.primary.total_accesses, 1)
+    instructions = trace.instructions * observed / max(len(trace), 1)
+    sizes_mb = np.array([lines_to_paper_mb(s) for s in raw.sizes])
+    mpki = raw.misses * 1000.0 / max(instructions, 1.0)
+    return MissCurve(sizes_mb, mpki).monotone_envelope()
+
+
+def config_mb_to_lines(config: TalusConfig) -> TalusConfig:
+    """Rescale a planner configuration from paper MB to cache lines."""
+    factor = float(paper_mb_to_lines(1.0))
+    return TalusConfig(
+        total_size=config.total_size * factor,
+        alpha=config.alpha * factor,
+        beta=config.beta * factor,
+        rho=config.rho,
+        s1=config.s1 * factor,
+        s2=config.s2 * factor,
+        degenerate=config.degenerate,
+    )
 
 
 @dataclass(frozen=True)
@@ -62,6 +98,15 @@ class ReconfiguringTalusRun:
     warmup_intervals:
         Number of initial intervals during which the cache runs with a
         degenerate (single-partition) configuration while the monitor fills.
+    backend:
+        Backend of the underlying partitioned cache ("auto" by default).
+        Warm-partition reallocation is supported by both backends, so
+        "auto" routes the exact policy tier on way/set/ideal partitioning
+        to the array fast path (chunked native replay between
+        reconfigurations) and everything else — including the default
+        Vantage scheme, whose partitions share victim state — to the
+        object model; interval records are identical either way on the
+        exact tier.
     """
 
     target_mb: float
@@ -70,6 +115,7 @@ class ReconfiguringTalusRun:
     safety_margin: float = 0.05
     warmup_intervals: int = 1
     monitor_points: int = 65
+    backend: str = "auto"
     records: list[IntervalRecord] = field(default_factory=list)
 
     def run(self, trace: Trace) -> MissCurve | None:
@@ -81,12 +127,12 @@ class ReconfiguringTalusRun:
         lines = paper_mb_to_lines(self.target_mb)
         if lines <= 0:
             raise ValueError("target_mb too small for the configured scale")
-        # Dynamic reconfiguration needs capacity changes on warm partitions,
-        # which only the object model supports — so the spec pins the
-        # backend explicitly.
+        # Both backends reallocate warm partitions (PR 4), so the backend
+        # is a free choice; "auto" picks the array fast path exactly where
+        # it is bit-identical to the object model.
         spec = TalusSpec(partition=PartitionSpec(
             scheme=self.scheme, capacity_lines=lines, num_partitions=2,
-            backend="object"))
+            backend=self.backend))
         talus: TalusCache = build(spec)
         # Start degenerate: all capacity in the beta partition.  The
         # request is clamped to the scheme's partitionable capacity —
@@ -114,20 +160,18 @@ class ReconfiguringTalusRun:
         self.records = []
         while position < total:
             end = min(position + interval, total)
-            misses = 0
             config_used = talus.shadow_pair(0).config
             chunk = addresses[position:end]
-            # The monitor is independent of the cache, so the interval's
-            # accesses can be batch-recorded (vectorized sampling + native
-            # stack-distance kernel) while only the Talus cache itself is
-            # replayed access by access.
+            # Monitor and cache both advance chunk by chunk on persistent
+            # state: the monitor folds the interval into its incremental
+            # stack-distance state, and the cache replays it in one batched
+            # native pass on the array backend (access by access on the
+            # object model — identical results on the exact tier).
             monitor.record_trace(chunk)
-            for address in chunk.tolist():
-                if not talus.access(address, 0):
-                    misses += 1
+            chunk_stats = talus.run_chunk(chunk, 0)
             self.records.append(IntervalRecord(index=interval_index,
                                                accesses=end - position,
-                                               misses=misses,
+                                               misses=chunk_stats.misses,
                                                config=config_used))
             position = end
             interval_index += 1
@@ -138,30 +182,12 @@ class ReconfiguringTalusRun:
     def _reconfigure(self, talus: TalusCache, monitor: CombinedUMON,
                      lines: int, trace: Trace) -> MissCurve:
         """Plan from the monitor's current curve and program the cache."""
-        raw = monitor.miss_curve()
-        # Convert the monitor's (lines, miss counts) curve to (MB, MPKI) —
-        # the planner is scale invariant, but keeping MB units makes the
-        # records human readable.
-        observed = max(monitor.primary.total_accesses, 1)
-        instructions = trace.instructions * observed / max(len(trace), 1)
-        sizes_mb = np.array([lines_to_paper_mb(s) for s in raw.sizes])
-        mpki = raw.misses * 1000.0 / max(instructions, 1.0)
-        curve = MissCurve(sizes_mb, mpki).monotone_envelope()
+        curve = planning_curve_from_monitor(monitor, trace)
         partitionable_mb = lines_to_paper_mb(talus.base.partitionable_lines)
         plan_mb = min(self.target_mb, partitionable_mb)
         config = plan_shadow_partitions(curve, plan_mb,
                                         safety_margin=self.safety_margin)
-        factor = float(paper_mb_to_lines(1.0))
-        config_lines = TalusConfig(
-            total_size=config.total_size * factor,
-            alpha=config.alpha * factor,
-            beta=config.beta * factor,
-            rho=config.rho,
-            s1=config.s1 * factor,
-            s2=config.s2 * factor,
-            degenerate=config.degenerate,
-        )
-        talus.configure(0, config_lines)
+        talus.configure(0, config_mb_to_lines(config))
         return curve
 
     # ------------------------------------------------------------------ #

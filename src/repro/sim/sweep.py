@@ -11,7 +11,10 @@ the *what* (a :class:`SweepSpec` describing all the points) from the *how*
   (the trace is materialized and decoded once, not once per point).
 * ``array``  — the numpy/native array cache
   (:mod:`repro.cache.arraycache`): each config is replayed by a compiled
-  kernel, typically 10-30x faster than the object model.
+  kernel, typically 10-30x faster than the object model.  LRU/LIP configs
+  additionally share a *single* kernel pass over the trace
+  (:func:`~repro.cache.arraycache.run_lru_family_batch`): all sizes of a
+  recency-family size sweep advance together, decoding the trace once.
 * ``auto``   — the array backend where it is bit-identical to the object
   model (LRU, LIP, SRRIP, PDP), the object model otherwise.  This is the
   default, so existing experiments keep their exact results while getting
@@ -39,6 +42,7 @@ from typing import Callable, Hashable, Sequence
 
 import numpy as np
 
+from ..cache.arraycache import run_lru_family_batch
 from ..cache.cache import CacheStats
 from ..cache.factory import BACKENDS, build_cache, resolve_backend
 from ..cache.hashing import mix64
@@ -246,6 +250,7 @@ def _simulate_chunk(addrs: np.ndarray, configs: Sequence[SweepConfig],
     """Simulate a group of configs over one trace pass (worker entry point)."""
     out = []
     object_caches, object_keys = [], []
+    lru_family_caches, lru_family_keys = [], []
     for config in configs:
         custom = config.spec is not None or config.builder is not None
         if not custom and config.capacity_lines <= 0:
@@ -264,11 +269,29 @@ def _simulate_chunk(addrs: np.ndarray, configs: Sequence[SweepConfig],
             continue
         if resolve_backend(backend, config.policy) == "array":
             cache = config.build("array")
-            cache.run(addrs)
-            out.append((config.key, _extract_stats(cache)))
+            if config.policy in ("LRU", "LIP"):
+                # Recency-family array configs share one trace pass (the
+                # multi-config kernel); bit-identical to per-config runs.
+                lru_family_caches.append(cache)
+                lru_family_keys.append(config.key)
+            else:
+                cache.run(addrs)
+                out.append((config.key, _extract_stats(cache)))
         else:
             object_caches.append(config.build("object"))
             object_keys.append(config.key)
+    if lru_family_caches:
+        # One shared pass per set-indexing scheme (the kernel applies one
+        # scheme to the whole batch; sweeps mixing modulo and hashed
+        # configs split into one batch each).
+        groups: dict[tuple, list] = {}
+        for cache in lru_family_caches:
+            groups.setdefault((cache.hashed_index, cache.index_seed),
+                              []).append(cache)
+        for group in groups.values():
+            run_lru_family_batch(addrs, group)
+        out.extend((key, _extract_stats(cache))
+                   for key, cache in zip(lru_family_keys, lru_family_caches))
     if object_caches:
         _stream_object_pass(addrs, object_caches)
         out.extend((key, _extract_stats(cache))

@@ -31,8 +31,14 @@ def miss_curves(min_points: int = 3, max_points: int = 12,
     @st.composite
     def _curves(draw):
         n = draw(st.integers(min_points, max_points))
+        # Sizes are quantized to a 1e-6 grid: raw unique floats can land
+        # within float-rounding distance of each other, creating cliffs
+        # narrower than the arithmetic error of the Eq. 1/2 emulated-size
+        # computations the properties exercise (a measured curve's sample
+        # spacing is many orders of magnitude wider than either).
         raw_sizes = draw(st.lists(
-            st.floats(0.125, max_size, allow_nan=False, allow_infinity=False),
+            st.floats(0.125, max_size, allow_nan=False,
+                      allow_infinity=False).map(lambda v: round(v, 6)),
             min_size=n, max_size=n, unique=True))
         sizes = [0.0] + sorted(raw_sizes)
         drops = draw(st.lists(

@@ -223,19 +223,22 @@ class TestUMONFastPath:
 
 
 class TestUMONIncrementalMode:
-    def test_online_switch_is_unobservable(self):
-        """Past the batch-query budget the monitor switches to incremental
-        online recording; the curves must not change across the switch."""
+    def test_many_interleaved_reads_match_one_shot(self):
+        """PR 4: the monitor is incremental end to end — any number of
+        interleaved curve reads leaves the curves identical to one-shot
+        recording, and each sampled access is processed exactly once."""
         rng = np.random.default_rng(47)
         trace = rng.integers(0, 800, 24000).astype(np.int64)
         many = UMON(sampling_rate=1 / 4, max_size=1024, points=9, seed=3)
         curves = []
-        for start in range(0, len(trace), 1500):   # 16 reads > the budget
+        for start in range(0, len(trace), 1500):   # 16 interleaved reads
             many.record_trace(trace[start:start + 1500])
             curves.append(many.miss_curve().misses)
         one = UMON(sampling_rate=1 / 4, max_size=1024, points=9, seed=3)
         one.record_trace(trace)
-        assert many._online is not None            # the switch happened
+        assert many._monitor is not None
+        # The persistent state consumed exactly the sampled sub-stream.
+        assert many._monitor.accesses == many.sampled_accesses
         assert np.array_equal(curves[-1], one.miss_curve().misses)
 
 

@@ -1,0 +1,533 @@
+"""Tests for the resumable simulation runtime (PR 4).
+
+Covers the contract end to end, layer by layer:
+
+* chunk-boundary invariance — replaying a trace in chunks (``run_chunk``,
+  ``run``, scalar ``access``, freely interleaved) is bit-identical to one
+  one-shot ``run`` for every array policy on both indexing schemes;
+* warm-partition reallocation — ``ArrayPartitionedCache.reallocate``
+  resizes occupied partitions with the object schemes' eviction
+  semantics: conservation (no lines invented), isolation (no line ever
+  crosses partitions) and bit-identical miss streams on the exact tier;
+* the atomic multi-logical ``TalusCache.configure_many``;
+* the reconfiguration loops on ``backend="auto"``
+  (:class:`ReconfiguringTalusRun` parity with the object model, and the
+  new execution-driven :class:`ReconfiguringSharedRun`);
+* the seeded-deterministic Random array policy;
+* the multi-config shared-trace-pass replay
+  (:func:`~repro.cache.arraycache.run_lru_family_batch`);
+* the incremental stack-distance monitor and the byte-sliced H3 hash;
+* the vectorized ``shared_cache_equilibrium``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.cache.arraycache import (ARRAY_EXACT_POLICIES, ARRAY_POLICIES,
+                                    ArraySetAssociativeCache,
+                                    run_lru_family_batch)
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.factory import named_policy_factory, resolve_backend
+from repro.cache.hashing import H3Hash
+from repro.cache.spec import CacheSpec, PartitionSpec, TalusSpec, build
+from repro.core.talus import TalusConfig
+from repro.monitor.stack_distance import (IncrementalStackMonitor,
+                                          stack_distance_histogram)
+from repro.sim.multicore import ReconfiguringSharedRun
+from repro.sim.reconfigure import ReconfiguringTalusRun
+from repro.workloads.spec_profiles import get_profile
+
+
+def _mixed_trace(n: int, spread: int = 3000, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    hot = rng.integers(0, spread // 4, n // 2)
+    cold = rng.integers(0, spread, n - n // 2)
+    out = np.empty(n, dtype=np.int64)
+    out[0::2] = hot[: (n + 1) // 2]
+    out[1::2] = cold[: n // 2]
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Chunk-boundary invariance
+# --------------------------------------------------------------------- #
+class TestChunkInvariance:
+    @pytest.mark.parametrize("policy", ARRAY_POLICIES)
+    @pytest.mark.parametrize("hashed", [False, True])
+    def test_chunked_replay_is_bit_identical(self, policy, hashed):
+        trace = _mixed_trace(12000, seed=hash((policy, hashed)) % 1000)
+        kwargs = dict(policy=policy, hashed_index=hashed, index_seed=3)
+        one = ArraySetAssociativeCache(32, 4, **kwargs)
+        one.run(trace)
+        chunked = ArraySetAssociativeCache(32, 4, **kwargs)
+        # Uneven chunks, including empty ones and scalar interleaving.
+        bounds = [0, 17, 17, 993, 5000, 5001, 11000, 12000]
+        for start, end in zip(bounds, bounds[1:]):
+            if end - start == 1:
+                chunked.access(int(trace[start]))
+            else:
+                chunked.run_chunk(trace[start:end])
+        assert one.stats.misses == chunked.stats.misses
+        assert one.stats.accesses == chunked.stats.accesses
+        assert np.array_equal(one.tags, chunked.tags)
+        assert np.array_equal(one.stamp, chunked.stamp)
+        if policy in ("SRRIP", "BRRIP", "DRRIP"):
+            assert np.array_equal(one.rrpv, chunked.rrpv)
+
+    def test_run_chunk_returns_per_chunk_stats(self):
+        trace = _mixed_trace(4000)
+        cache = ArraySetAssociativeCache(16, 4)
+        first = cache.run_chunk(trace[:2500])
+        second = cache.run_chunk(trace[2500:])
+        assert first.accesses == 2500 and second.accesses == 1500
+        assert first.misses + second.misses == cache.stats.misses
+
+    @pytest.mark.parametrize("scheme,policy", [("way", "LRU"),
+                                               ("way", "SRRIP"),
+                                               ("set", "PDP"),
+                                               ("ideal", "LRU")])
+    def test_partitioned_chunked_replay(self, scheme, policy):
+        rng = np.random.default_rng(11)
+        addrs = _mixed_trace(9000, seed=5)
+        parts = rng.integers(0, 3, 9000).astype(np.int64)
+        spec = PartitionSpec(scheme=scheme, capacity_lines=768,
+                             num_partitions=3, policy=policy,
+                             backend="array")
+        one = build(spec)
+        one.run_partitioned(addrs, parts)
+        chunked = build(spec)
+        for lo, hi in [(0, 1), (1, 4000), (4000, 4000), (4000, 9000)]:
+            chunked.run_chunk(addrs[lo:hi], parts[lo:hi])
+        assert ([s.misses for s in one.partition_stats]
+                == [s.misses for s in chunked.partition_stats])
+
+
+# --------------------------------------------------------------------- #
+# Warm reallocation
+# --------------------------------------------------------------------- #
+class TestWarmReallocation:
+    SCHEMES = [("way", "LRU"), ("way", "LIP"), ("way", "SRRIP"),
+               ("way", "PDP"), ("set", "LRU"), ("set", "SRRIP"),
+               ("ideal", "LRU")]
+
+    @pytest.mark.parametrize("scheme,policy", SCHEMES)
+    def test_object_parity_through_reallocations(self, scheme, policy):
+        """Replay / reallocate / replay: the array backend's warm resizing
+        must match the object schemes' miss streams bit for bit (exact
+        tier), including shrink-evictions and re-growth."""
+        rng = np.random.default_rng(21)
+        addrs = _mixed_trace(24000, spread=5000, seed=9)
+        parts = rng.integers(0, 2, 24000).astype(np.int64)
+        spec = PartitionSpec(scheme=scheme, capacity_lines=1024,
+                             num_partitions=2, policy=policy)
+        obj = build(replace(spec, backend="object"))
+        arr = build(replace(spec, backend="array"))
+        plans = [[512, 512], [192, 832], [832, 192], [512, 512]]
+        for chunk_ids, plan in zip(np.array_split(np.arange(24000), 4),
+                                   plans):
+            go = obj.set_allocations(plan)
+            ga = arr.reallocate(plan)
+            assert go == ga
+            a, p = addrs[chunk_ids], parts[chunk_ids]
+            for x, pp in zip(a.tolist(), p.tolist()):
+                obj.access(x, pp)
+            arr.run_chunk(a, p)
+            assert ([s.misses for s in obj.partition_stats]
+                    == [s.misses for s in arr.partition_stats])
+        for p in range(2):
+            assert obj.partition_occupancy(p) == arr.partition_occupancy(p)
+
+    @pytest.mark.parametrize("scheme,policy", SCHEMES + [("way", "Random"),
+                                                         ("way", "DRRIP")])
+    def test_conservation_and_isolation(self, scheme, policy):
+        """Shrinking evicts (never moves) lines: occupancy stays within
+        the grant, and every resident line belongs to the partition that
+        inserted it (disjoint per-partition address spaces prove no
+        cross-partition leaks)."""
+        rng = np.random.default_rng(31)
+        n = 12000
+        # Disjoint address ranges per partition.
+        addrs = np.where(rng.random(n) < 0.5,
+                         rng.integers(0, 2000, n),
+                         rng.integers(1 << 20, (1 << 20) + 2000, n)
+                         ).astype(np.int64)
+        parts = (addrs >= (1 << 20)).astype(np.int64)
+        spec = PartitionSpec(scheme=scheme, capacity_lines=1024,
+                             num_partitions=2, policy=policy,
+                             backend="array")
+        cache = build(spec)
+        for plan in ([512, 512], [128, 896], [960, 64]):
+            granted = cache.reallocate(plan)
+            cache.run_chunk(addrs, parts)
+            for p in range(2):
+                occ = cache.partition_occupancy(p)
+                assert occ <= granted[p]
+            # Isolation: resident tags of partition p come only from its
+            # own address range.
+            for p, region in enumerate(cache._regions):
+                if region is None:
+                    continue
+                tags = (np.asarray(list(region._policy.resident()))
+                        if scheme == "ideal" else
+                        region.tags[region.tags != -1])
+                if np.size(tags) == 0:
+                    continue
+                if p == 0:
+                    assert np.all(np.asarray(tags) < (1 << 20))
+                else:
+                    assert np.all(np.asarray(tags) >= (1 << 20))
+
+    def test_shrink_to_zero_and_regrow(self):
+        cache = build(PartitionSpec(scheme="way", capacity_lines=512,
+                                    num_partitions=2, policy="PDP",
+                                    backend="array"))
+        addrs = _mixed_trace(6000, seed=13)
+        parts = np.zeros(6000, dtype=np.int64)
+        cache.run_chunk(addrs, parts)
+        granted = cache.reallocate([0, 512])
+        assert granted[0] == 0
+        assert cache.partition_occupancy(0) == 0
+        # The zero-capacity partition still counts misses (and keeps its
+        # PDP sampler advancing) without crashing either replay path.
+        cache.run_chunk(addrs[:500], parts[:500])
+        assert cache.partition_stats[0].misses >= 500
+        cache.reallocate([256, 256])
+        cache.run_chunk(addrs, parts)
+        assert cache.partition_occupancy(0) > 0
+
+    def test_warm_resize_matches_object_set_capacity(self):
+        """Region-level resize parity for every exact policy (the
+        primitive underneath partition reallocation)."""
+        trace = _mixed_trace(16000, seed=17)
+        for policy in ARRAY_EXACT_POLICIES:
+            obj = SetAssociativeCache(16, 8,
+                                      named_policy_factory(policy, 16))
+            arr = ArraySetAssociativeCache(16, 8, policy=policy)
+            obj.run(trace[:6000].tolist())
+            arr.run(trace[:6000])
+            for region in obj._sets:
+                region.set_capacity(3)
+            arr.resize_ways(3)
+            obj.run(trace[6000:11000].tolist())
+            arr.run(trace[6000:11000])
+            for region in obj._sets:
+                region.set_capacity(7)
+            arr.resize_ways(7)
+            obj.run(trace[11000:].tolist())
+            arr.run(trace[11000:])
+            assert obj.stats.misses == arr.stats.misses, policy
+
+
+# --------------------------------------------------------------------- #
+# Talus: atomic reconfiguration + auto-backend loop parity
+# --------------------------------------------------------------------- #
+class TestTalusResumable:
+    def _talus(self, backend: str):
+        return build(TalusSpec(partition=PartitionSpec(
+            scheme="way", capacity_lines=1024, num_partitions=2,
+            backend=backend)))
+
+    @staticmethod
+    def _config(s1: float, s2: float) -> TalusConfig:
+        total = s1 + s2
+        return TalusConfig(total_size=total, alpha=2 * s1, beta=total - s1,
+                           rho=0.5, s1=s1, s2=s2, degenerate=False)
+
+    def test_configure_many_is_atomic(self):
+        """A grow-before-shrink swap that sequential configure calls would
+        reject (transiently over capacity) applies in one step."""
+        talus = build(TalusSpec(partition=PartitionSpec(
+            scheme="ideal", capacity_lines=1000, num_partitions=4,
+            backend="array"), num_logical=2))
+        talus.configure_many([self._config(100, 400),
+                              self._config(100, 400)])
+        talus.run_chunk(_mixed_trace(3000, seed=1), 0)
+        talus.run_chunk(_mixed_trace(3000, seed=2), 1)
+        with pytest.raises(ValueError):
+            # Sequential: logical 0 grows before logical 1 shrinks.
+            talus.configure(0, self._config(200, 700))
+        effective = talus.configure_many([self._config(200, 700),
+                                          self._config(20, 80)])
+        assert effective[0].s1 + effective[0].s2 == 900
+        assert effective[1].s1 + effective[1].s2 == 100
+
+    def test_configure_many_none_keeps_current(self):
+        talus = self._talus("array")
+        talus.configure(0, self._config(256, 768))
+        before = talus.shadow_pair(0).config
+        out = talus.configure_many([None])
+        assert out[0] == before
+
+    def test_reconfiguring_run_auto_matches_object(self):
+        """The acceptance criterion: interval records of the full closed
+        loop are identical across backends (exact tier schemes)."""
+        profile = get_profile("omnetpp")
+        trace = profile.trace(n_accesses=60000)
+        records = {}
+        for backend in ("object", "auto"):
+            run = ReconfiguringTalusRun(target_mb=1.5, scheme="ideal",
+                                        interval_accesses=15000,
+                                        backend=backend)
+            run.run(trace)
+            records[backend] = run.records
+        assert len(records["object"]) == len(records["auto"])
+        for a, b in zip(records["object"], records["auto"]):
+            assert (a.accesses, a.misses) == (b.accesses, b.misses)
+            assert a.config == b.config
+
+    def test_reconfiguring_run_vantage_auto(self):
+        """The default Vantage scheme resolves to the object model under
+        "auto" (its partitions share victim state) and still runs."""
+        profile = get_profile("omnetpp")
+        trace = profile.trace(n_accesses=20000)
+        run = ReconfiguringTalusRun(target_mb=1.0, interval_accesses=5000)
+        run.run(trace)
+        assert len(run.records) == 4
+        assert run.records[0].config.degenerate
+
+
+# --------------------------------------------------------------------- #
+# Random array policy
+# --------------------------------------------------------------------- #
+class TestRandomArrayPolicy:
+    def test_deterministic_per_seed(self):
+        trace = _mixed_trace(8000, seed=3)
+        runs = [ArraySetAssociativeCache(16, 4, policy="Random", seed=9)
+                for _ in range(2)]
+        other = ArraySetAssociativeCache(16, 4, policy="Random", seed=10)
+        for cache in (*runs, other):
+            cache.run(trace)
+        assert runs[0].stats.misses == runs[1].stats.misses
+        assert np.array_equal(runs[0].tags, runs[1].tags)
+        assert runs[0].stats.misses != other.stats.misses
+
+    def test_statistically_reasonable(self):
+        """Random replacement on a working set slightly above capacity
+        should land between LRU (pathological) and a tiny cache."""
+        rng = np.random.default_rng(8)
+        trace = np.tile(np.arange(80, dtype=np.int64), 100)
+        random_cache = ArraySetAssociativeCache(1, 64, policy="Random")
+        lru = ArraySetAssociativeCache(1, 64, policy="LRU")
+        random_cache.run(trace)
+        lru.run(trace)
+        # Cyclic scan over 80 lines through 64 ways: LRU misses always;
+        # random keeps a useful fraction resident.
+        assert lru.stats.hits == 0
+        assert random_cache.stats.hit_rate > 0.4
+
+    def test_backend_routing(self):
+        assert resolve_backend("auto", "Random") == "object"
+        assert resolve_backend("array", "Random") == "array"
+        cache = build(CacheSpec(capacity_lines=256, policy="Random",
+                                backend="array", seed=4))
+        assert isinstance(cache, ArraySetAssociativeCache)
+        spec = cache.to_spec()
+        assert spec.policy == "Random" and spec.backend == "array"
+
+
+# --------------------------------------------------------------------- #
+# Multi-config shared-pass replay
+# --------------------------------------------------------------------- #
+class TestMultiConfigBatch:
+    def test_matches_individual_runs(self):
+        trace = _mixed_trace(15000, spread=8000, seed=6)
+        geoms = [(8, 4, "LRU"), (64, 4, "LIP"), (256, 4, "LRU"),
+                 (128, 8, "LIP")]
+        batch = [ArraySetAssociativeCache(s, w, policy=p)
+                 for s, w, p in geoms]
+        solo = [ArraySetAssociativeCache(s, w, policy=p)
+                for s, w, p in geoms]
+        misses = run_lru_family_batch(trace, batch)
+        for cache in solo:
+            cache.run(trace)
+        assert [int(m) for m in misses] == [c.stats.misses for c in solo]
+        for a, b in zip(batch, solo):
+            assert np.array_equal(a.tags, b.tags)
+            assert np.array_equal(a.stamp, b.stamp)
+            assert a.stats.misses == b.stats.misses
+
+    def test_batch_is_resumable(self):
+        trace = _mixed_trace(9000, seed=7)
+        batch = [ArraySetAssociativeCache(32, 4),
+                 ArraySetAssociativeCache(64, 4, policy="LIP")]
+        run_lru_family_batch(trace[:5000], batch)
+        run_lru_family_batch(trace[5000:], batch)
+        solo = ArraySetAssociativeCache(32, 4)
+        solo.run(trace)
+        assert batch[0].stats.misses == solo.stats.misses
+
+    def test_rejects_mixed_indexing_and_policies(self):
+        with pytest.raises(ValueError, match="LRU/LIP"):
+            run_lru_family_batch([1, 2],
+                                 [ArraySetAssociativeCache(8, 2,
+                                                           policy="SRRIP")])
+        with pytest.raises(ValueError, match="indexing"):
+            run_lru_family_batch([1, 2], [
+                ArraySetAssociativeCache(8, 2),
+                ArraySetAssociativeCache(8, 2, hashed_index=True)])
+
+    def test_sweep_uses_shared_pass(self):
+        from repro.sim.sweep import SweepSpec, run_sweep
+        trace = _mixed_trace(10000, spread=20000, seed=12)
+        spec = SweepSpec(sizes_mb=(0.25, 0.5, 1.0, 2.0),
+                         policies=("LRU", "LIP"), backend="array")
+        fast = run_sweep(trace, spec)
+        reference = run_sweep(trace, spec, backend="object")
+        for key in fast.stats:
+            assert fast[key].misses == reference[key].misses
+
+    def test_sweep_mixed_indexing_configs(self):
+        """Regression: configs with different set-indexing schemes must
+        not be batched into one shared pass (the kernel applies a single
+        scheme per batch)."""
+        from repro.sim.sweep import SweepConfig, run_sweep
+        trace = _mixed_trace(8000, spread=6000, seed=19)
+        configs = [
+            SweepConfig(key="mod", size_mb=1.0, policy="LRU"),
+            SweepConfig(key="hash", size_mb=1.0, policy="LRU",
+                        policy_kwargs=(("hashed_index", True),
+                                       ("index_seed", 7))),
+            SweepConfig(key="hash2", size_mb=0.5, policy="LIP",
+                        policy_kwargs=(("hashed_index", True),
+                                       ("index_seed", 7))),
+        ]
+        fast = run_sweep(trace, configs, backend="array")
+        reference = run_sweep(trace, configs, backend="object")
+        for key in ("mod", "hash", "hash2"):
+            assert fast[key].misses == reference[key].misses
+        assert fast["mod"].misses != fast["hash"].misses
+
+
+# --------------------------------------------------------------------- #
+# Incremental monitors + H3 fast hash
+# --------------------------------------------------------------------- #
+class TestIncrementalMonitors:
+    def test_chunked_equals_one_shot_with_growth(self):
+        trace = np.concatenate([
+            _mixed_trace(20000, spread=1500, seed=14),
+            _mixed_trace(20000, spread=40000, seed=15)])
+        # A tiny hint forces table rehashes and position compactions.
+        inc = IncrementalStackMonitor(capacity_hint=64)
+        for chunk in np.array_split(trace, 13):
+            inc.record_trace(chunk)
+            inc.histogram()         # interleaved reads must be free of
+        dense_inc = inc.histogram()  # re-replay side effects
+        dense_ref, cold_ref = stack_distance_histogram(trace)
+        assert inc.cold_misses == cold_ref
+        assert np.array_equal(dense_inc, dense_ref)
+
+    def test_scalar_record_matches_trace(self):
+        trace = _mixed_trace(2000, spread=300, seed=16)
+        a = IncrementalStackMonitor(capacity_hint=64)
+        b = IncrementalStackMonitor(capacity_hint=4096)
+        a.record_trace(trace)
+        for x in trace.tolist():
+            b.record(x)
+        assert np.array_equal(a.histogram(), b.histogram())
+        assert a.cold_misses == b.cold_misses
+
+    def test_h3_byte_lut_matches_scalar(self):
+        rng = np.random.default_rng(18)
+        values = rng.integers(-(1 << 62), 1 << 62, 4000).astype(np.int64)
+        for seed in (1, 7, 12):
+            h = H3Hash(out_bits=8, seed=seed)
+            vectorized = h.hash_array(values)
+            scalar = np.array([h(int(v)) for v in values], dtype=np.uint64)
+            assert np.array_equal(vectorized, scalar)
+
+
+# --------------------------------------------------------------------- #
+# Execution-driven shared reconfiguration + vectorized equilibrium
+# --------------------------------------------------------------------- #
+class TestReconfiguringSharedRun:
+    def test_allocations_track_demand(self):
+        """Talus should starve the app whose curve is flat at this scale
+        (libquantum below its cliff) and feed the app with a reachable
+        cliff (omnetpp) — the Fig. 12 story, executed."""
+        profiles = [get_profile("omnetpp"), get_profile("libquantum")]
+        traces = [p.trace(n_accesses=30000) for p in profiles]
+        run = ReconfiguringSharedRun(total_mb=2.5, interval_accesses=10000)
+        records = run.run(traces)
+        assert len(records) == 3
+        final = records[-1].allocations_mb
+        assert final[0] > final[1]
+        # Conservation per interval and app.
+        for record in records:
+            assert all(m <= a for m, a in
+                       zip(record.misses, record.accesses))
+        result = run.mix_result(profiles)
+        assert len(result.apps) == 2
+        assert all(app.ipc > 0 for app in result.apps)
+
+    def test_backend_parity(self):
+        profiles = [get_profile("omnetpp"), get_profile("mcf")]
+        traces = [p.trace(n_accesses=24000) for p in profiles]
+        outcomes = {}
+        for backend in ("object", "auto"):
+            run = ReconfiguringSharedRun(total_mb=2.0,
+                                         interval_accesses=8000,
+                                         backend=backend)
+            outcomes[backend] = run.run(traces)
+        for a, b in zip(outcomes["object"], outcomes["auto"]):
+            assert a.misses == b.misses
+            assert a.allocations_mb == b.allocations_mb
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ReconfiguringSharedRun(total_mb=2.0).run([])
+
+
+class TestVectorizedEquilibrium:
+    def test_matches_scalar_reference(self):
+        """The numpy-vectorized fixed point reproduces the per-app-loop
+        reference implementation."""
+        from repro.core.misscurve import MissCurve
+        from repro.sim.multicore import shared_cache_equilibrium
+        from repro.sim.perf_model import ipc_from_mpki
+        from repro.workloads.mixes import homogeneous_mix
+
+        mix = homogeneous_mix("mcf", copies=4)
+        profiles = list(mix.apps)
+        sizes_grid = np.linspace(0.0, 4.0, 33)
+        curves = [p.lru_curve(sizes_mb=sizes_grid) for p in profiles]
+
+        def reference(curves, profiles, total_mb, iterations=200,
+                      damping=0.5, perturbation=0.05, seed=1):
+            rng = np.random.default_rng(seed)
+            n = len(curves)
+            sizes = np.full(n, total_mb / n)
+            noise = 1.0 + perturbation * (rng.random(n) - 0.5)
+            sizes = sizes * noise
+            sizes *= total_mb / sizes.sum()
+            for _ in range(iterations):
+                weights = np.empty(n)
+                for i, (curve, profile) in enumerate(zip(curves, profiles)):
+                    mpki = float(curve(sizes[i]))
+                    ipc = ipc_from_mpki(profile, mpki)
+                    weights[i] = (mpki / 1000.0) * ipc + 1e-9
+                target = total_mb * weights / weights.sum()
+                sizes = damping * sizes + (1.0 - damping) * target
+            return sizes
+
+        fast = shared_cache_equilibrium(curves, profiles, 4.0)
+        slow = reference(curves, profiles, 4.0)
+        assert np.allclose(fast, slow, rtol=1e-9, atol=1e-12)
+
+    def test_heterogeneous_mix_unchanged(self):
+        from repro.sim.multicore import SharedCacheExperiment
+        from repro.workloads.mixes import WorkloadMix
+        from repro.workloads.spec_profiles import get_profile
+
+        mix = WorkloadMix(name="hetero4",
+                          apps=tuple(get_profile(n) for n in
+                                     ("omnetpp", "mcf", "libquantum",
+                                      "sphinx3")))
+        experiment = SharedCacheExperiment(mix, total_mb=4.0,
+                                           curve_points=17)
+        result = experiment.evaluate("lru-shared")
+        total = sum(app.allocation_mb for app in result.apps)
+        assert total == pytest.approx(4.0, rel=1e-6)

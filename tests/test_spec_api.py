@@ -172,13 +172,21 @@ class TestPartitionSpec:
             cache = build(replace(spec, backend=backend))
             assert cache.granted_allocations() == [185, 407]  # 5 + 11 ways
 
-    def test_array_reallocation_requires_empty(self):
+    def test_array_reallocation_works_warm(self):
+        # PR 4: the array backend reallocates warm partitions in place
+        # (shrink evicts per-policy victims, grow adds empty capacity).
         cache = build(PartitionSpec(scheme="way", capacity_lines=512,
                                     num_partitions=2, backend="array"))
         cache.set_allocations([128, 384])  # empty: fine
-        cache.access(1, 0)
-        with pytest.raises(RuntimeError, match="object"):
-            cache.set_allocations([384, 128])
+        for a in range(200):
+            cache.access(a, 0)
+        granted = cache.set_allocations([384, 128])
+        assert granted == [384, 128]
+        # Partition 0 kept its (shrunk-then-grown-capacity) lines...
+        assert cache.partition_occupancy(0) > 0
+        assert cache.partition_occupancy(0) <= granted[0]
+        # ...and partition 1 was shrunk within its new allocation.
+        assert cache.partition_occupancy(1) <= granted[1]
 
 
 class TestTalusSpec:
