@@ -26,14 +26,12 @@ trajectory.
 
 from __future__ import annotations
 
-import json
-import os
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
 
+from benchlib import bench_json_path, write_bench_json
 from repro.cache._native import native_available
 from repro.monitor import UMON, MultiPointMonitor
 from repro.sim.engine import DEFAULT_WAYS
@@ -58,25 +56,12 @@ def _fig9_sizes_lines():
     return [0] + [paper_mb_to_lines(mb) for mb in sizes_mb]
 
 
-def _json_path() -> Path:
-    default = Path(__file__).parent / "out" / "monitor_speedup.json"
-    return Path(os.environ.get("REPRO_BENCH_JSON", default))
-
-
 def _write_json(key: str, payload: dict) -> None:
-    path = _json_path()
-    path.parent.mkdir(parents=True, exist_ok=True)
-    data = {}
-    if path.exists():
-        try:
-            data = json.loads(path.read_text())
-        except json.JSONDecodeError:
-            data = {}
-    data[key] = payload
-    data["meta"] = {"trace": "libquantum", "n_accesses": trace_length(),
-                    "native": native_available(),
-                    "timestamp": time.time()}
-    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    write_bench_json(bench_json_path("monitor_speedup.json",
+                                     "REPRO_BENCH_JSON"),
+                     key, payload,
+                     meta={"trace": "libquantum",
+                           "n_accesses": trace_length()})
 
 
 def test_umon_speedup(capsys):

@@ -24,13 +24,11 @@ Timings land in ``benchmarks/out/reconfigure_speedup.json`` (override with
 
 from __future__ import annotations
 
-import json
-import os
 import time
-from pathlib import Path
 
 import pytest
 
+from benchlib import bench_json_path, write_bench_json
 from repro.cache._native import native_available
 from repro.experiments.common import trace_length
 from repro.sim.multicore import ReconfiguringSharedRun
@@ -50,25 +48,12 @@ def _bench_accesses() -> int:
     return trace_length(full=600_000, fast=360_000)
 
 
-def _json_path() -> Path:
-    default = Path(__file__).parent / "out" / "reconfigure_speedup.json"
-    return Path(os.environ.get("REPRO_BENCH_JSON_RECONFIGURE", default))
-
-
 def _write_json(key: str, payload: dict) -> None:
-    path = _json_path()
-    path.parent.mkdir(parents=True, exist_ok=True)
-    data = {}
-    if path.exists():
-        try:
-            data = json.loads(path.read_text())
-        except json.JSONDecodeError:
-            data = {}
-    data[key] = payload
-    data["meta"] = {"trace": "omnetpp", "n_accesses": _bench_accesses(),
-                    "native": native_available(),
-                    "timestamp": time.time()}
-    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    write_bench_json(bench_json_path("reconfigure_speedup.json",
+                                     "REPRO_BENCH_JSON_RECONFIGURE"),
+                     key, payload,
+                     meta={"trace": "omnetpp",
+                           "n_accesses": _bench_accesses()})
 
 
 def _timed_run(trace, scheme: str, backend: str):

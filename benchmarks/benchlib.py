@@ -1,0 +1,48 @@
+"""Shared helpers for the speedup benchmarks' JSON result banks.
+
+Every ``bench_*_speedup.py`` records machine-readable timings under
+``benchmarks/out/`` for cross-PR perf tracking (CI uploads the directory
+as an artifact).  The read-merge-write cycle lives here so the banks all
+share one schema convention: one entry per measured configuration plus a
+``meta`` block carrying the benchmark's scale parameters, whether the
+native kernel was available, and a timestamp.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.cache._native import native_available
+
+#: Directory the benchmark JSON banks land in (gitignored; uploaded by CI).
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def bench_json_path(filename: str, env_var: str) -> Path:
+    """The bank's path: ``benchmarks/out/<filename>``, overridable via
+    the benchmark's environment variable."""
+    return Path(os.environ.get(env_var, OUT_DIR / filename))
+
+
+def write_bench_json(path: Path, key: str, payload: dict,
+                     meta: dict | None = None) -> None:
+    """Merge one measurement into the JSON bank at ``path``.
+
+    Existing entries under other keys are preserved (so parametrized
+    benchmarks accumulate into one file); ``meta`` is refreshed with the
+    native-kernel flag and a timestamp on every write.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data[key] = payload
+    data["meta"] = {**(meta or {}), "native": native_available(),
+                    "timestamp": time.time()}
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")

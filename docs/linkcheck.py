@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Offline link checker for the repo's markdown docs.
+
+Validates every relative markdown link in ``docs/*.md`` and the root
+``README.md``:
+
+* the target file (or directory) must exist relative to the page;
+* ``#anchor`` fragments must match a heading in the target file, using
+  GitHub's slugification (lowercase, spaces to dashes, punctuation
+  dropped).
+
+External ``http(s)`` links are skipped so the check is deterministic and
+network-free (it runs in CI).  Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+PAGES = sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug (sufficient for ASCII headings)."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    content = _CODE_FENCE.sub("", path.read_text())
+    return {github_slug(m.group(1)) for m in _HEADING.finditer(content)}
+
+
+def check_page(page: Path) -> list[str]:
+    errors = []
+    content = _CODE_FENCE.sub("", page.read_text())
+    for match in _LINK.finditer(content):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        resolved = (page.parent / path_part).resolve() if path_part else page
+        if not resolved.exists():
+            errors.append(f"{page.relative_to(REPO)}: broken link {target!r} "
+                          f"(no such file {path_part!r})")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if github_slug(fragment) not in anchors_of(resolved):
+                errors.append(f"{page.relative_to(REPO)}: broken anchor "
+                              f"{target!r}")
+    return errors
+
+
+def main() -> int:
+    errors = []
+    for page in PAGES:
+        errors.extend(check_page(page))
+    if errors:
+        print(f"{len(errors)} broken link(s):")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"linkcheck: {len(PAGES)} pages OK "
+          f"({', '.join(str(p.relative_to(REPO)) for p in PAGES)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

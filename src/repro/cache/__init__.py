@@ -14,10 +14,11 @@ from .factory import (BACKENDS, POLICY_NAMES, build_cache, cache_geometry,
                       named_policy_factory, resolve_backend)
 from .hashing import H3Hash, SamplingFunction, mix64, set_index
 from .partition import (ARRAY_SCHEMES, ArrayPartitionedCache,
-                        FutilityScalingCache, IdealPartitionedCache,
-                        PartitionedCache, SetPartitionedCache,
-                        VantagePartitionedCache, WayPartitionedCache,
-                        make_partitioned_cache, partitionable_lines_for)
+                        ArrayVantageCache, FutilityScalingCache,
+                        IdealPartitionedCache, PartitionedCache,
+                        SetPartitionedCache, VantagePartitionedCache,
+                        WayPartitionedCache, make_partitioned_cache,
+                        partitionable_lines_for)
 from .replacement import (BIPPolicy, BRRIPPolicy, BeladyMINPolicy, DIPPolicy,
                           DRRIPPolicy, EvictionPolicy, LIPPolicy, LRUPolicy,
                           PDPPolicy, RandomPolicy, SRRIPPolicy, TADRRIPPolicy,
@@ -55,6 +56,7 @@ __all__ = [
     "VantagePartitionedCache",
     "FutilityScalingCache",
     "ArrayPartitionedCache",
+    "ArrayVantageCache",
     "ARRAY_SCHEMES",
     "make_partitioned_cache",
     "partitionable_lines_for",

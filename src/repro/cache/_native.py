@@ -47,8 +47,10 @@ class NativeKernel:
     (SRRIP/BRRIP/DRRIP), ``dip_run`` (BIP/DIP), ``pdp_run`` (protecting
     distance), ``random_run`` (seeded random replacement), ``multi_lru_run``
     (several LRU/LIP configs in one trace pass), ``stack_hist_run``
-    (one-shot Mattson stack-distance histogram) and ``stack_hist_chunk`` /
-    ``stack_state_rehash`` (the incremental, caller-owned-state variant).
+    (one-shot Mattson stack-distance histogram), ``stack_hist_chunk`` /
+    ``stack_state_rehash`` (the incremental, caller-owned-state variant),
+    and ``vantage_run`` / ``vantage_realloc`` (line-granular Vantage
+    partitioning with a shared unmanaged region).
     All replay kernels accept modulo or hashed set indexing, and all are
     chunk-resumable: state is passed in and returned, so split replays are
     bit-identical to one-shot replays.
@@ -123,6 +125,21 @@ class NativeKernel:
             _I64, _I64, _I64,
             _I64, _I64, _I64, _I64,
             ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, _I64,
+        ]
+        lib.vantage_run.restype = ctypes.c_int64
+        lib.vantage_run.argtypes = [
+            _I64, _I64, ctypes.c_int64, ctypes.c_int64, _I64,
+            ctypes.c_int64,
+            _I64, _I64, _I64, ctypes.c_int64,
+            _I64, _I64, _I64,
+            _I64, _I64, _I64, _I64, _I64,
+        ]
+        lib.vantage_realloc.restype = ctypes.c_int64
+        lib.vantage_realloc.argtypes = [
+            ctypes.c_int64, _I64, ctypes.c_int64,
+            _I64, _I64, _I64, ctypes.c_int64,
+            _I64, _I64, _I64,
+            _I64, _I64, _I64, _I64,
         ]
 
     def lru_run(self, addrs, num_sets, ways, tags, stamp, counter,
@@ -217,6 +234,30 @@ class NativeKernel:
                                            region_ways, region_off, tags,
                                            rrpv, stamp, counter, max_rrpv,
                                            hashed, index_seed, miss_out))
+
+    def vantage_run(self, addrs, parts, num_parts, caps, unm_cap, ht_tag,
+                    ht_reg, ht_node, node_tag, node_prev, node_next, head,
+                    tail, occ, free_io, miss_out) -> int:
+        """Partition-tagged Vantage replay (fully-associative LRU regions
+        plus the shared unmanaged region); fills per-partition miss counts
+        into ``miss_out`` and returns the total (negative on a bad
+        partition id / exhausted node pool — both defensive)."""
+        return int(self.lib.vantage_run(addrs, parts, addrs.size, num_parts,
+                                        caps, unm_cap, ht_tag, ht_reg,
+                                        ht_node, ht_tag.size, node_tag,
+                                        node_prev, node_next, head, tail,
+                                        occ, free_io, miss_out))
+
+    def vantage_realloc(self, num_parts, new_caps, unm_cap, ht_tag, ht_reg,
+                        ht_node, node_tag, node_prev, node_next, head, tail,
+                        occ, free_io) -> int:
+        """Warm Vantage reallocation: trim each managed region to its new
+        capacity, demoting evicted victims into the unmanaged region."""
+        return int(self.lib.vantage_realloc(num_parts, new_caps, unm_cap,
+                                            ht_tag, ht_reg, ht_node,
+                                            ht_tag.size, node_tag, node_prev,
+                                            node_next, head, tail, occ,
+                                            free_io))
 
 
 def _cache_dir() -> Path:

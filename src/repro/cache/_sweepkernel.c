@@ -728,6 +728,278 @@ int64_t multi_lru_run(const int64_t *addrs, int64_t n, int64_t num_configs,
     return total_misses;
 }
 
+/* -------------------------------------------------------- Vantage replay --- */
+
+/* Vantage-like fine-grained partitioning (repro.cache.partition.vantage):
+ * per-partition fully-associative LRU regions over the managed ~90 % of
+ * capacity plus one shared insertion-ordered unmanaged victim region.
+ * Unlike the set-associative kernels above, regions here are line-granular
+ * and fully associative, so the state is an intrusive doubly-linked node
+ * pool plus an open-addressing hash table — all caller-owned numpy arrays,
+ * keeping the kernel chunk-resumable and interchangeable with the pure-
+ * Python twin in repro.cache.partition.array:
+ *
+ *   node_tag/node_prev/node_next  node pool (N = capacity + 1 entries; one
+ *                                 spare absorbs the transient overshoot of
+ *                                 insert-then-trim demotion); free nodes
+ *                                 are chained through node_next from
+ *                                 free_io[0]
+ *   head/tail/occ                 per-region lists (num_parts managed
+ *                                 regions, index num_parts = unmanaged);
+ *                                 head = LRU / oldest, tail = MRU / newest
+ *   ht_tag/ht_reg/ht_node         linear-probing table keyed by
+ *                                 (tag, region); ht_node[slot] < 0 == empty;
+ *                                 deletion is by backward shift, so no
+ *                                 tombstones accumulate
+ *
+ * The same tag may be resident in several regions at once (the object
+ * model keeps per-region dicts), which is why the table is keyed by the
+ * pair.  Misses in a full region demote the LRU victim into the unmanaged
+ * region (re-demotion moves it to the newest position); unmanaged hits
+ * promote the line back into the accessing partition.  With LRU regions
+ * every step is deterministic, and this replay is bit-identical to
+ * VantagePartitionedCache.
+ */
+
+static inline uint64_t vt_home(int64_t tag, int64_t region)
+{
+    return mix64((uint64_t)tag ^ ((uint64_t)(region + 1) * GOLDEN));
+}
+
+static inline int64_t vt_lookup(const int64_t *ht_tag, const int64_t *ht_reg,
+                                const int64_t *ht_node, uint64_t tmask,
+                                int64_t tag, int64_t region)
+{
+    uint64_t slot = vt_home(tag, region) & tmask;
+    while (ht_node[slot] >= 0) {
+        if (ht_tag[slot] == tag && ht_reg[slot] == region)
+            return (int64_t)slot;
+        slot = (slot + 1) & tmask;
+    }
+    return -1;
+}
+
+static inline void vt_insert(int64_t *ht_tag, int64_t *ht_reg,
+                             int64_t *ht_node, uint64_t tmask,
+                             int64_t tag, int64_t region, int64_t node)
+{
+    uint64_t slot = vt_home(tag, region) & tmask;
+    while (ht_node[slot] >= 0)
+        slot = (slot + 1) & tmask;
+    ht_tag[slot] = tag;
+    ht_reg[slot] = region;
+    ht_node[slot] = node;
+}
+
+/* Backward-shift deletion: empty the slot, then walk the probe chain
+ * moving entries whose home position allows them to fill the hole. */
+static inline void vt_delete(int64_t *ht_tag, int64_t *ht_reg,
+                             int64_t *ht_node, uint64_t tmask, uint64_t slot)
+{
+    ht_node[slot] = -1;
+    uint64_t hole = slot;
+    uint64_t i = (slot + 1) & tmask;
+    while (ht_node[i] >= 0) {
+        uint64_t home = vt_home(ht_tag[i], ht_reg[i]) & tmask;
+        if (((i - home) & tmask) >= ((i - hole) & tmask)) {
+            ht_tag[hole] = ht_tag[i];
+            ht_reg[hole] = ht_reg[i];
+            ht_node[hole] = ht_node[i];
+            ht_node[i] = -1;
+            hole = i;
+        }
+        i = (i + 1) & tmask;
+    }
+}
+
+static inline void vt_list_remove(int64_t node, int64_t region,
+                                  int64_t *node_prev, int64_t *node_next,
+                                  int64_t *head, int64_t *tail, int64_t *occ)
+{
+    int64_t prev = node_prev[node], next = node_next[node];
+    if (prev >= 0) node_next[prev] = next; else head[region] = next;
+    if (next >= 0) node_prev[next] = prev; else tail[region] = prev;
+    occ[region]--;
+}
+
+static inline void vt_list_push(int64_t node, int64_t region,
+                                int64_t *node_prev, int64_t *node_next,
+                                int64_t *head, int64_t *tail, int64_t *occ)
+{
+    int64_t last = tail[region];
+    node_prev[node] = last;
+    node_next[node] = -1;
+    if (last >= 0) node_next[last] = node; else head[region] = node;
+    tail[region] = node;
+    occ[region]++;
+}
+
+/* Move a line demoted from (or bypassing) a managed region into the
+ * unmanaged region, evicting its oldest entries while over capacity —
+ * VantagePartitionedCache._demote.  Returns 0, or -2 on a corrupt free
+ * list (defensive; cannot happen when the pool holds capacity + 1 nodes). */
+static inline int64_t vt_demote(int64_t tag, int64_t unm, int64_t unm_cap,
+                                int64_t *ht_tag, int64_t *ht_reg,
+                                int64_t *ht_node, uint64_t tmask,
+                                int64_t *node_tag, int64_t *node_prev,
+                                int64_t *node_next, int64_t *head,
+                                int64_t *tail, int64_t *occ, int64_t *free_io)
+{
+    if (unm_cap == 0)
+        return 0;
+    int64_t slot = vt_lookup(ht_tag, ht_reg, ht_node, tmask, tag, unm);
+    if (slot >= 0) {
+        int64_t node = ht_node[slot];
+        vt_list_remove(node, unm, node_prev, node_next, head, tail, occ);
+        vt_list_push(node, unm, node_prev, node_next, head, tail, occ);
+    } else {
+        int64_t node = free_io[0];
+        if (node < 0)
+            return -2;
+        free_io[0] = node_next[node];
+        node_tag[node] = tag;
+        vt_list_push(node, unm, node_prev, node_next, head, tail, occ);
+        vt_insert(ht_tag, ht_reg, ht_node, tmask, tag, unm, node);
+    }
+    while (occ[unm] > unm_cap) {
+        int64_t victim = head[unm];
+        int64_t vslot = vt_lookup(ht_tag, ht_reg, ht_node, tmask,
+                                  node_tag[victim], unm);
+        vt_list_remove(victim, unm, node_prev, node_next, head, tail, occ);
+        vt_delete(ht_tag, ht_reg, ht_node, tmask, (uint64_t)vslot);
+        node_next[victim] = free_io[0];
+        free_io[0] = victim;
+    }
+    return 0;
+}
+
+/* Insert into managed partition p, demoting that partition's LRU victim
+ * (or the line itself when the partition has no budget) —
+ * VantagePartitionedCache._insert_managed. */
+static inline int64_t vt_insert_managed(int64_t a, int64_t p, int64_t cap,
+                                        int64_t unm, int64_t unm_cap,
+                                        int64_t *ht_tag, int64_t *ht_reg,
+                                        int64_t *ht_node, uint64_t tmask,
+                                        int64_t *node_tag, int64_t *node_prev,
+                                        int64_t *node_next, int64_t *head,
+                                        int64_t *tail, int64_t *occ,
+                                        int64_t *free_io)
+{
+    if (cap == 0)
+        return vt_demote(a, unm, unm_cap, ht_tag, ht_reg, ht_node, tmask,
+                         node_tag, node_prev, node_next, head, tail, occ,
+                         free_io);
+    if (occ[p] >= cap) {
+        int64_t victim = head[p];
+        int64_t vtag = node_tag[victim];
+        int64_t vslot = vt_lookup(ht_tag, ht_reg, ht_node, tmask, vtag, p);
+        vt_list_remove(victim, p, node_prev, node_next, head, tail, occ);
+        vt_delete(ht_tag, ht_reg, ht_node, tmask, (uint64_t)vslot);
+        node_next[victim] = free_io[0];
+        free_io[0] = victim;
+        int64_t rc = vt_demote(vtag, unm, unm_cap, ht_tag, ht_reg, ht_node,
+                               tmask, node_tag, node_prev, node_next, head,
+                               tail, occ, free_io);
+        if (rc < 0)
+            return rc;
+    }
+    int64_t node = free_io[0];
+    if (node < 0)
+        return -2;
+    free_io[0] = node_next[node];
+    node_tag[node] = a;
+    vt_list_push(node, p, node_prev, node_next, head, tail, occ);
+    vt_insert(ht_tag, ht_reg, ht_node, tmask, a, p, node);
+    return 0;
+}
+
+/* Replay a partition-tagged trace through a Vantage cache.  Fills
+ * per-partition miss counts into miss_out (caller-zeroed) and returns the
+ * total, -1 on an out-of-range partition id, or -2 on free-list
+ * exhaustion (both defensive; callers validate / size the pool). */
+int64_t vantage_run(const int64_t *addrs, const int64_t *parts, int64_t n,
+                    int64_t num_parts, const int64_t *caps, int64_t unm_cap,
+                    int64_t *ht_tag, int64_t *ht_reg, int64_t *ht_node,
+                    int64_t tsize, int64_t *node_tag, int64_t *node_prev,
+                    int64_t *node_next, int64_t *head, int64_t *tail,
+                    int64_t *occ, int64_t *free_io, int64_t *miss_out)
+{
+    int64_t total_misses = 0;
+    int64_t unm = num_parts;
+    uint64_t tmask = (uint64_t)(tsize - 1);
+
+    for (int64_t i = 0; i < n; i++) {
+        int64_t a = addrs[i];
+        int64_t p = parts[i];
+        if (p < 0 || p >= num_parts)
+            return -1;
+        int64_t slot = vt_lookup(ht_tag, ht_reg, ht_node, tmask, a, p);
+        if (slot >= 0) {
+            /* Managed hit: move to MRU. */
+            int64_t node = ht_node[slot];
+            vt_list_remove(node, p, node_prev, node_next, head, tail, occ);
+            vt_list_push(node, p, node_prev, node_next, head, tail, occ);
+            continue;
+        }
+        int64_t uslot = vt_lookup(ht_tag, ht_reg, ht_node, tmask, a, unm);
+        if (uslot >= 0) {
+            /* Unmanaged hit: promote back into the partition. */
+            int64_t node = ht_node[uslot];
+            vt_list_remove(node, unm, node_prev, node_next, head, tail, occ);
+            vt_delete(ht_tag, ht_reg, ht_node, tmask, (uint64_t)uslot);
+            node_next[node] = free_io[0];
+            free_io[0] = node;
+            int64_t rc = vt_insert_managed(a, p, caps[p], unm, unm_cap,
+                                           ht_tag, ht_reg, ht_node, tmask,
+                                           node_tag, node_prev, node_next,
+                                           head, tail, occ, free_io);
+            if (rc < 0)
+                return rc;
+            continue;
+        }
+        miss_out[p]++;
+        total_misses++;
+        int64_t rc = vt_insert_managed(a, p, caps[p], unm, unm_cap,
+                                       ht_tag, ht_reg, ht_node, tmask,
+                                       node_tag, node_prev, node_next,
+                                       head, tail, occ, free_io);
+        if (rc < 0)
+            return rc;
+    }
+    return total_misses;
+}
+
+/* Warm reallocation: shrink each managed region to its new capacity,
+ * demoting the evicted LRU victims (in eviction order) into the unmanaged
+ * region — VantagePartitionedCache.set_allocations.  The caller records
+ * the new capacities afterwards.  Returns 0 or -2 (see vantage_run). */
+int64_t vantage_realloc(int64_t num_parts, const int64_t *new_caps,
+                        int64_t unm_cap, int64_t *ht_tag, int64_t *ht_reg,
+                        int64_t *ht_node, int64_t tsize, int64_t *node_tag,
+                        int64_t *node_prev, int64_t *node_next, int64_t *head,
+                        int64_t *tail, int64_t *occ, int64_t *free_io)
+{
+    int64_t unm = num_parts;
+    uint64_t tmask = (uint64_t)(tsize - 1);
+    for (int64_t p = 0; p < num_parts; p++) {
+        while (occ[p] > new_caps[p]) {
+            int64_t victim = head[p];
+            int64_t vtag = node_tag[victim];
+            int64_t vslot = vt_lookup(ht_tag, ht_reg, ht_node, tmask, vtag, p);
+            vt_list_remove(victim, p, node_prev, node_next, head, tail, occ);
+            vt_delete(ht_tag, ht_reg, ht_node, tmask, (uint64_t)vslot);
+            node_next[victim] = free_io[0];
+            free_io[0] = victim;
+            int64_t rc = vt_demote(vtag, unm, unm_cap, ht_tag, ht_reg,
+                                   ht_node, tmask, node_tag, node_prev,
+                                   node_next, head, tail, occ, free_io);
+            if (rc < 0)
+                return rc;
+        }
+    }
+    return 0;
+}
+
 /* --------------------------------------------------------- stack distance --- */
 
 static inline void fen_add(int64_t *tree, int64_t size, int64_t index,

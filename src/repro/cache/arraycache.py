@@ -23,6 +23,13 @@ Both modulo and hashed set indexing are supported (``hashed_index=True``
 uses the splitmix64 finalizer of :func:`repro.cache.hashing.set_index`,
 exactly as the object model does).
 
+Partitioned organizations reuse this machinery where their regions are
+independent (:class:`repro.cache.partition.array.ArrayPartitionedCache`);
+Vantage — line-granular, with a shared unmanaged victim region — has its
+own array organization and kernel
+(:class:`repro.cache.partition.array.ArrayVantageCache`, ``vantage_run``)
+following the same caller-owned-state conventions.
+
 Exactness contract
 ------------------
 ``LRU``, ``LIP``, ``SRRIP`` and ``PDP`` are **bit-identical** to the object

@@ -1,6 +1,6 @@
 """Cache partitioning schemes (hardware enforcement of capacity allocations)."""
 
-from .array import ARRAY_SCHEMES, ArrayPartitionedCache
+from .array import ARRAY_SCHEMES, ArrayPartitionedCache, ArrayVantageCache
 from .base import PartitionedCache
 from .futility import FutilityScalingCache
 from .ideal import IdealPartitionedCache
@@ -16,6 +16,7 @@ __all__ = [
     "VantagePartitionedCache",
     "FutilityScalingCache",
     "ArrayPartitionedCache",
+    "ArrayVantageCache",
     "ARRAY_SCHEMES",
     "SCHEME_REGISTRY",
     "make_partitioned_cache",

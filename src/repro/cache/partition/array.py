@@ -36,6 +36,14 @@ schemes (:func:`~repro.cache.partition.way.round_to_ways`,
 :func:`~repro.cache.partition.setpart.round_to_sets`,
 :func:`~repro.cache.partition.base.trim_line_allocations`).
 
+Vantage is the one scheme whose partitions are *not* independent — every
+managed partition demotes its victims into one shared unmanaged region —
+so it gets its own organization, :class:`ArrayVantageCache`: a linked-list
+node pool plus a (tag, region)-keyed hash table replayed by the
+``vantage_run`` kernel, bit-identical to the object
+:class:`~repro.cache.partition.vantage.VantagePartitionedCache` (whose LRU
+semantics are fully deterministic).  Futility scaling stays object-only.
+
 Warm reallocation
 -----------------
 :meth:`ArrayPartitionedCache.reallocate` (which ``set_allocations`` routes
@@ -44,10 +52,26 @@ per-policy victims exactly as the object schemes' ``set_capacity`` does
 (oldest lines for the recency family, highest-RRPV-then-oldest for RRIP
 with the same eviction-driven aging, oldest-unprotected for PDP, dropped
 trailing sets for set partitioning), and growing only adds empty capacity
-— no resident line ever moves between partitions.  This is what lets the
-interval-based reconfiguration loop (:mod:`repro.sim.reconfigure`) run on
-the array backend: ``run_chunk``/``reallocate`` alternate on a warm cache
+— no resident line ever moves between partitions.
+:meth:`ArrayVantageCache.reallocate` does the same for Vantage, demoting
+each trimmed partition's LRU victims into the unmanaged region.  This is
+what lets the interval-based reconfiguration loops
+(:mod:`repro.sim.reconfigure`, :mod:`repro.sim.multicore`) run on the
+array backend: ``run_chunk``/``reallocate`` alternate on a warm cache
 with results bit-identical to the object model for the exact policy tier.
+
+State ownership in the resumable runtime
+----------------------------------------
+Every byte of simulation state is owned by the cache object as plain
+numpy arrays and passed *into* each kernel call (nothing lives on the C
+side between calls): the flat tags/stamp/RRPV buffers and shared access
+counter here, the node pool / region lists / hash table of
+:class:`ArrayVantageCache`, and the per-policy side state inside each
+:class:`~repro.cache.arraycache.ArraySetAssociativeCache` region.  That
+caller-ownership is the whole resumability contract — a replay can stop
+at any access, be resumed by the pure-Python twin (or vice versa), be
+interleaved with warm reallocation, or be pickled conceptually as "the
+arrays", and the result never changes.
 """
 
 from __future__ import annotations
@@ -59,15 +83,23 @@ import numpy as np
 from .._native import get_kernel
 from ..arraycache import ARRAY_POLICIES, ArraySetAssociativeCache
 from ..cache import materialize_addresses
+from ..hashing import _MASK64, mix64, seed_mix
 from ..replacement.lru import LRUPolicy
 from .base import PartitionedCache, trim_line_allocations
 from .setpart import round_to_sets
+from .vantage import vantage_managed_lines
 from .way import round_to_ways
 
-__all__ = ["ArrayPartitionedCache", "ARRAY_SCHEMES"]
+__all__ = ["ArrayPartitionedCache", "ArrayVantageCache", "ARRAY_SCHEMES"]
 
 #: Partitioning schemes the array backend implements.
-ARRAY_SCHEMES = ("ideal", "way", "set")
+ARRAY_SCHEMES = ("ideal", "way", "set", "vantage")
+
+#: Schemes built on independent set-associative regions (the
+#: :class:`ArrayPartitionedCache` flat-buffer machinery); Vantage is
+#: line-granular with a shared victim region and lives in
+#: :class:`ArrayVantageCache` instead.
+_SET_ASSOC_SCHEMES = ("ideal", "way", "set")
 
 #: Policies replayed by the interleaved multi-region part kernels.
 _PART_KERNEL_POLICIES = ("LRU", "LIP", "SRRIP")
@@ -147,9 +179,10 @@ class ArrayPartitionedCache(PartitionedCache):
     Parameters
     ----------
     scheme:
-        One of :data:`ARRAY_SCHEMES` ("ideal", "way", "set").  Vantage and
-        futility scaling couple partitions through shared victim state and
-        stay object-only.
+        One of the set-associative-region schemes ("ideal", "way",
+        "set").  Vantage couples partitions through its shared unmanaged
+        region and is implemented by :class:`ArrayVantageCache`; futility
+        scaling stays object-only.
     capacity_lines, num_partitions, ways:
         As in :func:`repro.cache.partition.make_partitioned_cache`; the
         way/set geometries derive the set count exactly as the object
@@ -174,10 +207,12 @@ class ArrayPartitionedCache(PartitionedCache):
                  hashed_index: bool = False, index_seed: int = 0,
                  min_ways_per_partition: int = 1, **policy_kwargs):
         scheme = scheme.lower()
-        if scheme not in ARRAY_SCHEMES:
+        if scheme not in _SET_ASSOC_SCHEMES:
             raise ValueError(
-                f"the array backend does not implement partitioning scheme "
-                f"{scheme!r} (supported: {ARRAY_SCHEMES}); use backend='object'")
+                f"ArrayPartitionedCache implements the set-associative-region "
+                f"schemes {_SET_ASSOC_SCHEMES}, not {scheme!r}; Vantage has "
+                f"its own array organization (ArrayVantageCache), and "
+                f"futility scaling is object-only")
         if capacity_lines <= 0:
             raise ValueError("capacity_lines must be positive")
         if num_partitions <= 0:
@@ -574,3 +609,389 @@ class ArrayPartitionedCache(PartitionedCache):
         return (f"ArrayPartitionedCache(scheme={self.scheme!r}, "
                 f"capacity={self.capacity_lines} lines, "
                 f"partitions={self.num_partitions}, policy={self.policy!r})")
+
+
+class ArrayVantageCache(PartitionedCache):
+    """Vantage partitioning with caller-owned array state and native replay.
+
+    The object model (:class:`~repro.cache.partition.vantage.
+    VantagePartitionedCache`) couples its partitions through a shared
+    *unmanaged* victim region, which is why Vantage could not ride the
+    independent-region machinery of :class:`ArrayPartitionedCache`.  This
+    organization instead keeps the whole cache — per-partition
+    fully-associative LRU lists over the managed ~90 % plus the shared
+    insertion-ordered unmanaged region — as an intrusive doubly-linked
+    node pool and one open-addressing hash table, all in caller-owned
+    numpy arrays:
+
+    * ``node_tag``/``node_prev``/``node_next`` — the node pool
+      (``capacity + 1`` entries; free nodes chained through ``node_next``);
+    * ``head``/``tail``/``occ`` — per-region list anchors (region
+      ``num_partitions`` is the unmanaged region); head is the LRU/oldest
+      end;
+    * ``ht_tag``/``ht_reg``/``ht_node`` — a linear-probing table keyed by
+      ``(tag, region)`` with backward-shift deletion (the same tag may be
+      resident in several regions at once, as with per-region dicts).
+
+    A whole partition-tagged trace is replayed by one ``vantage_run``
+    kernel call (:meth:`run_partitioned`); without a compiler the same
+    algorithm runs in pure Python over the same arrays, so the two paths
+    are interchangeable mid-stream and both are **bit-identical** to the
+    object model, whose LRU semantics are fully deterministic.  Warm
+    reallocation (:meth:`reallocate` / ``set_allocations``) trims regions
+    in place through ``vantage_realloc``, demoting evicted victims into
+    the unmanaged region exactly as the object scheme does — which is
+    what puts the default ``scheme="vantage"`` reconfiguration loops on
+    the fast path.
+    """
+
+    scheme_name = "vantage"
+
+    def __init__(self, capacity_lines: int, num_partitions: int,
+                 policy: str = "LRU", unmanaged_fraction: float = 0.10):
+        if policy != "LRU":
+            raise ValueError(
+                f"array-backed Vantage partitioning supports policy 'LRU' "
+                f"only (the paper's Talus+V/LRU configuration), got "
+                f"{policy!r}; use backend='object'")
+        if not 0.0 <= unmanaged_fraction < 1.0:
+            raise ValueError("unmanaged_fraction must be in [0, 1)")
+        super().__init__(capacity_lines, num_partitions)
+        self.policy = "LRU"
+        self.unmanaged_fraction = float(unmanaged_fraction)
+        self._managed = vantage_managed_lines(capacity_lines,
+                                              unmanaged_fraction)
+        self._unm_cap = capacity_lines - self._managed
+        base = self._managed // num_partitions
+        self._caps = np.full(num_partitions, base, dtype=np.int64)
+        # Node pool: capacity + 1 entries (one spare absorbs the transient
+        # overshoot of insert-then-trim demotion into the unmanaged region).
+        pool = capacity_lines + 1
+        self._node_tag = np.zeros(pool, dtype=np.int64)
+        self._node_prev = np.full(pool, -1, dtype=np.int64)
+        nxt = np.arange(1, pool + 1, dtype=np.int64)
+        nxt[-1] = -1
+        self._node_next = nxt
+        self._head = np.full(num_partitions + 1, -1, dtype=np.int64)
+        self._tail = np.full(num_partitions + 1, -1, dtype=np.int64)
+        self._occ = np.zeros(num_partitions + 1, dtype=np.int64)
+        self._free = np.zeros(1, dtype=np.int64)
+        tsize = 64
+        while tsize < 2 * pool:
+            tsize <<= 1
+        self._ht_tag = np.zeros(tsize, dtype=np.int64)
+        self._ht_reg = np.zeros(tsize, dtype=np.int64)
+        self._ht_node = np.full(tsize, -1, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def partitionable_lines(self) -> int:
+        return self._managed
+
+    @property
+    def unmanaged_capacity(self) -> int:
+        """Capacity of the unmanaged region in lines."""
+        return self._unm_cap
+
+    def unmanaged_occupancy(self) -> int:
+        """Number of lines currently resident in the unmanaged region."""
+        return int(self._occ[self.num_partitions])
+
+    def partition_occupancy(self, partition: int) -> int:
+        self._check_partition(partition)
+        return int(self._occ[partition])
+
+    def granted_allocations(self) -> list[int]:
+        return [int(c) for c in self._caps]
+
+    # ------------------------------------------------------------------ #
+    # Allocation
+    # ------------------------------------------------------------------ #
+    def set_allocations(self, sizes: Sequence[float]) -> list[int]:
+        return self.reallocate(sizes)
+
+    def reallocate(self, sizes: Sequence[float]) -> list[int]:
+        """Apply new managed-region targets to the *warm* cache, in place.
+
+        Shrinking a partition demotes its LRU victims (in eviction order)
+        into the unmanaged region — the object scheme's
+        ``set_capacity``-then-demote semantics — and growing only raises
+        the budget; resident lines never move between managed partitions.
+        """
+        sizes = self._check_requests(sizes)
+        granted = trim_line_allocations(sizes, self._managed)
+        new_caps = np.asarray(granted, dtype=np.int64)
+        kernel = get_kernel()
+        if kernel is not None:
+            result = kernel.vantage_realloc(
+                self.num_partitions, new_caps, self._unm_cap, self._ht_tag,
+                self._ht_reg, self._ht_node, self._node_tag, self._node_prev,
+                self._node_next, self._head, self._tail, self._occ,
+                self._free)
+            if result < 0:
+                raise RuntimeError("native Vantage reallocation failed")
+        else:
+            self._realloc_python(granted)
+        self._caps = new_caps
+        return list(granted)
+
+    # ------------------------------------------------------------------ #
+    # Access paths
+    # ------------------------------------------------------------------ #
+    def access(self, address: int, partition: int) -> bool:
+        self._check_partition(partition)
+        accesses, misses = self._replay(
+            np.asarray([address], dtype=np.int64),
+            np.asarray([partition], dtype=np.int64))
+        hit = int(misses[partition]) == 0
+        self.record(partition, hit)
+        return hit
+
+    def run_partitioned(self, trace, parts) -> tuple[np.ndarray, np.ndarray]:
+        """Replay a partition-tagged trace in one batch (see
+        :meth:`ArrayPartitionedCache.run_partitioned`)."""
+        addrs = materialize_addresses(trace)
+        parts = np.ascontiguousarray(np.asarray(parts, dtype=np.int64))
+        if addrs.shape != parts.shape or addrs.ndim != 1:
+            raise ValueError("trace and parts must be 1-D and equally long")
+        if addrs.size and (int(parts.min()) < 0
+                           or int(parts.max()) >= self.num_partitions):
+            raise ValueError(
+                f"partition ids must be in [0, {self.num_partitions})")
+        accesses, misses = self._replay(addrs, parts)
+        for p in range(self.num_partitions):
+            stats = self.partition_stats[p]
+            a, m = int(accesses[p]), int(misses[p])
+            stats.accesses += a
+            stats.misses += m
+            stats.hits += a - m
+        return accesses, misses
+
+    def run_chunk(self, trace, parts) -> tuple[np.ndarray, np.ndarray]:
+        """Replay one chunk (state carries across calls; chunked and
+        one-shot replays are bit-identical at any boundary)."""
+        return self.run_partitioned(trace, parts)
+
+    def _replay(self, addrs: np.ndarray,
+                parts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Advance the state by a validated batch; returns per-partition
+        (accesses, misses) of this batch without touching the stats."""
+        accesses = np.zeros(self.num_partitions, dtype=np.int64)
+        misses = np.zeros(self.num_partitions, dtype=np.int64)
+        if addrs.size == 0:
+            return accesses, misses
+        accesses += np.bincount(parts, minlength=self.num_partitions)
+        kernel = get_kernel()
+        if kernel is not None:
+            result = kernel.vantage_run(
+                addrs, parts, self.num_partitions, self._caps, self._unm_cap,
+                self._ht_tag, self._ht_reg, self._ht_node, self._node_tag,
+                self._node_prev, self._node_next, self._head, self._tail,
+                self._occ, self._free, misses)
+            if result < 0:
+                raise RuntimeError("native Vantage replay rejected the input")
+        else:
+            self._replay_python(addrs, parts, misses)
+        return accesses, misses
+
+    # ------------------------------------------------------------------ #
+    # Pure-Python twin of the kernel (same arrays, same algorithm)
+    # ------------------------------------------------------------------ #
+    def _state_lists(self):
+        """The array state as plain lists (fast pure-Python mutation)."""
+        return (self._ht_tag.tolist(), self._ht_reg.tolist(),
+                self._ht_node.tolist(), self._node_tag.tolist(),
+                self._node_prev.tolist(), self._node_next.tolist(),
+                self._head.tolist(), self._tail.tolist(), self._occ.tolist())
+
+    def _write_back(self, state) -> None:
+        (ht_tag, ht_reg, ht_node, node_tag, node_prev, node_next,
+         head, tail, occ) = state
+        self._ht_tag[:] = ht_tag
+        self._ht_reg[:] = ht_reg
+        self._ht_node[:] = ht_node
+        self._node_tag[:] = node_tag
+        self._node_prev[:] = node_prev
+        self._node_next[:] = node_next
+        self._head[:] = head
+        self._tail[:] = tail
+        self._occ[:] = occ
+
+    def _make_ops(self, state, free_box):
+        """Closure bundle mirroring the C helpers over list state."""
+        (ht_tag, ht_reg, ht_node, node_tag, node_prev, node_next,
+         head, tail, occ) = state
+        tmask = len(ht_node) - 1
+        unm = self.num_partitions
+        unm_cap = self._unm_cap
+
+        def home(tag, region):
+            return mix64((tag & _MASK64) ^ seed_mix(region + 1)) & tmask
+
+        def lookup(tag, region):
+            slot = home(tag, region)
+            while ht_node[slot] >= 0:
+                if ht_tag[slot] == tag and ht_reg[slot] == region:
+                    return slot
+                slot = (slot + 1) & tmask
+            return -1
+
+        def insert(tag, region, node):
+            slot = home(tag, region)
+            while ht_node[slot] >= 0:
+                slot = (slot + 1) & tmask
+            ht_tag[slot] = tag
+            ht_reg[slot] = region
+            ht_node[slot] = node
+
+        def delete(slot):
+            ht_node[slot] = -1
+            hole = slot
+            i = (slot + 1) & tmask
+            while ht_node[i] >= 0:
+                h = home(ht_tag[i], ht_reg[i])
+                if ((i - h) & tmask) >= ((i - hole) & tmask):
+                    ht_tag[hole] = ht_tag[i]
+                    ht_reg[hole] = ht_reg[i]
+                    ht_node[hole] = ht_node[i]
+                    ht_node[i] = -1
+                    hole = i
+                i = (i + 1) & tmask
+
+        def list_remove(node, region):
+            prev, nxt = node_prev[node], node_next[node]
+            if prev >= 0:
+                node_next[prev] = nxt
+            else:
+                head[region] = nxt
+            if nxt >= 0:
+                node_prev[nxt] = prev
+            else:
+                tail[region] = prev
+            occ[region] -= 1
+
+        def list_push(node, region):
+            last = tail[region]
+            node_prev[node] = last
+            node_next[node] = -1
+            if last >= 0:
+                node_next[last] = node
+            else:
+                head[region] = node
+            tail[region] = node
+            occ[region] += 1
+
+        def release(node):
+            node_next[node] = free_box[0]
+            free_box[0] = node
+
+        def demote(tag):
+            if unm_cap == 0:
+                return
+            slot = lookup(tag, unm)
+            if slot >= 0:
+                node = ht_node[slot]
+                list_remove(node, unm)
+                list_push(node, unm)
+            else:
+                node = free_box[0]
+                free_box[0] = node_next[node]
+                node_tag[node] = tag
+                list_push(node, unm)
+                insert(tag, unm, node)
+            while occ[unm] > unm_cap:
+                victim = head[unm]
+                delete(lookup(node_tag[victim], unm))
+                list_remove(victim, unm)
+                release(victim)
+
+        def insert_managed(a, p, cap):
+            if cap == 0:
+                demote(a)
+                return
+            if occ[p] >= cap:
+                victim = head[p]
+                vtag = node_tag[victim]
+                delete(lookup(vtag, p))
+                list_remove(victim, p)
+                release(victim)
+                demote(vtag)
+            node = free_box[0]
+            free_box[0] = node_next[node]
+            node_tag[node] = a
+            list_push(node, p)
+            insert(a, p, node)
+
+        return (lookup, delete, list_remove, list_push, release, demote,
+                insert_managed, ht_node)
+
+    def _replay_python(self, addrs: np.ndarray, parts: np.ndarray,
+                       miss_out: np.ndarray) -> None:
+        state = self._state_lists()
+        free_box = [int(self._free[0])]
+        (lookup, delete, list_remove, list_push, release, demote,
+         insert_managed, ht_node) = self._make_ops(state, free_box)
+        caps = self._caps.tolist()
+        unm = self.num_partitions
+        misses = [0] * self.num_partitions
+        for a, p in zip(addrs.tolist(), parts.tolist()):
+            slot = lookup(a, p)
+            if slot >= 0:
+                node = ht_node[slot]
+                list_remove(node, p)
+                list_push(node, p)
+                continue
+            uslot = lookup(a, unm)
+            if uslot >= 0:
+                node = ht_node[uslot]
+                list_remove(node, unm)
+                delete(uslot)
+                release(node)
+                insert_managed(a, p, caps[p])
+                continue
+            misses[p] += 1
+            insert_managed(a, p, caps[p])
+        self._write_back(state)
+        self._free[0] = free_box[0]
+        miss_out += np.asarray(misses, dtype=np.int64)
+
+    def _realloc_python(self, new_caps: Sequence[int]) -> None:
+        state = self._state_lists()
+        free_box = [int(self._free[0])]
+        (lookup, delete, list_remove, list_push, release, demote,
+         insert_managed, ht_node) = self._make_ops(state, free_box)
+        (_, _, _, node_tag, _, _, head, _, occ) = state
+        for p in range(self.num_partitions):
+            while occ[p] > new_caps[p]:
+                victim = head[p]
+                vtag = node_tag[victim]
+                delete(lookup(vtag, p))
+                list_remove(victim, p)
+                release(victim)
+                demote(vtag)
+        self._write_back(state)
+        self._free[0] = free_box[0]
+
+    # ------------------------------------------------------------------ #
+    def to_spec(self):
+        """A :class:`~repro.cache.spec.PartitionSpec` rebuilding this cache."""
+        from ..spec import PartitionSpec
+        return PartitionSpec(
+            scheme="vantage",
+            capacity_lines=self.capacity_lines,
+            num_partitions=self.num_partitions,
+            policy="LRU",
+            backend="array",
+            targets=tuple(float(g) for g in self.granted_allocations()),
+            scheme_kwargs=self._spec_scheme_kwargs(),
+        )
+
+    def _spec_scheme_kwargs(self) -> tuple:
+        if self.unmanaged_fraction != 0.10:
+            return (("unmanaged_fraction", self.unmanaged_fraction),)
+        return ()
+
+    def __repr__(self) -> str:
+        return (f"ArrayVantageCache(capacity={self.capacity_lines} lines, "
+                f"partitions={self.num_partitions}, "
+                f"unmanaged={self._unm_cap} lines)")

@@ -45,7 +45,8 @@ from .cache import SetAssociativeCache
 from .factory import (BACKENDS, POLICY_NAMES, SEEDED_POLICIES, cache_geometry,
                       named_policy_factory, resolve_backend)
 from .partition import (ARRAY_SCHEMES, SCHEME_REGISTRY, ArrayPartitionedCache,
-                        make_partitioned_cache, partitionable_lines_for)
+                        ArrayVantageCache, make_partitioned_cache,
+                        partitionable_lines_for)
 from .talus_cache import TalusCache
 
 __all__ = ["CacheSpec", "PartitionSpec", "TalusSpec", "build"]
@@ -176,10 +177,11 @@ class PartitionSpec:
         Replacement policy inside every partition.
     backend:
         "object", "array" or "auto".  The array fast path covers the
-        way/set schemes for the array policy family and idealized
-        partitioning for LRU; "auto" uses it exactly where it is
-        bit-identical (the exact tier), and Vantage/futility — whose
-        partitions share victim state — always run on the object model.
+        way/set schemes for the array policy family, and idealized and
+        Vantage partitioning for LRU (Vantage's shared unmanaged region
+        rides its own linked-list kernel); "auto" uses it exactly where
+        it is bit-identical (the exact tier), and futility scaling always
+        runs on the object model.
     hashed_index, index_seed:
         Set-index scheme of the way/set organizations.
     targets:
@@ -243,10 +245,10 @@ class PartitionSpec:
                 f"the array backend does not implement partitioning scheme "
                 f"{self.scheme!r} (supported: {ARRAY_SCHEMES}); use "
                 f"backend='object' or 'auto'")
-        if self.scheme == "ideal" and self.policy != "LRU":
+        if self.scheme in ("ideal", "vantage") and self.policy != "LRU":
             return False, (
-                "array-backed ideal partitioning supports policy 'LRU' "
-                "only; use backend='object' or scheme 'way'/'set'")
+                f"array-backed {self.scheme} partitioning supports policy "
+                f"'LRU' only; use backend='object' or scheme 'way'/'set'")
         if self.policy not in ARRAY_POLICIES:
             return False, (
                 f"the array backend does not implement {self.policy!r} "
@@ -269,7 +271,7 @@ class PartitionSpec:
             if not supported:
                 raise ValueError(reason)
             return "array"
-        exact = (self.policy == "LRU" if self.scheme == "ideal"
+        exact = (self.policy == "LRU" if self.scheme in ("ideal", "vantage")
                  else self.policy in ARRAY_EXACT_POLICIES)
         return "array" if supported and exact else "object"
 
@@ -278,7 +280,11 @@ class PartitionSpec:
         backend = self.resolved_backend()
         policy_kwargs = dict(self.policy_kwargs)
         scheme_kwargs = dict(self.scheme_kwargs)
-        if backend == "array":
+        if backend == "array" and self.scheme == "vantage":
+            cache = ArrayVantageCache(
+                self.capacity_lines, self.num_partitions,
+                policy=self.policy, **scheme_kwargs)
+        elif backend == "array":
             cache = ArrayPartitionedCache(
                 self.scheme, self.capacity_lines, self.num_partitions,
                 policy=self.policy, ways=self.ways,

@@ -6,7 +6,10 @@ from .engine import (lru_mpki_curve, simulate_policy_at_size,
 from .sweep import SweepConfig, SweepResult, SweepSpec, run_sweep
 from .metrics import (coefficient_of_variation, gmean, harmonic_speedup,
                       weighted_speedup)
-from .multicore import (SCHEMES, MixResult, SharedCacheExperiment,
+from .mixsweep import (ALGORITHMS, MixRunRecord, MixSweepResult, MixSweepSpec,
+                       mix_trace_seed, run_mix_sweep)
+from .multicore import (SCHEMES, MixResult, ReconfiguringSharedRun,
+                        SharedCacheExperiment, SharedIntervalRecord,
                         shared_cache_equilibrium)
 from .perf_model import AppPerformance, execution_time, ipc_from_mpki
 from .reconfigure import IntervalRecord, ReconfiguringTalusRun
@@ -36,4 +39,12 @@ __all__ = [
     "shared_cache_equilibrium",
     "ReconfiguringTalusRun",
     "IntervalRecord",
+    "ReconfiguringSharedRun",
+    "SharedIntervalRecord",
+    "MixSweepSpec",
+    "MixRunRecord",
+    "MixSweepResult",
+    "run_mix_sweep",
+    "mix_trace_seed",
+    "ALGORITHMS",
 ]

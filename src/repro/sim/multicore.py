@@ -21,6 +21,33 @@ comparisons are made with a miss-curve-driven system model:
 IPC comes from the analytic core model (:mod:`repro.sim.perf_model`), and
 the aggregate metrics are exactly the paper's (weighted/harmonic speedup,
 CoV of per-core IPC).
+
+Next to the analytic model, :class:`ReconfiguringSharedRun` *executes* the
+same scenario through the closed Fig. 7 loop (the multi-application twin
+of :class:`repro.sim.reconfigure.ReconfiguringTalusRun`); the multi-mix
+sweep over it lives in :mod:`repro.sim.mixsweep`.
+
+State ownership in the resumable runtime
+----------------------------------------
+:class:`ReconfiguringSharedRun` owns only per-interval bookkeeping (the
+:class:`SharedIntervalRecord` list and each app's trace position).  The
+warm simulation state is split between exactly two owners, both advanced
+strictly in place:
+
+* one shared :class:`~repro.cache.talus_cache.TalusCache` with a logical
+  partition per application — its partitioned base holds every resident
+  line and allocation, mutated only by ``run_chunk`` (replay) and the
+  atomic ``configure_many`` (coordinated warm reallocation; all shadow
+  pairs re-granted in a single ``set_allocations`` so grow-before-shrink
+  transients never exceed the partitionable capacity);
+* one :class:`~repro.monitor.umon.CombinedUMON` per application, each
+  folding its app's chunks into persistent incremental stack-distance
+  state.
+
+Applications advance round-robin one interval at a time, so the
+interleaving of chunks — and therefore the shared-cache contention in
+Vantage's unmanaged region — is deterministic, which is what lets the
+array and object backends produce bit-identical interval records.
 """
 
 from __future__ import annotations

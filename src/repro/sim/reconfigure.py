@@ -12,6 +12,28 @@ Assumption 1 of the paper — miss curves are stable across intervals — is
 what makes planning on the *previous* interval's curve work; the tests use
 this driver to check that the dynamically reconfigured cache still tracks
 the convex hull.
+
+State ownership in the resumable runtime
+----------------------------------------
+The loop owns no simulation state of its own — only the interval records
+it appends.  All warm state lives in exactly two places and survives every
+interval boundary:
+
+* the **cache** (:class:`~repro.cache.talus_cache.TalusCache` and its
+  partitioned base): resident lines, recency/RRPV/protection metadata and
+  the granted allocations.  ``run_chunk`` advances it in place and
+  ``configure`` reallocates it in place; the loop never rebuilds or
+  copies it, which is what makes the replay bit-identical to an unchunked
+  run.
+* the **monitor** (:class:`~repro.monitor.umon.CombinedUMON`): the
+  incremental stack-distance tables of its sampled sub-streams.
+  ``record_trace`` folds each chunk in; reading the curve never
+  re-replays.
+
+The planner in between is stateless: each ``_reconfigure`` reads the
+monitor's current curve, plans, and programs the cache — so interrupting
+and resuming the loop at any interval boundary (or swapping the replay
+backend mid-run on the exact tier) cannot change the outcome.
 """
 
 from __future__ import annotations
@@ -101,12 +123,12 @@ class ReconfiguringTalusRun:
     backend:
         Backend of the underlying partitioned cache ("auto" by default).
         Warm-partition reallocation is supported by both backends, so
-        "auto" routes the exact policy tier on way/set/ideal partitioning
-        to the array fast path (chunked native replay between
-        reconfigurations) and everything else — including the default
-        Vantage scheme, whose partitions share victim state — to the
-        object model; interval records are identical either way on the
-        exact tier.
+        "auto" routes the exact policy tier — way/set/ideal partitioning
+        for the exact policies, and the default Vantage scheme for LRU
+        (the shared unmanaged region has its own linked-list kernel) —
+        to the array fast path, with chunked native replay between
+        reconfigurations, and everything else to the object model;
+        interval records are identical either way on the exact tier.
     """
 
     target_mb: float

@@ -1,0 +1,113 @@
+"""Tests for the execution-driven multi-mix sweep engine."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim.mixsweep import (MixSweepSpec, mix_trace_seed, run_mix_sweep)
+from repro.workloads.mixes import WorkloadMix, random_mixes
+from repro.workloads.spec_profiles import get_profile
+
+#: Small but non-trivial sweep dimensions shared by the tests below.
+_SPEC = MixSweepSpec(total_mb=2.0, trace_accesses=9000,
+                     interval_accesses=3000)
+
+
+def _mixes(n=2, apps=2, seed=11):
+    return random_mixes(n, apps_per_mix=apps, seed=seed)
+
+
+class TestMixSweepSpec:
+    def test_validation_lists_options(self):
+        with pytest.raises(ValueError, match="valid schemes"):
+            MixSweepSpec(total_mb=2.0, scheme="zcache")
+        with pytest.raises(ValueError, match="valid algorithms"):
+            MixSweepSpec(total_mb=2.0, algorithm="simulated-annealing")
+        with pytest.raises(ValueError, match="valid backends"):
+            MixSweepSpec(total_mb=2.0, backend="gpu")
+        with pytest.raises(ValueError, match="positive"):
+            MixSweepSpec(total_mb=0.0)
+        with pytest.raises(ValueError, match="max_workers"):
+            MixSweepSpec(total_mb=2.0, max_workers=0)
+
+    def test_spec_is_hashable_and_picklable(self):
+        import pickle
+        spec = MixSweepSpec(total_mb=4.0, algorithm="fair")
+        assert hash(spec) == hash(pickle.loads(pickle.dumps(spec)))
+
+    def test_substrate_spec_matches_scheme(self):
+        spec = MixSweepSpec(total_mb=2.0, scheme="ideal")
+        sub = spec.substrate_spec(num_apps=3)
+        assert sub.scheme == "ideal"
+        assert sub.num_partitions == 6
+
+    def test_trace_seed_is_stable_identity_function(self):
+        a = mix_trace_seed(2015, "mix003", 1, "omnetpp")
+        assert a == mix_trace_seed(2015, "mix003", 1, "omnetpp")
+        assert a != mix_trace_seed(2015, "mix003", 2, "omnetpp")
+        assert a != mix_trace_seed(2016, "mix003", 1, "omnetpp")
+
+
+class TestRunMixSweep:
+    def test_pool_matches_serial(self):
+        mixes = _mixes()
+        serial = run_mix_sweep(mixes, _SPEC)
+        pooled = run_mix_sweep(mixes, _SPEC, max_workers=2)
+        assert serial.mix_names() == pooled.mix_names()
+        for name in serial.mix_names():
+            assert serial[name].intervals == pooled[name].intervals
+            assert serial[name].result == pooled[name].result
+
+    def test_subset_matches_full_sweep(self):
+        """Per-mix seeding depends on the mix identity, not the sweep
+        composition: a mix simulated alone reproduces its full-sweep run."""
+        mixes = _mixes()
+        full = run_mix_sweep(mixes, _SPEC)
+        alone = run_mix_sweep([mixes[1]], _SPEC)
+        name = mixes[1].name
+        assert full[name].intervals == alone[name].intervals
+
+    def test_backends_bit_identical(self):
+        mixes = _mixes(n=1)
+        auto = run_mix_sweep(mixes, _SPEC, backend="auto")
+        obj = run_mix_sweep(mixes, _SPEC, backend="object")
+        name = mixes[0].name
+        assert auto[name].intervals == obj[name].intervals
+
+    def test_duplicate_mix_names_rejected(self):
+        mix = WorkloadMix(name="twin",
+                          apps=(get_profile("omnetpp"),))
+        with pytest.raises(ValueError, match="unique"):
+            run_mix_sweep([mix, mix], _SPEC)
+
+    def test_analytic_bridge_and_payload(self, tmp_path):
+        mixes = _mixes()
+        result = run_mix_sweep(mixes, _SPEC)
+        for metric in ("weighted", "harmonic"):
+            value = result.gmean_speedup(metric)
+            assert value > 0.0
+        covs = result.cov_ipcs()
+        assert set(covs) == set(result.mix_names())
+        payload = result.to_payload()
+        json.dumps(payload)  # must be JSON-serializable
+        assert payload["spec"]["total_mb"] == 2.0
+        entry = payload["mixes"][0]
+        assert set(entry) >= {"mix", "apps", "per_app", "cov_ipc",
+                              "intervals",
+                              "weighted_speedup_vs_lru_shared",
+                              "harmonic_speedup_vs_lru_shared"}
+        assert len(entry["per_app"]) == len(entry["apps"]) == 2
+        interval = entry["intervals"][0]
+        assert set(interval) == {"accesses", "misses", "allocations_mb"}
+        path = result.save_json(tmp_path / "bank" / "mix_sweep.json")
+        assert json.loads(path.read_text())["mixes"]
+
+    def test_interval_records_cover_all_traces(self):
+        mixes = _mixes(n=1)
+        result = run_mix_sweep(mixes, _SPEC)
+        record = result[mixes[0].name]
+        per_app = [sum(r.accesses[i] for r in record.intervals)
+                   for i in range(len(mixes[0]))]
+        assert per_app == [_SPEC.trace_accesses] * len(mixes[0])

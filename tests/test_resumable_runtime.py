@@ -280,8 +280,8 @@ class TestTalusResumable:
             assert a.config == b.config
 
     def test_reconfiguring_run_vantage_auto(self):
-        """The default Vantage scheme resolves to the object model under
-        "auto" (its partitions share victim state) and still runs."""
+        """The default Vantage scheme rides the native fast path under
+        "auto" (bit-identical parity in tests/test_vantage_native.py)."""
         profile = get_profile("omnetpp")
         trace = profile.trace(n_accesses=20000)
         run = ReconfiguringTalusRun(target_mb=1.0, interval_accesses=5000)

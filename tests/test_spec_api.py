@@ -106,12 +106,15 @@ class TestPartitionSpec:
         assert recovered.scheme == scheme
         assert build(recovered).to_spec() == recovered
 
-    @pytest.mark.parametrize("scheme", ["ideal", "way", "set"])
+    @pytest.mark.parametrize("scheme", ["ideal", "way", "set", "vantage"])
     def test_array_roundtrip_fixed_point(self, scheme):
+        from repro.cache.partition.array import ArrayVantageCache
         spec = PartitionSpec(scheme=scheme, capacity_lines=512,
                              num_partitions=2, backend="array")
         cache = build(spec)
-        assert isinstance(cache, ArrayPartitionedCache)
+        expected = (ArrayVantageCache if scheme == "vantage"
+                    else ArrayPartitionedCache)
+        assert isinstance(cache, expected)
         recovered = cache.to_spec()
         assert recovered.backend == "array"
         assert build(recovered).to_spec() == recovered
@@ -125,8 +128,11 @@ class TestPartitionSpec:
         assert PartitionSpec(scheme="way", capacity_lines=512,
                              num_partitions=2,
                              policy="BRRIP").resolved_backend() == "object"
-        # Coupled-partition schemes are object-only.
+        # Vantage/LRU is deterministic and rides the linked-list kernel;
+        # futility scaling stays object-only.
         assert PartitionSpec(scheme="vantage", capacity_lines=512,
+                             num_partitions=2).resolved_backend() == "array"
+        assert PartitionSpec(scheme="futility", capacity_lines=512,
                              num_partitions=2).resolved_backend() == "object"
         # Ideal partitions are fully associative: array LRU only.
         assert PartitionSpec(scheme="ideal", capacity_lines=512,
@@ -135,13 +141,14 @@ class TestPartitionSpec:
 
     def test_explicit_array_rejects_unsupported(self):
         with pytest.raises(ValueError, match="object"):
-            PartitionSpec(scheme="vantage", capacity_lines=512,
+            PartitionSpec(scheme="futility", capacity_lines=512,
                           num_partitions=2,
                           backend="array").resolved_backend()
-        with pytest.raises(ValueError, match="LRU"):
-            PartitionSpec(scheme="ideal", capacity_lines=512,
-                          num_partitions=2, policy="SRRIP",
-                          backend="array").resolved_backend()
+        for scheme in ("ideal", "vantage"):
+            with pytest.raises(ValueError, match="LRU"):
+                PartitionSpec(scheme=scheme, capacity_lines=512,
+                              num_partitions=2, policy="SRRIP",
+                              backend="array").resolved_backend()
 
     def test_validation_lists_options(self):
         with pytest.raises(ValueError, match="valid schemes"):
