@@ -15,7 +15,7 @@ import os
 import time
 from pathlib import Path
 
-from repro.cache._native import native_available
+from repro.cache._native import native_available, resolve_threads
 
 #: Directory the benchmark JSON banks land in (gitignored; uploaded by CI).
 OUT_DIR = Path(__file__).parent / "out"
@@ -33,7 +33,8 @@ def write_bench_json(path: Path, key: str, payload: dict,
 
     Existing entries under other keys are preserved (so parametrized
     benchmarks accumulate into one file); ``meta`` is refreshed with the
-    native-kernel flag and a timestamp on every write.
+    native-kernel flag, the host's core count and resolved thread width
+    (``REPRO_THREADS``-aware), and a timestamp on every write.
     """
     path.parent.mkdir(parents=True, exist_ok=True)
     data = {}
@@ -44,5 +45,7 @@ def write_bench_json(path: Path, key: str, payload: dict,
             data = {}
     data[key] = payload
     data["meta"] = {**(meta or {}), "native": native_available(),
+                    "cpu_count": os.cpu_count() or 1,
+                    "threads": resolve_threads(),
                     "timestamp": time.time()}
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")

@@ -29,7 +29,10 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["get_kernel", "native_available", "NativeKernel"]
+__all__ = ["get_kernel", "native_available", "NativeKernel", "BatchTask",
+           "resolve_threads",
+           "KIND_LRU", "KIND_RRIP", "KIND_DIP", "KIND_PDP", "KIND_RANDOM",
+           "KIND_PART_LRU", "KIND_PART_SRRIP", "KIND_VANTAGE"]
 
 _SOURCE = Path(__file__).with_name("_sweepkernel.c")
 
@@ -38,6 +41,98 @@ _U64 = np.ctypeslib.ndpointer(dtype=np.uint64, flags="C_CONTIGUOUS")
 
 _kernel = None
 _kernel_tried = False
+
+#: Task kinds of the threaded batch dispatcher; must match the
+#: BATCH_KIND_* enum in _sweepkernel.c.
+(KIND_LRU, KIND_RRIP, KIND_DIP, KIND_PDP, KIND_RANDOM,
+ KIND_PART_LRU, KIND_PART_SRRIP, KIND_VANTAGE) = range(8)
+
+_P64 = ctypes.POINTER(ctypes.c_int64)
+_PU64 = ctypes.POINTER(ctypes.c_uint64)
+
+
+class BatchTask(ctypes.Structure):
+    """ctypes mirror of the C ``batch_task`` record (one replay per task).
+
+    The field order must match the struct declaration in
+    ``_sweepkernel.c`` exactly; every member is 8 bytes, so there is no
+    padding to worry about.  Unused members of a given kind stay NULL/0
+    (the zero-initialized default of a fresh ``(BatchTask * n)()`` array).
+    """
+
+    _fields_ = [
+        ("kind", ctypes.c_int64),
+        ("addrs", _P64),
+        ("n", ctypes.c_int64),
+        ("parts", _P64),
+        ("tags", _P64),
+        ("stamp", _P64),
+        ("rrpv", _P64),
+        ("counter", _P64),
+        ("rng_state", _PU64),
+        ("roles", _P64),
+        ("psel", _P64),
+        ("expires", _P64),
+        ("clock", _P64),
+        ("dp", _P64),
+        ("sample_count", _P64),
+        ("hist", _P64),
+        ("ls_tags", _P64),
+        ("ls_clocks", _P64),
+        ("ls_count", _P64),
+        ("region_sets", _P64),
+        ("region_ways", _P64),
+        ("region_off", _P64),
+        ("miss_out", _P64),
+        ("caps", _P64),
+        ("ht_tag", _P64),
+        ("ht_reg", _P64),
+        ("ht_node", _P64),
+        ("node_tag", _P64),
+        ("node_prev", _P64),
+        ("node_next", _P64),
+        ("head", _P64),
+        ("tail", _P64),
+        ("occ", _P64),
+        ("free_io", _P64),
+        ("num_sets", ctypes.c_int64),
+        ("ways", ctypes.c_int64),
+        ("max_rrpv", ctypes.c_int64),
+        ("mode", ctypes.c_int64),
+        ("lip", ctypes.c_int64),
+        ("hashed", ctypes.c_int64),
+        ("index_seed", ctypes.c_int64),
+        ("psel_max", ctypes.c_int64),
+        ("leader_levels", ctypes.c_int64),
+        ("max_dp", ctypes.c_int64),
+        ("interval", ctypes.c_int64),
+        ("clear_threshold", ctypes.c_int64),
+        ("tsize", ctypes.c_int64),
+        ("num_regions", ctypes.c_int64),
+        ("unm_cap", ctypes.c_int64),
+        ("epsilon", ctypes.c_double),
+        ("result", ctypes.c_int64),
+    ]
+
+
+def resolve_threads(threads: int | None = None) -> int:
+    """Effective worker-thread width for a batched replay.
+
+    Resolution order: an explicit ``threads=`` argument, the
+    ``REPRO_THREADS`` environment variable, then the host core count.
+    Always at least 1.
+    """
+    if threads is None:
+        env = os.environ.get("REPRO_THREADS", "").strip()
+        if env:
+            try:
+                threads = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_THREADS must be an integer, got {env!r}")
+    if threads is None:
+        threads = os.cpu_count() or 1
+    return max(1, int(threads))
 
 
 class NativeKernel:
@@ -141,6 +236,22 @@ class NativeKernel:
             _I64, _I64, _I64,
             _I64, _I64, _I64, _I64,
         ]
+        # The threaded batch dispatcher.  Libraries compiled from this
+        # source always export both symbols (the -DREPRO_SERIAL_BATCH
+        # variant runs the same tasks serially); the AttributeError guard
+        # only protects against a stale pre-dispatcher library.
+        try:
+            lib.batch_run_threaded.restype = ctypes.c_int64
+            lib.batch_run_threaded.argtypes = [
+                ctypes.POINTER(BatchTask), ctypes.c_int64, ctypes.c_int64,
+            ]
+            lib.batch_threads_available.restype = ctypes.c_int64
+            lib.batch_threads_available.argtypes = []
+            self.has_batch = True
+            self.threaded = bool(lib.batch_threads_available())
+        except AttributeError:
+            self.has_batch = False
+            self.threaded = False
 
     def lru_run(self, addrs, num_sets, ways, tags, stamp, counter,
                 lip=0, hashed=0, index_seed=0) -> int:
@@ -259,6 +370,19 @@ class NativeKernel:
                                             node_next, head, tail, occ,
                                             free_io))
 
+    def batch_run_threaded(self, tasks, num_tasks: int,
+                           num_threads: int) -> int:
+        """Execute ``num_tasks`` independent replay tasks across up to
+        ``num_threads`` worker threads (serial under the
+        ``REPRO_SERIAL_BATCH`` build); each task's outcome lands in its
+        own ``result`` member.  Returns the thread count actually used.
+
+        ``tasks`` is a ``(BatchTask * num_tasks)()`` ctypes array; the GIL
+        is released for the whole call, which is what lets Python-level
+        thread pools overlap other work with a running batch."""
+        return int(self.lib.batch_run_threaded(tasks, num_tasks,
+                                               num_threads))
+
 
 def _cache_dir() -> Path:
     base = os.environ.get("XDG_CACHE_HOME")
@@ -278,35 +402,70 @@ def _find_compiler() -> str | None:
     return None
 
 
+#: Extra compile flags per build variant, preferred first: the threaded
+#: batch dispatcher needs -pthread; when the compiler rejects that flag the
+#: retry compiles the same entry points with a serial dispatcher.
+_FLAG_VARIANTS = (("-pthread",), ("-DREPRO_SERIAL_BATCH",))
+
+#: Thread-entry symbols of the batch dispatcher.  Folded into the
+#: cached-library key so a cache populated before the dispatcher existed
+#: (same base flags, different exports) can never be picked up.
+_BATCH_SYMBOLS = "batch_run_threaded,batch_threads_available"
+
+
+def _variant_flags(extra: tuple[str, ...]) -> list[str]:
+    """Full compile flags for one build variant.
+
+    ``REPRO_NATIVE_CFLAGS`` appends user flags to every variant (e.g.
+    ``-fsanitize=thread`` for the CI race-detection smoke build); they are
+    part of the cache key, so sanitizer and plain builds coexist.
+    """
+    user = os.environ.get("REPRO_NATIVE_CFLAGS", "").split()
+    return ["-O3", "-shared", "-fPIC", *extra, *user]
+
+
+def _library_path(cache: Path, source: bytes, flags: list[str],
+                  suffix: str) -> Path:
+    key = source + b"|" + " ".join(flags).encode() + b"|" + \
+        _BATCH_SYMBOLS.encode()
+    digest = hashlib.sha256(key).hexdigest()[:16]
+    return cache / f"sweepkernel-{digest}.{suffix}"
+
+
 def _build_library() -> Path | None:
     if not _SOURCE.exists():
         return None
     source = _SOURCE.read_bytes()
-    digest = hashlib.sha256(source).hexdigest()[:16]
     suffix = "dll" if sys.platform == "win32" else "so"
     cache = _cache_dir()
-    lib_path = cache / f"sweepkernel-{digest}.{suffix}"
-    if lib_path.exists():
-        return lib_path
+    candidates = [(extra, _library_path(cache, source,
+                                        _variant_flags(extra), suffix))
+                  for extra in _FLAG_VARIANTS]
+    for _, lib_path in candidates:
+        if lib_path.exists():
+            return lib_path
     compiler = _find_compiler()
     if compiler is None:
         return None
-    try:
-        cache.mkdir(parents=True, exist_ok=True)
-        with tempfile.NamedTemporaryFile(
-                suffix=f".{suffix}", dir=cache, delete=False) as tmp:
-            tmp_path = Path(tmp.name)
-        cmd = [compiler, "-O3", "-shared", "-fPIC",
-               str(_SOURCE), "-o", str(tmp_path)]
-        subprocess.run(cmd, check=True, capture_output=True, timeout=120)
-        os.replace(tmp_path, lib_path)  # atomic against concurrent builders
-        return lib_path
-    except (OSError, subprocess.SubprocessError):
+    for extra, lib_path in candidates:
+        tmp_path = None
         try:
-            tmp_path.unlink(missing_ok=True)
-        except (OSError, UnboundLocalError):
-            pass
-        return None
+            cache.mkdir(parents=True, exist_ok=True)
+            with tempfile.NamedTemporaryFile(
+                    suffix=f".{suffix}", dir=cache, delete=False) as tmp:
+                tmp_path = Path(tmp.name)
+            cmd = [compiler, *_variant_flags(extra),
+                   str(_SOURCE), "-o", str(tmp_path)]
+            subprocess.run(cmd, check=True, capture_output=True, timeout=120)
+            os.replace(tmp_path, lib_path)  # atomic vs concurrent builders
+            return lib_path
+        except (OSError, subprocess.SubprocessError):
+            try:
+                if tmp_path is not None:
+                    tmp_path.unlink(missing_ok=True)
+            except OSError:
+                pass
+    return None
 
 
 def get_kernel() -> NativeKernel | None:

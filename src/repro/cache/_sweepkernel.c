@@ -1149,3 +1149,235 @@ void stack_state_rehash(const int64_t *old_tags, const int64_t *old_vals,
         new_vals[slot] = old_vals[i];
     }
 }
+
+/* --------------------------------------------------------------------- *
+ * Threaded batch dispatcher
+ *
+ * batch_run_threaded executes N *independent* replay tasks — each one a
+ * call into one of the per-config kernels above — across a pool of worker
+ * threads.  The per-config replay code is untouched: a batch_task is just
+ * a flattened argument record plus a `kind` selecting which kernel to
+ * call, so a task's result is bit-identical to calling that kernel
+ * directly (and therefore independent of the thread count and of which
+ * worker happens to run it).  Tasks never share state arrays — each
+ * config owns its tags/stamp/side-state buffers and its slice of the
+ * output — so the only cross-thread communication is the atomic work
+ * counter below.
+ *
+ * Threading is optional at compile time: when the compiler rejects
+ * -pthread, the Python side retries with -DREPRO_SERIAL_BATCH and the
+ * dispatcher degrades to a serial loop over the same tasks (same results,
+ * one thread).  batch_threads_available() tells the bindings which
+ * variant they loaded.
+ * --------------------------------------------------------------------- */
+
+#ifndef REPRO_SERIAL_BATCH
+#include <pthread.h>
+#endif
+
+enum {
+    BATCH_KIND_LRU = 0,      /* lru_run (LRU, and LIP via `lip`)   */
+    BATCH_KIND_RRIP = 1,     /* rrip_run (SRRIP/BRRIP/DRRIP)       */
+    BATCH_KIND_DIP = 2,      /* dip_run (BIP/DIP)                  */
+    BATCH_KIND_PDP = 3,      /* pdp_run                            */
+    BATCH_KIND_RANDOM = 4,   /* random_run                         */
+    BATCH_KIND_PART_LRU = 5, /* part_lru_run (LRU/LIP regions)     */
+    BATCH_KIND_PART_SRRIP = 6, /* part_srrip_run                   */
+    BATCH_KIND_VANTAGE = 7,  /* vantage_run                        */
+};
+
+/* One replay task.  Every member is 8 bytes, so the layout is identical
+ * across platforms and trivially mirrored by a ctypes.Structure (see
+ * _native.py: the field order there must match this declaration).  Unused
+ * members of a given kind stay NULL/0. */
+typedef struct {
+    int64_t kind;
+    const int64_t *addrs;
+    int64_t n;
+    const int64_t *parts;
+    int64_t *tags;
+    int64_t *stamp;
+    int64_t *rrpv;
+    int64_t *counter;
+    uint64_t *rng_state;
+    const int64_t *roles;
+    int64_t *psel;
+    int64_t *expires;
+    int64_t *clock;
+    int64_t *dp;
+    int64_t *sample_count;
+    int64_t *hist;
+    int64_t *ls_tags;
+    int64_t *ls_clocks;
+    int64_t *ls_count;
+    const int64_t *region_sets;
+    const int64_t *region_ways;
+    const int64_t *region_off;
+    int64_t *miss_out;
+    const int64_t *caps;
+    int64_t *ht_tag;
+    int64_t *ht_reg;
+    int64_t *ht_node;
+    int64_t *node_tag;
+    int64_t *node_prev;
+    int64_t *node_next;
+    int64_t *head;
+    int64_t *tail;
+    int64_t *occ;
+    int64_t *free_io;
+    int64_t num_sets;
+    int64_t ways;
+    int64_t max_rrpv;
+    int64_t mode;
+    int64_t lip;
+    int64_t hashed;
+    int64_t index_seed;
+    int64_t psel_max;
+    int64_t leader_levels;
+    int64_t max_dp;
+    int64_t interval;
+    int64_t clear_threshold;
+    int64_t tsize;
+    int64_t num_regions;
+    int64_t unm_cap;
+    double epsilon;
+    int64_t result;
+} batch_task;
+
+static void batch_run_one(batch_task *t)
+{
+    switch (t->kind) {
+    case BATCH_KIND_LRU:
+        t->result = lru_run(t->addrs, t->n, t->num_sets, t->ways, t->tags,
+                            t->stamp, t->counter, t->lip, t->hashed,
+                            t->index_seed);
+        break;
+    case BATCH_KIND_RRIP:
+        t->result = rrip_run(t->addrs, t->n, t->num_sets, t->ways,
+                             t->max_rrpv, t->tags, t->rrpv, t->stamp,
+                             t->counter, t->mode, t->epsilon, t->rng_state,
+                             t->roles, t->psel, t->psel_max,
+                             t->leader_levels, t->hashed, t->index_seed);
+        break;
+    case BATCH_KIND_DIP:
+        t->result = dip_run(t->addrs, t->n, t->num_sets, t->ways, t->tags,
+                            t->stamp, t->counter, t->mode, t->epsilon,
+                            t->rng_state, t->roles, t->psel, t->psel_max,
+                            t->leader_levels, t->hashed, t->index_seed);
+        break;
+    case BATCH_KIND_PDP:
+        t->result = pdp_run(t->addrs, t->n, t->num_sets, t->ways, t->tags,
+                            t->stamp, t->counter, t->expires, t->clock,
+                            t->dp, t->sample_count, t->hist, t->max_dp,
+                            t->interval, t->clear_threshold, t->ls_tags,
+                            t->ls_clocks, t->ls_count, t->tsize, t->hashed,
+                            t->index_seed);
+        break;
+    case BATCH_KIND_RANDOM:
+        t->result = random_run(t->addrs, t->n, t->num_sets, t->ways,
+                               t->tags, t->rng_state, t->hashed,
+                               t->index_seed);
+        break;
+    case BATCH_KIND_PART_LRU:
+        t->result = part_lru_run(t->addrs, t->parts, t->n, t->num_regions,
+                                 t->region_sets, t->region_ways,
+                                 t->region_off, t->tags, t->stamp,
+                                 t->counter, t->lip, t->hashed,
+                                 t->index_seed, t->miss_out);
+        break;
+    case BATCH_KIND_PART_SRRIP:
+        t->result = part_srrip_run(t->addrs, t->parts, t->n,
+                                   t->num_regions, t->region_sets,
+                                   t->region_ways, t->region_off, t->tags,
+                                   t->rrpv, t->stamp, t->counter,
+                                   t->max_rrpv, t->hashed, t->index_seed,
+                                   t->miss_out);
+        break;
+    case BATCH_KIND_VANTAGE:
+        t->result = vantage_run(t->addrs, t->parts, t->n, t->num_regions,
+                                t->caps, t->unm_cap, t->ht_tag, t->ht_reg,
+                                t->ht_node, t->tsize, t->node_tag,
+                                t->node_prev, t->node_next, t->head,
+                                t->tail, t->occ, t->free_io, t->miss_out);
+        break;
+    default:
+        t->result = -2;
+        break;
+    }
+}
+
+#ifndef REPRO_SERIAL_BATCH
+
+#define BATCH_MAX_THREADS 128
+
+/* Shared work queue: workers claim task indices with an atomic
+ * fetch-and-add, so the assignment of tasks to threads is dynamic
+ * (work-stealing) while each task itself runs exactly once. */
+typedef struct {
+    batch_task *tasks;
+    int64_t num_tasks;
+    volatile int64_t next;
+} batch_queue;
+
+static void *batch_worker(void *arg)
+{
+    batch_queue *q = (batch_queue *)arg;
+    for (;;) {
+        int64_t i = __sync_fetch_and_add(&q->next, 1);
+        if (i >= q->num_tasks)
+            break;
+        batch_run_one(&q->tasks[i]);
+    }
+    return NULL;
+}
+
+/* Run `num_tasks` tasks across up to `num_threads` threads (the calling
+ * thread doubles as worker zero).  Returns the number of threads actually
+ * used (>= 1); each task's outcome lands in its own `result` member. */
+int64_t batch_run_threaded(batch_task *tasks, int64_t num_tasks,
+                           int64_t num_threads)
+{
+    if (num_tasks <= 0)
+        return 1;
+    if (num_threads > num_tasks)
+        num_threads = num_tasks;
+    if (num_threads > BATCH_MAX_THREADS)
+        num_threads = BATCH_MAX_THREADS;
+    if (num_threads <= 1) {
+        for (int64_t i = 0; i < num_tasks; i++)
+            batch_run_one(&tasks[i]);
+        return 1;
+    }
+    batch_queue q;
+    q.tasks = tasks;
+    q.num_tasks = num_tasks;
+    q.next = 0;
+    pthread_t workers[BATCH_MAX_THREADS];
+    int64_t spawned = 0;
+    for (int64_t i = 0; i < num_threads - 1; i++) {
+        if (pthread_create(&workers[spawned], NULL, batch_worker, &q) != 0)
+            break;  /* degrade: the remaining width is just smaller */
+        spawned++;
+    }
+    batch_worker(&q);
+    for (int64_t i = 0; i < spawned; i++)
+        pthread_join(workers[i], NULL);
+    return spawned + 1;
+}
+
+int64_t batch_threads_available(void) { return 1; }
+
+#else  /* REPRO_SERIAL_BATCH: same entry points, serial execution */
+
+int64_t batch_run_threaded(batch_task *tasks, int64_t num_tasks,
+                           int64_t num_threads)
+{
+    (void)num_threads;
+    for (int64_t i = 0; i < num_tasks; i++)
+        batch_run_one(&tasks[i]);
+    return 1;
+}
+
+int64_t batch_threads_available(void) { return 0; }
+
+#endif  /* REPRO_SERIAL_BATCH */

@@ -636,6 +636,76 @@ class ArraySetAssociativeCache:
                               1 if self.policy == "LIP" else 0,
                               hashed, self.index_seed)
 
+    def replay_task(self, trace):
+        """This cache's replay of ``trace`` as a batchable
+        :class:`~repro.cache.threadbatch.ReplayTask`.
+
+        The packed fields mirror :meth:`_run_native` member for member and
+        the commit folds the statistics exactly as :meth:`run` does, so a
+        task executed by the threaded dispatcher — at any width — is
+        bit-identical to calling :meth:`run` directly.  Without a kernel
+        (or at zero geometry) the task carries :meth:`run` itself as its
+        fallback.
+        """
+        from . import _native
+        from .threadbatch import ReplayTask, i64_ptr, u64_ptr
+        addrs = materialize_addresses(trace)
+        if addrs.ndim != 1:
+            raise ValueError("trace must be one-dimensional")
+        if addrs.size and bool(np.any(addrs == _EMPTY)):
+            raise ValueError("address -1 is reserved as the empty-way "
+                             "sentinel; the array backend cannot cache it")
+        kernel = get_kernel()
+        if (kernel is None or not kernel.has_batch or self.ways == 0
+                or self.num_sets == 0 or addrs.size == 0):
+            return ReplayTask(fallback=lambda: self.run(addrs))
+        n = int(addrs.size)
+        fields = {
+            "addrs": i64_ptr(addrs), "n": n,
+            "num_sets": self.num_sets, "ways": self.ways,
+            "tags": i64_ptr(self.tags), "stamp": i64_ptr(self.stamp),
+            "counter": i64_ptr(self._counter),
+            "hashed": 1 if self.hashed_index else 0,
+            "index_seed": self.index_seed,
+        }
+        if self.policy in _RRIP_FAMILY:
+            fields.update(
+                kind=_native.KIND_RRIP, max_rrpv=self.max_rrpv,
+                rrpv=i64_ptr(self.rrpv), mode=_MODE[self.policy],
+                epsilon=self.epsilon, rng_state=u64_ptr(self._rng_state),
+                roles=i64_ptr(self._roles), psel=i64_ptr(self._psel),
+                psel_max=self._psel_max, leader_levels=self._leader_levels)
+        elif self.policy in _DIP_FAMILY:
+            fields.update(
+                kind=_native.KIND_DIP, mode=_DIP_MODE[self.policy],
+                epsilon=self.epsilon, rng_state=u64_ptr(self._rng_state),
+                roles=i64_ptr(self._roles), psel=i64_ptr(self._psel),
+                psel_max=self._psel_max, leader_levels=self._leader_levels)
+        elif self.policy == "PDP":
+            fields.update(
+                kind=_native.KIND_PDP, expires=i64_ptr(self.expires),
+                clock=i64_ptr(self._pdp_clock), dp=i64_ptr(self._pdp_dp),
+                sample_count=i64_ptr(self._pdp_samples),
+                hist=i64_ptr(self._pdp_hist), max_dp=self._pdp_max_dp,
+                interval=self._pdp_interval,
+                clear_threshold=self._pdp_clear_threshold,
+                ls_tags=i64_ptr(self._ls_tags),
+                ls_clocks=i64_ptr(self._ls_clocks),
+                ls_count=i64_ptr(self._ls_count), tsize=self._pdp_tsize)
+        elif self.policy == "Random":
+            fields.update(kind=_native.KIND_RANDOM,
+                          rng_state=u64_ptr(self._rng_state))
+        else:
+            fields.update(kind=_native.KIND_LRU,
+                          lip=1 if self.policy == "LIP" else 0)
+
+        def commit(misses: int) -> None:
+            self.stats.accesses += n
+            self.stats.misses += misses
+            self.stats.hits += n - misses
+
+        return ReplayTask(fields=fields, refs=(addrs,), commit=commit)
+
     # ------------------------------------------------------------------ #
     # Warm resizing (the reallocation primitive of the resumable runtime)
     # ------------------------------------------------------------------ #

@@ -576,6 +576,76 @@ class ArrayPartitionedCache(PartitionedCache):
             region.stats.misses += sub_misses
             region.stats.hits += sub_accesses - sub_misses
 
+    def replay_task(self, trace, parts):
+        """One batchable :class:`~repro.cache.threadbatch.ReplayTask`
+        replaying a partition-tagged trace (the threaded twin of
+        :meth:`run_partitioned`; per-partition misses land in the task's
+        ``misses`` array on both paths)."""
+        from .._native import KIND_PART_LRU, KIND_PART_SRRIP
+        from ..threadbatch import ReplayTask, i64_ptr
+        addrs = materialize_addresses(trace)
+        parts = np.ascontiguousarray(np.asarray(parts, dtype=np.int64))
+        if addrs.shape != parts.shape or addrs.ndim != 1:
+            raise ValueError("trace and parts must be 1-D and equally long")
+        miss_out = np.zeros(self.num_partitions, dtype=np.int64)
+        if addrs.size:
+            if int(parts.min()) < 0 or int(parts.max()) >= self.num_partitions:
+                raise ValueError(
+                    f"partition ids must be in [0, {self.num_partitions})")
+        accesses = np.bincount(parts, minlength=self.num_partitions) \
+            .astype(np.int64)
+        kernel = get_kernel()
+        if (not self._flat_ready or kernel is None or not kernel.has_batch
+                or addrs.size == 0):
+            def fallback() -> None:
+                _, misses = self.run_partitioned(addrs, parts)
+                miss_out[:] += np.asarray(misses, dtype=np.int64)
+            return ReplayTask(fallback=fallback, misses=miss_out)
+        if bool(np.any(addrs == _EMPTY)):
+            raise ValueError("address -1 is reserved as the empty-way "
+                             "sentinel; the array backend cannot cache it")
+        fields = {
+            "kind": (KIND_PART_SRRIP if self.policy == "SRRIP"
+                     else KIND_PART_LRU),
+            "addrs": i64_ptr(addrs), "n": int(addrs.size),
+            "parts": i64_ptr(parts),
+            "num_regions": self.num_partitions,
+            "region_sets": i64_ptr(self._region_sets),
+            "region_ways": i64_ptr(self._region_ways),
+            "region_off": i64_ptr(self._region_off),
+            "tags": i64_ptr(self._flat_tags),
+            "stamp": i64_ptr(self._flat_stamp),
+            "counter": i64_ptr(self._shared_counter),
+            "miss_out": i64_ptr(miss_out),
+            "hashed": 1 if self.hashed_index else 0,
+            "index_seed": self.index_seed,
+        }
+        if self.policy == "SRRIP":
+            fields.update(rrpv=i64_ptr(self._flat_rrpv),
+                          max_rrpv=self._max_rrpv)
+        else:
+            fields.update(lip=1 if self.policy == "LIP" else 0)
+
+        def commit(_total: int) -> None:
+            # The same two folds run_partitioned performs around
+            # _run_part_kernel: per-region stats, then partition stats.
+            for p, region in enumerate(self._regions):
+                if region is None:
+                    continue
+                a, m = int(accesses[p]), int(miss_out[p])
+                region.stats.accesses += a
+                region.stats.misses += m
+                region.stats.hits += a - m
+            for p in range(self.num_partitions):
+                stats = self.partition_stats[p]
+                a, m = int(accesses[p]), int(miss_out[p])
+                stats.accesses += a
+                stats.misses += m
+                stats.hits += a - m
+
+        return ReplayTask(fields=fields, refs=(addrs, parts, miss_out),
+                          commit=commit, misses=miss_out)
+
     # ------------------------------------------------------------------ #
     def reset_stats(self) -> None:
         super().reset_stats()
@@ -771,6 +841,58 @@ class ArrayVantageCache(PartitionedCache):
         """Replay one chunk (state carries across calls; chunked and
         one-shot replays are bit-identical at any boundary)."""
         return self.run_partitioned(trace, parts)
+
+    def replay_task(self, trace, parts):
+        """One batchable :class:`~repro.cache.threadbatch.ReplayTask`
+        replaying a partition-tagged trace through the Vantage kernel
+        (threaded twin of :meth:`run_partitioned`)."""
+        from .._native import KIND_VANTAGE
+        from ..threadbatch import ReplayTask, i64_ptr
+        addrs = materialize_addresses(trace)
+        parts = np.ascontiguousarray(np.asarray(parts, dtype=np.int64))
+        if addrs.shape != parts.shape or addrs.ndim != 1:
+            raise ValueError("trace and parts must be 1-D and equally long")
+        if addrs.size and (int(parts.min()) < 0
+                           or int(parts.max()) >= self.num_partitions):
+            raise ValueError(
+                f"partition ids must be in [0, {self.num_partitions})")
+        miss_out = np.zeros(self.num_partitions, dtype=np.int64)
+        accesses = np.bincount(parts, minlength=self.num_partitions) \
+            .astype(np.int64)
+        kernel = get_kernel()
+        if kernel is None or not kernel.has_batch or addrs.size == 0:
+            def fallback() -> None:
+                _, misses = self.run_partitioned(addrs, parts)
+                miss_out[:] += np.asarray(misses, dtype=np.int64)
+            return ReplayTask(fallback=fallback, misses=miss_out)
+        fields = {
+            "kind": KIND_VANTAGE,
+            "addrs": i64_ptr(addrs), "n": int(addrs.size),
+            "parts": i64_ptr(parts),
+            "num_regions": self.num_partitions,
+            "caps": i64_ptr(self._caps), "unm_cap": self._unm_cap,
+            "ht_tag": i64_ptr(self._ht_tag),
+            "ht_reg": i64_ptr(self._ht_reg),
+            "ht_node": i64_ptr(self._ht_node),
+            "tsize": int(self._ht_tag.size),
+            "node_tag": i64_ptr(self._node_tag),
+            "node_prev": i64_ptr(self._node_prev),
+            "node_next": i64_ptr(self._node_next),
+            "head": i64_ptr(self._head), "tail": i64_ptr(self._tail),
+            "occ": i64_ptr(self._occ), "free_io": i64_ptr(self._free),
+            "miss_out": i64_ptr(miss_out),
+        }
+
+        def commit(_total: int) -> None:
+            for p in range(self.num_partitions):
+                stats = self.partition_stats[p]
+                a, m = int(accesses[p]), int(miss_out[p])
+                stats.accesses += a
+                stats.misses += m
+                stats.hits += a - m
+
+        return ReplayTask(fields=fields, refs=(addrs, parts, miss_out),
+                          commit=commit, misses=miss_out)
 
     def _replay(self, addrs: np.ndarray,
                 parts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

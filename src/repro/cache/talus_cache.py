@@ -235,6 +235,40 @@ class TalusCache:
             self.logical_stats[logical].instructions += instructions
         return self.logical_stats[logical]
 
+    def replay_task(self, trace, logical: int = 0):
+        """This logical partition's replay of ``trace`` as a batchable
+        :class:`~repro.cache.threadbatch.ReplayTask`.
+
+        Steering is the same vectorized H3 pass :meth:`run` performs; the
+        resulting partition-tagged replay is delegated to the base cache's
+        ``replay_task`` with a chained hook folding the logical-partition
+        statistics — so a batched Talus task commits exactly what
+        :meth:`run` would have recorded.
+        """
+        from .threadbatch import ReplayTask
+        self._check_logical(logical)
+        addrs = materialize_addresses(trace)
+        if not self.supports_batch_replay \
+                or not hasattr(self.base, "replay_task"):
+            return ReplayTask(fallback=lambda: self.run(addrs, logical))
+        pair = self._pairs[logical]
+        hashes = pair.sampler.hash.hash_array(addrs)
+        parts = np.where(hashes < np.uint64(pair.sampler.limit),
+                         pair.alpha_index, pair.beta_index).astype(np.int64)
+        task = self.base.replay_task(addrs, parts)
+        stats = self.logical_stats[logical]
+        pair_misses = task.misses
+        n = int(addrs.size)
+
+        def fold() -> None:
+            m = int(pair_misses[pair.alpha_index]
+                    + pair_misses[pair.beta_index])
+            stats.accesses += n
+            stats.misses += m
+            stats.hits += n - m
+
+        return task.add_callback(fold)
+
     def run_chunk(self, trace, logical: int = 0,
                   instructions: int = 0) -> CacheStats:
         """Replay one chunk on behalf of a logical partition.

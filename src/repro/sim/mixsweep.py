@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import json
 import zlib
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, Sequence
@@ -52,9 +52,11 @@ from ..cache.factory import BACKENDS
 from ..cache.hashing import mix64
 from ..cache.partition import SCHEME_REGISTRY
 from ..cache.spec import PartitionSpec
+from ..cache.threadbatch import PARALLEL_MODES, resolve_parallel
 from ..partitioning import fair, hill_climbing, lookahead
 from ..workloads.mixes import WorkloadMix
 from ..workloads.scale import paper_mb_to_lines
+from ..workloads.tracestore import TraceHandle, TraceStore
 from .metrics import gmean
 from .multicore import (MixResult, ReconfiguringSharedRun,
                         SharedCacheExperiment, SharedIntervalRecord)
@@ -109,8 +111,13 @@ class MixSweepSpec:
     base_seed:
         Root of the per-mix trace-seed derivation.
     max_workers:
-        Above 1, mixes fan out over a process pool (results are identical
-        to a serial run).
+        Above 1, mixes fan out — over a process pool or a thread pool
+        depending on ``parallel`` (results are identical to a serial run
+        either way).
+    parallel:
+        "threads", "processes" or "auto" ("auto" prefers threads when the
+        native kernel is available, so the GIL-releasing replay overlaps;
+        without it, the process pool).
     """
 
     total_mb: float
@@ -125,6 +132,7 @@ class MixSweepSpec:
     backend: str = "auto"
     base_seed: int = 2015
     max_workers: int = 1
+    parallel: str = "auto"
 
     def __post_init__(self):
         if self.total_mb <= 0:
@@ -145,6 +153,9 @@ class MixSweepSpec:
                              "positive")
         if self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if self.parallel not in PARALLEL_MODES:
+            raise ValueError(f"unknown parallel mode {self.parallel!r}; "
+                             f"known: {PARALLEL_MODES}")
 
     def substrate_spec(self, num_apps: int) -> PartitionSpec:
         """The declarative substrate one mix of ``num_apps`` runs on."""
@@ -180,13 +191,39 @@ class MixRunRecord:
         }
 
 
-def _run_one_mix(spec: MixSweepSpec, mix: WorkloadMix) -> MixRunRecord:
-    """Execute one mix end to end (the process-pool worker entry point)."""
-    traces = [
-        app.trace(n_accesses=spec.trace_accesses,
-                  seed=mix_trace_seed(spec.base_seed, mix.name, core,
-                                      app.name))
-        for core, app in enumerate(mix.apps)]
+def _mix_handles(store: TraceStore, spec: MixSweepSpec,
+                 mix: WorkloadMix) -> tuple[TraceHandle, ...]:
+    """Materialize (or find) every per-core trace of one mix in ``store``.
+
+    The store's content addressing by ``(app, length, seed)`` means a
+    trace shared between mixes — or between cores of a homogeneous mix
+    with a coinciding seed — is generated exactly once for the whole
+    sweep.
+    """
+    return tuple(
+        store.get(app, spec.trace_accesses,
+                  mix_trace_seed(spec.base_seed, mix.name, core, app.name))
+        for core, app in enumerate(mix.apps))
+
+
+def _run_one_mix(spec: MixSweepSpec, mix: WorkloadMix,
+                 handles: Sequence[TraceHandle] | None = None
+                 ) -> MixRunRecord:
+    """Execute one mix end to end (the pool worker entry point).
+
+    With ``handles`` the worker attaches the parent's already-materialized
+    traces (zero-copy for memmap/shared-memory backings); without them it
+    regenerates from the profiles — both paths draw the same per-core
+    seeds, so the records are bit-identical.
+    """
+    if handles is not None:
+        traces = [handle.attach() for handle in handles]
+    else:
+        traces = [
+            app.trace(n_accesses=spec.trace_accesses,
+                      seed=mix_trace_seed(spec.base_seed, mix.name, core,
+                                          app.name))
+            for core, app in enumerate(mix.apps)]
     run = ReconfiguringSharedRun(
         total_mb=spec.total_mb, scheme=spec.scheme,
         algorithm=ALGORITHMS[spec.algorithm],
@@ -316,19 +353,30 @@ class MixSweepResult:
 
 def run_mix_sweep(mixes: Sequence[WorkloadMix], spec: MixSweepSpec, *,
                   max_workers: int | None = None,
-                  backend: str | None = None) -> MixSweepResult:
+                  backend: str | None = None,
+                  parallel: str | None = None,
+                  trace_store: TraceStore | None = None) -> MixSweepResult:
     """Execute every mix of the sweep through the closed Talus loop.
 
     Each mix runs one :class:`~repro.sim.multicore.ReconfiguringSharedRun`
     (chunked replay, per-app UMONs, coordinated warm reconfiguration) on
     its own deterministic traces.  With ``max_workers > 1`` the mixes fan
-    out over a process pool — one worker task per mix, since a mix's apps
-    share one cache and must advance together — and the stable per-mix
-    seeding makes pooled results bit-identical to serial ones.
+    out — one worker task per mix, since a mix's apps share one cache and
+    must advance together — over a process pool or, with
+    ``parallel="threads"`` (the "auto" choice when the native kernel is
+    available), a thread pool whose workers overlap in the GIL-releasing
+    kernel replays.  The stable per-mix seeding makes every strategy
+    bit-identical to a serial run.
 
-    ``max_workers``/``backend`` override the spec's values (the spec
-    stays the single source of truth for everything the workers need,
-    which is what makes it picklable).
+    The parent materializes every per-core trace exactly once in
+    ``trace_store`` (a temporary memmap-backed store when not given) and
+    hands workers lightweight handles; pooled workers *attach* rather
+    than regenerate, so a sweep no longer pays apps x mixes trace
+    generations per pool fan-out.
+
+    ``max_workers``/``backend``/``parallel`` override the spec's values
+    (the spec stays the single source of truth for everything the workers
+    need, which is what makes it picklable).
     """
     mixes = list(mixes)
     names = [mix.name for mix in mixes]
@@ -338,11 +386,23 @@ def run_mix_sweep(mixes: Sequence[WorkloadMix], spec: MixSweepSpec, *,
         from dataclasses import replace
         spec = replace(spec, backend=backend)
     workers = max_workers if max_workers is not None else spec.max_workers
-    if workers > 1 and len(mixes) > 1:
-        workers = min(workers, len(mixes))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_run_one_mix, spec, mix) for mix in mixes]
-            records = [future.result() for future in futures]
-    else:
-        records = [_run_one_mix(spec, mix) for mix in mixes]
+    mode = resolve_parallel(parallel if parallel is not None
+                            else spec.parallel)
+    store = trace_store if trace_store is not None else TraceStore()
+    try:
+        handles = [_mix_handles(store, spec, mix) for mix in mixes]
+        if workers > 1 and len(mixes) > 1:
+            workers = min(workers, len(mixes))
+            pool_cls = (ThreadPoolExecutor if mode == "threads"
+                        else ProcessPoolExecutor)
+            with pool_cls(max_workers=workers) as pool:
+                futures = [pool.submit(_run_one_mix, spec, mix, mix_handles)
+                           for mix, mix_handles in zip(mixes, handles)]
+                records = [future.result() for future in futures]
+        else:
+            records = [_run_one_mix(spec, mix, mix_handles)
+                       for mix, mix_handles in zip(mixes, handles)]
+    finally:
+        if trace_store is None:
+            store.close()
     return MixSweepResult(spec, mixes, records)

@@ -57,7 +57,9 @@ from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
+from ..cache._native import resolve_threads
 from ..cache.spec import PartitionSpec, TalusSpec, build
+from ..cache.threadbatch import resolve_parallel
 from ..core.bypass import optimal_bypass_curve
 from ..core.convexhull import convex_hull
 from ..core.misscurve import MissCurve
@@ -406,6 +408,18 @@ class ReconfiguringSharedRun:
     backend:
         Backend of the partitioned substrate, as in
         :class:`~repro.sim.reconfigure.ReconfiguringTalusRun`.
+    parallel:
+        "threads", "processes" or "auto".  In threads mode (the "auto"
+        choice when the native kernel is available) the per-application
+        UMON recording of each interval fans out over a thread pool while
+        the shared cache replays each chunk sequentially — the cache is
+        one shared state, so its access order must not change, but the
+        monitors are per-app-private and order-free.  "processes" (the
+        ``REPRO_NATIVE=0`` auto choice) keeps everything sequential
+        in-process: one mix cannot split across processes.
+    threads:
+        Monitor-recording thread width (default: ``REPRO_THREADS`` or the
+        host core count, capped at the application count).
     """
 
     total_mb: float
@@ -417,10 +431,17 @@ class ReconfiguringSharedRun:
     monitor_points: int = 33
     granularity_mb: float | None = None
     backend: str = "auto"
+    parallel: str = "auto"
+    threads: int | None = None
     records: list[SharedIntervalRecord] = field(default_factory=list)
 
     def run(self, traces: Sequence[Trace]) -> list[SharedIntervalRecord]:
-        """Replay all traces with periodic coordinated reconfiguration."""
+        """Replay all traces with periodic coordinated reconfiguration.
+
+        Results are bit-identical for every ``parallel`` mode: the shared
+        cache always consumes the chunks in the same order, and each UMON
+        only ever touches its own application's state.
+        """
         n = len(traces)
         if n == 0:
             raise ValueError("need at least one application trace")
@@ -446,26 +467,50 @@ class ReconfiguringSharedRun:
         self.records = []
         self._traces = list(traces)
         index = 0
-        while any(positions[i] < len(traces[i]) for i in range(n)):
-            accesses, misses = [], []
-            for i, trace in enumerate(traces):
-                end = min(positions[i] + interval, len(trace))
-                chunk = trace.addresses[positions[i]:end]
-                if chunk.size:
-                    monitors[i].record_trace(chunk)
-                    stats = talus.run_chunk(chunk, i)
-                    misses.append(stats.misses)
-                else:
-                    misses.append(0)
-                accesses.append(end - positions[i])
-                positions[i] = end
-            self.records.append(SharedIntervalRecord(
-                index=index, accesses=tuple(accesses), misses=tuple(misses),
-                allocations_mb=current_alloc))
-            index += 1
-            remaining = any(positions[i] < len(traces[i]) for i in range(n))
-            if index >= self.warmup_intervals and remaining:
-                current_alloc = self._replan(talus, monitors, traces)
+        mode = resolve_parallel(self.parallel)
+        pool = None
+        if mode == "threads" and n > 1:
+            from concurrent.futures import ThreadPoolExecutor
+            pool = ThreadPoolExecutor(
+                max_workers=min(n, resolve_threads(self.threads)))
+        try:
+            while any(positions[i] < len(traces[i]) for i in range(n)):
+                accesses, misses = [], []
+                chunks = []
+                for i, trace in enumerate(traces):
+                    end = min(positions[i] + interval, len(trace))
+                    chunks.append(trace.addresses[positions[i]:end])
+                    accesses.append(end - positions[i])
+                    positions[i] = end
+                if pool is not None:
+                    # Monitor recording is per-app-private, so it overlaps
+                    # across apps (and with the sequential cache replay
+                    # below); joined before the records/replan read it.
+                    futures = [pool.submit(monitors[i].record_trace, chunk)
+                               for i, chunk in enumerate(chunks)
+                               if chunk.size]
+                for i, chunk in enumerate(chunks):
+                    if chunk.size:
+                        if pool is None:
+                            monitors[i].record_trace(chunk)
+                        stats = talus.run_chunk(chunk, i)
+                        misses.append(stats.misses)
+                    else:
+                        misses.append(0)
+                if pool is not None:
+                    for future in futures:
+                        future.result()
+                self.records.append(SharedIntervalRecord(
+                    index=index, accesses=tuple(accesses),
+                    misses=tuple(misses), allocations_mb=current_alloc))
+                index += 1
+                remaining = any(positions[i] < len(traces[i])
+                                for i in range(n))
+                if index >= self.warmup_intervals and remaining:
+                    current_alloc = self._replan(talus, monitors, traces)
+        finally:
+            if pool is not None:
+                pool.shutdown()
         return self.records
 
     def _replan(self, talus, monitors: Sequence[CombinedUMON],

@@ -20,11 +20,25 @@ the *what* (a :class:`SweepSpec` describing all the points) from the *how*
   default, so existing experiments keep their exact results while getting
   the fast path wherever it cannot change them.
 
-Independent configs can also be fanned out over a
-:class:`~concurrent.futures.ProcessPoolExecutor` with ``max_workers > 1``.
+Independent configs can also run in parallel, in one of two ways selected
+by ``parallel=``:
+
+* ``"threads"`` — every batch-capable config becomes a
+  :class:`~repro.cache.threadbatch.ReplayTask` and the whole sweep is one
+  GIL-releasing ``batch_run_threaded`` call into the native kernel
+  (width from ``threads=`` or ``REPRO_THREADS``); object-model and
+  builder configs stream serially as before.
+* ``"processes"`` — independent configs fan out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (``max_workers > 1``),
+  with the address array shared through a
+  :class:`~repro.workloads.tracestore.TraceStore` memmap so workers
+  attach to one materialized trace instead of re-pickling it.
+* ``"auto"`` (default) — threads when the native kernel is available,
+  the process pool otherwise (``REPRO_NATIVE=0``).
+
 Results are independent of the execution strategy: every config derives a
-deterministic seed from ``(base_seed, config index)``, so serial, batched
-and parallel runs all agree.
+deterministic seed from ``(base_seed, config index)``, so serial, batched,
+threaded and pooled runs all agree bit for bit.
 
 Example
 -------
@@ -42,13 +56,16 @@ from typing import Callable, Hashable, Sequence
 
 import numpy as np
 
+from ..cache._native import resolve_threads
 from ..cache.arraycache import run_lru_family_batch
 from ..cache.cache import CacheStats
 from ..cache.factory import BACKENDS, build_cache, resolve_backend
 from ..cache.hashing import mix64
+from ..cache.threadbatch import PARALLEL_MODES, resolve_parallel, run_tasks
 from ..core.misscurve import MissCurve
 from ..workloads.access import Trace
 from ..workloads.scale import paper_mb_to_lines
+from ..workloads.tracestore import TraceHandle, TraceStore
 
 __all__ = ["SweepConfig", "SweepSpec", "SweepResult", "run_sweep",
            "DEFAULT_WAYS"]
@@ -137,7 +154,11 @@ class SweepSpec:
     backend:
         "object", "array" or "auto" (see module docstring).
     max_workers:
-        Above 1, independent configs are distributed over a process pool.
+        Above 1, independent configs are distributed over a process pool
+        (``parallel="processes"``) or set the thread width when no
+        explicit ``threads=`` is given (``parallel="threads"``).
+    parallel:
+        "threads", "processes" or "auto" (see module docstring).
     base_seed:
         Root of the deterministic per-config seed derivation for policies
         with randomized behaviour.  ``None`` (the default) keeps every
@@ -150,12 +171,16 @@ class SweepSpec:
     ways: int = DEFAULT_WAYS
     backend: str = "auto"
     max_workers: int = 1
+    parallel: str = "auto"
     base_seed: int | None = None
 
     def __post_init__(self):
         if self.backend not in BACKENDS:
             raise ValueError(f"unknown backend {self.backend!r}; "
                              f"known: {BACKENDS}")
+        if self.parallel not in PARALLEL_MODES:
+            raise ValueError(f"unknown parallel mode {self.parallel!r}; "
+                             f"known: {PARALLEL_MODES}")
         if self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if not self.policies:
@@ -245,12 +270,52 @@ def _stream_object_pass(addrs: np.ndarray, caches: Sequence[object]) -> None:
             access(a)
 
 
-def _simulate_chunk(addrs: np.ndarray, configs: Sequence[SweepConfig],
-                    backend: str) -> list[tuple[Hashable, CacheStats]]:
-    """Simulate a group of configs over one trace pass (worker entry point)."""
+def _make_replay_task(cache, addrs: np.ndarray):
+    """This cache's :class:`ReplayTask` for ``addrs``, or ``None``.
+
+    ``None`` means the cache has no single-trace ``replay_task`` entry
+    point (e.g. a bare partitioned cache that needs a partition stream);
+    such configs keep their batched ``run`` path.
+    """
+    maker = getattr(cache, "replay_task", None)
+    if maker is None:
+        return None
+    try:
+        return maker(addrs)
+    except TypeError:
+        return None
+
+
+def _simulate_chunk(addrs: np.ndarray | TraceHandle,
+                    configs: Sequence[SweepConfig],
+                    backend: str,
+                    threads: int = 0) -> list[tuple[Hashable, CacheStats]]:
+    """Simulate a group of configs over one trace pass (worker entry point).
+
+    ``addrs`` may be a :class:`TraceHandle`, which pool workers attach
+    zero-copy instead of receiving the pickled array.  With ``threads >=
+    1`` every batch-capable config becomes a :class:`ReplayTask` and the
+    chunk executes as one threaded native dispatch (bit-identical to the
+    serial per-config replays at any width).
+    """
+    if isinstance(addrs, TraceHandle):
+        addrs = addrs.array()
     out = []
     object_caches, object_keys = [], []
     lru_family_caches, lru_family_keys = [], []
+    tasks, task_caches, task_keys = [], [], []
+
+    def enqueue(cache, key) -> bool:
+        if threads < 1:
+            return False
+        task = _make_replay_task(cache, addrs)
+        if task is None:
+            return False
+        tasks.append(task)
+        task_caches.append(cache)
+        task_keys.append(key)
+        return True
+
     for config in configs:
         custom = config.spec is not None or config.builder is not None
         if not custom and config.capacity_lines <= 0:
@@ -261,15 +326,18 @@ def _simulate_chunk(addrs: np.ndarray, configs: Sequence[SweepConfig],
             if getattr(cache, "supports_batch_replay", False):
                 # Array-backed organizations (incl. Talus on an array
                 # base) replay the whole trace in one batched pass.
-                cache.run(addrs)
-                out.append((config.key, _extract_stats(cache)))
+                if not enqueue(cache, config.key):
+                    cache.run(addrs)
+                    out.append((config.key, _extract_stats(cache)))
             else:
                 object_caches.append(cache)
                 object_keys.append(config.key)
             continue
         if resolve_backend(backend, config.policy) == "array":
             cache = config.build("array")
-            if config.policy in ("LRU", "LIP"):
+            if enqueue(cache, config.key):
+                pass
+            elif config.policy in ("LRU", "LIP"):
                 # Recency-family array configs share one trace pass (the
                 # multi-config kernel); bit-identical to per-config runs.
                 lru_family_caches.append(cache)
@@ -280,6 +348,10 @@ def _simulate_chunk(addrs: np.ndarray, configs: Sequence[SweepConfig],
         else:
             object_caches.append(config.build("object"))
             object_keys.append(config.key)
+    if tasks:
+        run_tasks(tasks, threads=threads)
+        out.extend((key, _extract_stats(cache))
+                   for key, cache in zip(task_keys, task_caches))
     if lru_family_caches:
         # One shared pass per set-indexing scheme (the kernel applies one
         # scheme to the whole batch; sweeps mixing modulo and hashed
@@ -302,19 +374,27 @@ def _simulate_chunk(addrs: np.ndarray, configs: Sequence[SweepConfig],
 def run_sweep(trace: Trace | np.ndarray | Sequence[int],
               spec: SweepSpec | Sequence[SweepConfig],
               *, backend: str | None = None,
-              max_workers: int | None = None) -> SweepResult:
+              max_workers: int | None = None,
+              parallel: str | None = None,
+              threads: int | None = None,
+              trace_store: TraceStore | None = None) -> SweepResult:
     """Simulate every config of ``spec`` against ``trace``.
 
     The trace is materialized once; all configs consume the same address
     array.  With the object backend the configs advance together in a
     single streaming pass; with the array backend each config is replayed
-    by the native kernel.  ``backend``/``max_workers`` override the spec.
+    by the native kernel.  ``backend``/``max_workers``/``parallel``
+    override the spec.
 
-    Parallel runs (``max_workers > 1``) fan the standard and spec-based
-    configs out over a process pool (specs are picklable by construction);
-    builder configs always run serially in-process because their closures
-    may not be.  Results are identical regardless of the execution
-    strategy.
+    ``parallel`` picks the fan-out strategy (module docstring): "threads"
+    executes all batch-capable configs in one threaded native dispatch
+    (width from ``threads=``, else ``REPRO_THREADS``, else
+    ``max_workers``/host core count); "processes" distributes standard and
+    spec-based configs over a process pool when ``max_workers > 1``,
+    sharing the trace through ``trace_store`` (a temporary store when not
+    given).  Builder configs always run serially in-process because their
+    closures may not be picklable.  Results are bit-identical regardless
+    of the execution strategy.
     """
     if isinstance(trace, Trace):
         addrs = np.ascontiguousarray(trace.addresses, dtype=np.int64)
@@ -330,32 +410,51 @@ def run_sweep(trace: Trace | np.ndarray | Sequence[int],
         backend = backend if backend is not None else spec.backend
         max_workers = (max_workers if max_workers is not None
                        else spec.max_workers)
+        parallel = parallel if parallel is not None else spec.parallel
     else:
         configs = tuple(spec)
         backend = backend if backend is not None else "auto"
         max_workers = max_workers if max_workers is not None else 1
+        parallel = parallel if parallel is not None else "auto"
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; known: {BACKENDS}")
+    mode = resolve_parallel(parallel)
     keys = [config.key for config in configs]
     if len(set(keys)) != len(keys):
         raise ValueError("sweep config keys must be unique")
 
     stats: dict[Hashable, CacheStats] = {}
-    local = [c for c in configs if c.builder is not None]
-    poolable = [c for c in configs if c.builder is None]
-    if max_workers > 1 and len(poolable) > 1:
-        workers = min(max_workers, len(poolable))
-        chunks = [poolable[i::workers] for i in range(workers)]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_simulate_chunk, addrs, chunk, backend)
-                       for chunk in chunks if chunk]
-            for future in futures:
-                stats.update(future.result())
+    if mode == "threads":
+        width = resolve_threads(
+            threads if threads is not None
+            else (max_workers if max_workers > 1 else None))
+        stats.update(_simulate_chunk(addrs, configs, backend,
+                                     threads=width))
     else:
-        local = list(configs)
+        local = [c for c in configs if c.builder is not None]
+        poolable = [c for c in configs if c.builder is None]
+        if max_workers > 1 and len(poolable) > 1:
+            workers = min(max_workers, len(poolable))
+            chunks = [poolable[i::workers] for i in range(workers)]
+            store = trace_store if trace_store is not None else TraceStore()
+            try:
+                # Workers attach the store's one materialized copy of the
+                # trace instead of unpickling a private copy each.
+                handle = store.put(addrs)
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [pool.submit(_simulate_chunk, handle, chunk,
+                                           backend)
+                               for chunk in chunks if chunk]
+                    for future in futures:
+                        stats.update(future.result())
+            finally:
+                if trace_store is None:
+                    store.close()
+        else:
+            local = list(configs)
 
-    if local:
-        stats.update(_simulate_chunk(addrs, local, backend))
+        if local:
+            stats.update(_simulate_chunk(addrs, local, backend))
 
     for config_stats in stats.values():
         if instructions and not config_stats.instructions:

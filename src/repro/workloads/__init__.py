@@ -9,6 +9,7 @@ from .scale import (LINE_SIZE_BYTES, LINES_PER_PAPER_MB, lines_to_paper_mb,
 from .spec_profiles import (FIG10_BENCHMARKS, FIG13_BENCHMARKS, AppProfile,
                             SPEC_PROFILES, get_profile,
                             memory_intensive_profiles, profile_names)
+from .tracestore import TRACE_BACKINGS, TraceHandle, TraceStore
 
 __all__ = [
     "Trace",
@@ -35,4 +36,7 @@ __all__ = [
     "WorkloadMix",
     "random_mixes",
     "homogeneous_mix",
+    "TraceStore",
+    "TraceHandle",
+    "TRACE_BACKINGS",
 ]

@@ -1,0 +1,250 @@
+"""Zero-copy shared trace store for sweep and mix-sweep workers.
+
+Before this module, every process-pool worker either re-pickled the full
+address array through IPC (:func:`repro.sim.sweep.run_sweep`) or — worse —
+regenerated its whole trace from the synthetic profile
+(:func:`repro.sim.mixsweep.run_mix_sweep`).  A :class:`TraceStore`
+materializes each trace exactly once and hands out lightweight, picklable
+:class:`TraceHandle` objects; workers (threaded or pooled) *attach* to the
+one materialized copy instead:
+
+* ``backing="memmap"`` (default) — addresses live in a file under a
+  private temporary directory; attaching maps it read-only with
+  :func:`numpy.memmap`, so every process shares one page-cache copy.
+* ``backing="shared_memory"`` — a :class:`multiprocessing.shared_memory.
+  SharedMemory` segment per trace.  Attached segments are pinned by the
+  returned trace's ``metadata``, keeping the buffer alive for the trace's
+  lifetime.  (The store must outlive all attachments; pre-3.13 resource
+  tracking makes cross-process attachment noisy, so memmap is the
+  default.)
+* ``backing="memory"`` — the handle simply carries the array (no
+  sharing); pickling such a handle ships the data, which is exactly the
+  pre-store behaviour and the graceful floor.
+
+Traces are **content-addressed by (profile, seed, length)**: :meth:`get`
+generates a profile's trace only on the first request of a given
+``(profile.name, n_accesses, seed)`` key and returns the same handle for
+every later request.  Raw arrays enter through :meth:`put`, keyed by a
+digest of their bytes.
+
+The store owns the backing storage: :meth:`close` (or exiting the context
+manager) unlinks every file/segment.  Handles never unlink anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .access import Trace
+
+__all__ = ["TraceStore", "TraceHandle", "TRACE_BACKINGS"]
+
+#: Backings a :class:`TraceStore` supports ("auto" resolves to "memmap").
+TRACE_BACKINGS = ("auto", "memory", "memmap", "shared_memory")
+
+
+@dataclass(frozen=True)
+class TraceHandle:
+    """A lightweight, picklable reference to one materialized trace.
+
+    ``attach()`` (or ``array()`` for the bare addresses) is cheap and
+    zero-copy for the shared backings; a handle can be attached any number
+    of times, from any process, as long as the owning store is open.
+    """
+
+    key: str
+    backing: str
+    location: str
+    length: int
+    instructions: int
+    name: str
+    payload: Trace | None = field(default=None, repr=False)
+
+    def array(self) -> np.ndarray:
+        """The address array (read-only view for the shared backings)."""
+        if self.backing == "memory":
+            return self.payload.addresses
+        if self.backing == "memmap":
+            if self.length == 0:
+                return np.zeros(0, dtype=np.int64)
+            return np.memmap(self.location, dtype=np.int64, mode="r",
+                             shape=(self.length,))
+        if self.backing == "shared_memory":
+            return self._attach_shm()[0]
+        raise ValueError(f"unknown trace backing {self.backing!r}")
+
+    def _attach_shm(self):
+        from multiprocessing import shared_memory
+        shm = shared_memory.SharedMemory(name=self.location)
+        addrs = np.ndarray((self.length,), dtype=np.int64,
+                           buffer=shm.buf)
+        addrs.flags.writeable = False
+        return addrs, shm
+
+    def attach(self) -> Trace:
+        """The trace behind this handle (addresses attached zero-copy)."""
+        if self.backing == "memory":
+            return self.payload
+        instructions = max(1, int(self.instructions))
+        if self.backing == "shared_memory":
+            addrs, shm = self._attach_shm()
+            # The segment object pins the buffer for the trace's lifetime.
+            return Trace(addrs, instructions, name=self.name,
+                         metadata={"shm": shm})
+        return Trace(self.array(), instructions, name=self.name)
+
+
+class TraceStore:
+    """Materialize traces once; share them zero-copy across workers.
+
+    Parameters
+    ----------
+    backing:
+        One of :data:`TRACE_BACKINGS`; "auto" (the default) resolves to
+        "memmap", which is shareable across processes on every supported
+        Python version.
+    directory:
+        Directory for memmap files.  Defaults to a private temporary
+        directory removed by :meth:`close`; an explicit directory is left
+        in place (only the store's files are deleted).
+    """
+
+    def __init__(self, backing: str = "auto",
+                 directory: str | os.PathLike | None = None):
+        if backing not in TRACE_BACKINGS:
+            raise ValueError(f"unknown backing {backing!r}; "
+                             f"known: {TRACE_BACKINGS}")
+        self.backing = "memmap" if backing == "auto" else backing
+        self._handles: dict[str, TraceHandle] = {}
+        self._segments: list = []
+        self._own_dir = False
+        self._dir: Path | None = None
+        if self.backing == "memmap":
+            if directory is None:
+                self._dir = Path(tempfile.mkdtemp(prefix="repro-traces-"))
+                self._own_dir = True
+            else:
+                self._dir = Path(directory)
+                self._dir.mkdir(parents=True, exist_ok=True)
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._handles)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._handles
+
+    def __enter__(self) -> "TraceStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def profile_key(profile, n_accesses: int, seed: int) -> str:
+        """Content-address of a profile trace: (profile, length, seed)."""
+        return f"{profile.name}|{int(n_accesses)}|{int(seed)}"
+
+    def get(self, profile, n_accesses: int, seed: int) -> TraceHandle:
+        """The handle for a profile's trace, generating it on first use.
+
+        Every later ``get`` with the same ``(profile.name, n_accesses,
+        seed)`` returns the already-materialized handle — this is the
+        dedup that stops pooled mix-sweep workers from regenerating
+        identical per-app traces.
+        """
+        self._check_open()
+        key = self.profile_key(profile, n_accesses, seed)
+        if key not in self._handles:
+            trace = profile.trace(n_accesses=n_accesses, seed=seed)
+            self._handles[key] = self._materialize(key, trace)
+        return self._handles[key]
+
+    def put(self, trace: Trace | np.ndarray, name: str = "trace",
+            instructions: int = 0) -> TraceHandle:
+        """Store an existing trace (or raw address array), deduplicated.
+
+        Raw arrays are keyed by a digest of their bytes, so storing the
+        same data twice yields one materialization.
+        """
+        self._check_open()
+        if isinstance(trace, Trace):
+            addrs = np.ascontiguousarray(trace.addresses, dtype=np.int64)
+            name = trace.name
+            instructions = trace.instructions
+        else:
+            addrs = np.ascontiguousarray(np.asarray(trace, dtype=np.int64))
+        if addrs.ndim != 1:
+            raise ValueError("trace must be one-dimensional")
+        digest = hashlib.sha256(addrs.tobytes()).hexdigest()[:24]
+        key = f"{name}|{digest}"
+        if key not in self._handles:
+            source = Trace(addrs, max(1, int(instructions)), name=name)
+            self._handles[key] = self._materialize(
+                key, source, instructions=int(instructions))
+        return self._handles[key]
+
+    # ------------------------------------------------------------------ #
+    def _materialize(self, key: str, trace: Trace,
+                     instructions: int | None = None) -> TraceHandle:
+        instructions = (trace.instructions if instructions is None
+                        else instructions)
+        meta = dict(key=key, length=int(trace.addresses.size),
+                    instructions=int(instructions), name=trace.name)
+        if self.backing == "memory":
+            return TraceHandle(backing="memory", location="", payload=trace,
+                               **meta)
+        addrs = np.ascontiguousarray(trace.addresses, dtype=np.int64)
+        if self.backing == "memmap":
+            fname = hashlib.sha256(key.encode()).hexdigest()[:24] + ".i64"
+            path = self._dir / fname
+            tmp = self._dir / (fname + ".tmp")
+            addrs.tofile(tmp)
+            os.replace(tmp, path)  # atomic: attachers never see a partial
+            return TraceHandle(backing="memmap", location=str(path), **meta)
+        from multiprocessing import shared_memory
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, addrs.nbytes))
+        np.ndarray(addrs.shape, dtype=np.int64,
+                   buffer=shm.buf)[:] = addrs
+        self._segments.append(shm)
+        return TraceHandle(backing="shared_memory", location=shm.name,
+                           **meta)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("TraceStore is closed")
+
+    def close(self) -> None:
+        """Release all backing storage (files/segments are unlinked)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shm in self._segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+        self._segments = []
+        if self._dir is not None:
+            if self._own_dir:
+                shutil.rmtree(self._dir, ignore_errors=True)
+            else:
+                for handle in self._handles.values():
+                    if handle.backing == "memmap":
+                        Path(handle.location).unlink(missing_ok=True)
+        self._handles = {}
+
+    def __repr__(self) -> str:
+        return (f"TraceStore(backing={self.backing!r}, "
+                f"traces={len(self._handles)})")

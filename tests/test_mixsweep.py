@@ -31,6 +31,8 @@ class TestMixSweepSpec:
             MixSweepSpec(total_mb=0.0)
         with pytest.raises(ValueError, match="max_workers"):
             MixSweepSpec(total_mb=2.0, max_workers=0)
+        with pytest.raises(ValueError, match="parallel"):
+            MixSweepSpec(total_mb=2.0, parallel="fibers")
 
     def test_spec_is_hashable_and_picklable(self):
         import pickle
@@ -59,6 +61,51 @@ class TestRunMixSweep:
         for name in serial.mix_names():
             assert serial[name].intervals == pooled[name].intervals
             assert serial[name].result == pooled[name].result
+
+    def test_pool_attaches_tracestore_handles(self):
+        """The pool path routes traces through one TraceStore: workers
+        attach the parent's materialized memmaps, never regenerate, and
+        every record matches the serial bank bit for bit."""
+        from repro.workloads import TraceStore
+
+        mixes = _mixes()
+        serial_bank = run_mix_sweep(mixes, _SPEC)
+        store = TraceStore()
+        try:
+            pooled = run_mix_sweep(mixes, _SPEC, max_workers=2,
+                                   parallel="processes", trace_store=store)
+            # One materialization per distinct (app, length, seed) across
+            # the whole sweep — the dedup the store exists for.
+            assert len(store) == sum(len(mix) for mix in mixes)
+            for name in serial_bank.mix_names():
+                assert pooled[name].intervals == serial_bank[name].intervals
+                assert pooled[name].result == serial_bank[name].result
+        finally:
+            store.close()
+
+    def test_threads_mode_matches_serial_bank(self):
+        mixes = _mixes()
+        serial_bank = run_mix_sweep(mixes, _SPEC)
+        threaded = run_mix_sweep(mixes, _SPEC, max_workers=2,
+                                 parallel="threads")
+        for name in serial_bank.mix_names():
+            assert threaded[name].intervals == serial_bank[name].intervals
+            assert threaded[name].result == serial_bank[name].result
+
+    def test_handle_run_matches_regeneration(self):
+        """The legacy no-handle worker path and the handle-attaching path
+        execute the same records (the regression guard for the old
+        regenerate-per-worker behaviour)."""
+        from repro.sim.mixsweep import _mix_handles, _run_one_mix
+        from repro.workloads import TraceStore
+
+        mix = _mixes(n=1)[0]
+        regenerated = _run_one_mix(_SPEC, mix)
+        with TraceStore() as store:
+            attached = _run_one_mix(_SPEC, mix,
+                                    _mix_handles(store, _SPEC, mix))
+        assert attached.intervals == regenerated.intervals
+        assert attached.result == regenerated.result
 
     def test_subset_matches_full_sweep(self):
         """Per-mix seeding depends on the mix identity, not the sweep

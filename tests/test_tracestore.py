@@ -1,0 +1,120 @@
+"""Tests for the zero-copy shared trace store."""
+
+from __future__ import annotations
+
+import pickle
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.workloads import Trace, TraceStore
+from repro.workloads.spec_profiles import get_profile
+from repro.workloads.tracestore import TRACE_BACKINGS
+
+
+class TestContentAddressing:
+    def test_get_generates_once_and_dedups(self):
+        with TraceStore() as store:
+            profile = get_profile("mcf")
+            first = store.get(profile, 4000, seed=42)
+            again = store.get(profile, 4000, seed=42)
+            assert first is again
+            assert len(store) == 1
+            other = store.get(profile, 4000, seed=43)
+            assert other is not first
+            assert len(store) == 2
+
+    def test_attached_trace_matches_generation(self):
+        with TraceStore() as store:
+            profile = get_profile("omnetpp")
+            handle = store.get(profile, 3000, seed=7)
+            attached = handle.attach()
+            reference = profile.trace(n_accesses=3000, seed=7)
+            assert np.array_equal(attached.addresses, reference.addresses)
+            assert attached.instructions == reference.instructions
+
+    def test_put_dedups_by_content(self):
+        with TraceStore() as store:
+            addrs = np.arange(1000, dtype=np.int64)
+            one = store.put(addrs)
+            two = store.put(addrs.copy())
+            assert one is two
+            assert np.array_equal(one.array(), addrs)
+
+    def test_put_trace_keeps_instructions(self):
+        with TraceStore() as store:
+            trace = Trace(np.arange(100, dtype=np.int64), 5000, name="t")
+            handle = store.put(trace)
+            assert handle.attach().instructions == 5000
+            assert handle.attach().name == "t"
+
+
+class TestBackings:
+    @pytest.mark.parametrize("backing", ["memory", "memmap"])
+    def test_roundtrip(self, backing):
+        with TraceStore(backing=backing) as store:
+            addrs = np.arange(2048, dtype=np.int64) * 3
+            handle = store.put(addrs)
+            assert np.array_equal(handle.array(), addrs)
+
+    @pytest.mark.skipif(sys.version_info < (3, 13),
+                        reason="pre-3.13 shared_memory attachment is "
+                               "resource-tracker-noisy across processes")
+    def test_shared_memory_roundtrip(self):
+        with TraceStore(backing="shared_memory") as store:
+            addrs = np.arange(512, dtype=np.int64)
+            handle = store.put(addrs)
+            assert np.array_equal(handle.array(), addrs)
+
+    def test_auto_resolves_to_memmap(self):
+        with TraceStore() as store:
+            assert store.backing == "memmap"
+
+    def test_unknown_backing_rejected(self):
+        with pytest.raises(ValueError, match="backing"):
+            TraceStore(backing="gpu")
+        assert "auto" in TRACE_BACKINGS
+
+    def test_memmap_handle_pickles_without_data(self):
+        """The whole point of a handle: what crosses the pool IPC is a
+        path, not the address array."""
+        with TraceStore() as store:
+            addrs = np.arange(100_000, dtype=np.int64)
+            handle = store.put(addrs)
+            wire = pickle.dumps(handle)
+            assert len(wire) < 2000
+            assert np.array_equal(pickle.loads(wire).array(), addrs)
+
+    def test_memmap_attachment_is_readonly(self):
+        with TraceStore() as store:
+            handle = store.put(np.arange(16, dtype=np.int64))
+            view = handle.array()
+            with pytest.raises((ValueError, TypeError)):
+                view[0] = 99
+
+
+class TestOwnership:
+    def test_close_removes_backing_files(self):
+        store = TraceStore()
+        handle = store.put(np.arange(64, dtype=np.int64))
+        path = Path(handle.location)
+        assert path.exists()
+        store.close()
+        assert not path.exists()
+        with pytest.raises(RuntimeError, match="closed"):
+            store.put(np.arange(4, dtype=np.int64))
+
+    def test_close_is_idempotent(self):
+        store = TraceStore()
+        store.close()
+        store.close()
+
+    def test_explicit_directory_left_in_place(self, tmp_path):
+        target = tmp_path / "bank"
+        store = TraceStore(directory=target)
+        handle = store.put(np.arange(8, dtype=np.int64))
+        store.close()
+        assert target.exists()
+        assert not Path(handle.location).exists()
