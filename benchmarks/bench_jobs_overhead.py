@@ -1,0 +1,94 @@
+"""Supervision overhead: the fault-tolerant runtime vs the in-process path.
+
+The job runtime (:mod:`repro.jobs`) buys crash isolation, watchdogs,
+retry and a durable result bank — by running every attempt in a fresh
+supervised process and banking every completed unit.  This benchmark
+prices that insurance on a policy/size sweep driven three ways:
+
+* **in-process** — plain :func:`~repro.sim.sweep.run_sweep`;
+* **supervised, cold** — ``supervise=True`` against an empty bank
+  (process spawn + heartbeats + per-config bank writes);
+* **supervised, warm** — the same submission again, now satisfied
+  entirely from the bank (the resume/dedupe path).
+
+and asserts the acceptance criteria:
+
+* all three produce **bit-identical** per-config counters;
+* the warm resubmission is faster than the cold supervised run — the
+  bank actually short-circuits the simulation.
+
+Timings land in ``benchmarks/out/jobs_overhead.json`` (override with
+``REPRO_BENCH_JSON_JOBS``); the JSON schema is documented in
+``docs/BENCHMARKS.md``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchlib import bench_json_path, write_bench_json
+from repro.experiments.common import fast_mode, trace_length
+from repro.sim.sweep import SweepSpec, run_sweep
+from repro.workloads.spec_profiles import get_profile
+
+
+def _sweep_shape() -> tuple[int, tuple[float, ...]]:
+    if fast_mode():
+        return trace_length(fast=30_000), (0.5, 1.0, 2.0)
+    return trace_length(full=100_000), (0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def _signature(result) -> dict:
+    return {key: (s.accesses, s.hits, s.misses, s.bypasses)
+            for key, s in result.stats.items()}
+
+
+def test_supervision_overhead(tmp_path, capsys):
+    accesses, sizes = _sweep_shape()
+    trace = get_profile("mcf").trace(n_accesses=accesses, seed=7)
+    spec = SweepSpec(policies=("LRU", "DRRIP"), sizes_mb=sizes)
+    bank = tmp_path / "bank"
+
+    t0 = time.perf_counter()
+    direct = run_sweep(trace, spec)
+    t_direct = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    cold = run_sweep(trace, spec, supervise=True, bank=bank,
+                     max_workers=2)
+    t_cold = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = run_sweep(trace, spec, supervise=True, bank=bank,
+                     max_workers=2)
+    t_warm = time.perf_counter() - t0
+
+    overhead = t_cold / t_direct if t_direct > 0 else float("inf")
+    write_bench_json(
+        bench_json_path("jobs_overhead.json", "REPRO_BENCH_JSON_JOBS"),
+        "supervised_sweep",
+        {"in_process_s": t_direct, "supervised_cold_s": t_cold,
+         "supervised_warm_s": t_warm, "cold_overhead": overhead,
+         "configs": len(direct.stats), "accesses": accesses},
+        meta={"policies": list(spec.policies), "sizes_mb": list(sizes)})
+
+    with capsys.disabled():
+        print()
+        print(f"== supervised sweep overhead ({len(direct.stats)} configs "
+              f"x {accesses} accesses) ==")
+        print(f"  in-process          : {t_direct * 1000:8.1f} ms")
+        print(f"  supervised (cold)   : {t_cold * 1000:8.1f} ms "
+              f"({overhead:.2f}x)")
+        print(f"  supervised (warm)   : {t_warm * 1000:8.1f} ms "
+              f"(bank hit)")
+
+    assert _signature(direct) == _signature(cold) == _signature(warm), \
+        "supervision must change nothing but the wall clock"
+    if t_cold <= 0.01:
+        pytest.skip("run too fast to compare warm vs cold meaningfully")
+    assert t_warm < t_cold, (
+        f"warm resubmission ({t_warm * 1000:.1f} ms) not faster than the "
+        f"cold supervised run ({t_cold * 1000:.1f} ms): the bank is not "
+        f"short-circuiting")

@@ -5,7 +5,9 @@ Every ``bench_*_speedup.py`` records machine-readable timings under
 as an artifact).  The read-merge-write cycle lives here so the banks all
 share one schema convention: one entry per measured configuration plus a
 ``meta`` block carrying the benchmark's scale parameters, whether the
-native kernel was available, and a timestamp.
+native kernel was available, and a timestamp.  Writes go through
+:func:`repro.core.atomicio.atomic_write_json`, so a benchmark killed
+mid-write (CI timeout, OOM) never truncates the accumulated bank.
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ import time
 from pathlib import Path
 
 from repro.cache._native import native_available, resolve_threads
+from repro.core.atomicio import atomic_write_json
 
 #: Directory the benchmark JSON banks land in (gitignored; uploaded by CI).
 OUT_DIR = Path(__file__).parent / "out"
@@ -36,7 +39,7 @@ def write_bench_json(path: Path, key: str, payload: dict,
     native-kernel flag, the host's core count and resolved thread width
     (``REPRO_THREADS``-aware), and a timestamp on every write.
     """
-    path.parent.mkdir(parents=True, exist_ok=True)
+    path = Path(path)
     data = {}
     if path.exists():
         try:
@@ -48,4 +51,4 @@ def write_bench_json(path: Path, key: str, payload: dict,
                     "cpu_count": os.cpu_count() or 1,
                     "threads": resolve_threads(),
                     "timestamp": time.time()}
-    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    atomic_write_json(path, data)

@@ -29,7 +29,8 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["get_kernel", "native_available", "NativeKernel", "BatchTask",
+__all__ = ["get_kernel", "native_available", "disable_native",
+           "NativeKernel", "BatchTask",
            "resolve_threads",
            "KIND_LRU", "KIND_RRIP", "KIND_DIP", "KIND_PDP", "KIND_RANDOM",
            "KIND_PART_LRU", "KIND_PART_SRRIP", "KIND_VANTAGE"]
@@ -494,3 +495,23 @@ def get_kernel() -> NativeKernel | None:
 def native_available() -> bool:
     """Whether the native replay kernels can be used."""
     return get_kernel() is not None
+
+
+def disable_native() -> None:
+    """Force the pure-Python fallback for the rest of this process.
+
+    The supervised job runtime's degradation ladder calls this in a
+    worker that is retrying a job after a native-kernel fault (SIGSEGV,
+    OOM kill, compiler breakage): it drops any already-loaded kernel,
+    pins the process-lifetime build cache to "unavailable", and sets
+    ``REPRO_NATIVE=0`` so grandchild processes degrade too.  Every
+    kernel lookup happens through :func:`get_kernel` at use time, so the
+    switch takes effect immediately regardless of how the worker was
+    started (fork inherits the parent's cached kernel; spawn would
+    rebuild it).  There is deliberately no ``enable_native`` inverse —
+    a degraded worker stays degraded for its lifetime.
+    """
+    global _kernel, _kernel_tried
+    os.environ["REPRO_NATIVE"] = "0"
+    _kernel = None
+    _kernel_tried = True

@@ -13,10 +13,14 @@ from .convexity import Cliff, convexity_gap, find_cliffs, total_convexity_gap
 from .misscurve import MissCurve
 from .sampling import (emulated_size, sampled_miss_curve, sampled_miss_value,
                        shadow_miss_rate)
+from .atomicio import atomic_write_bytes, atomic_write_json, atomic_write_text
 from .talus import (DEFAULT_SAFETY_MARGIN, TalusConfig, convexified_curve,
                     plan_shadow_partitions, predicted_miss, talus_miss_curve)
 
 __all__ = [
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
     "MissCurve",
     "convex_hull",
     "lower_convex_hull_points",

@@ -1,0 +1,72 @@
+"""Atomic file writes for every persistent result artifact.
+
+JSON result banks (:meth:`repro.sim.mixsweep.MixSweepResult.save_json`,
+the benchmark timing banks, the job runtime's :class:`~repro.jobs.bank.
+ResultBank`) are written by long-running sweeps that can be interrupted at
+any moment — a ``KeyboardInterrupt``, an OOM-killed worker, a CI timeout.
+A plain ``write_text`` interrupted mid-call leaves a torn file that later
+readers crash on; these helpers write through a temporary file in the
+*same directory* followed by :func:`os.replace`, which POSIX (and Windows,
+for same-volume renames) guarantees to be atomic: readers observe either
+the complete old contents or the complete new contents, never a prefix.
+
+``fsync`` before the rename makes the contents durable against power loss
+as well as process death; it costs one syscall per write and is on by
+default because every caller here writes results worth keeping.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_text", "atomic_write_bytes", "atomic_write_json"]
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes,
+                       fsync: bool = True) -> Path:
+    """Atomically replace ``path``'s contents with ``data``.
+
+    The temporary file lives next to the target (``os.replace`` must not
+    cross filesystems) and is cleaned up if the write itself fails, so an
+    interrupted call leaves the target untouched.  Parent directories are
+    created as needed.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: str | os.PathLike, text: str,
+                      fsync: bool = True) -> Path:
+    """Atomically replace ``path``'s contents with ``text`` (UTF-8)."""
+    return atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)
+
+
+def atomic_write_json(path: str | os.PathLike, payload,
+                      indent: int | None = 2, sort_keys: bool = True,
+                      fsync: bool = True) -> Path:
+    """Atomically serialize ``payload`` as JSON to ``path``.
+
+    The serialization happens *before* the file is touched, so a payload
+    that is not JSON-able leaves the existing file intact.
+    """
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n"
+    return atomic_write_text(path, text, fsync=fsync)

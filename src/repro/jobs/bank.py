@@ -1,0 +1,189 @@
+"""Persistent content-addressed result bank.
+
+One directory, one JSON file per result, addressed by the canonical job
+key (:mod:`repro.jobs.keys`).  The bank is the durability layer of the
+job runtime: identical submissions dedupe to one simulation, interrupted
+sweeps resume by skipping already-banked units, and a supervised worker
+killed mid-job loses only the unit it was computing.
+
+Three properties make that safe:
+
+* **Atomic writes** — every entry lands via a temp file plus
+  ``os.replace`` (:mod:`repro.core.atomicio`), so a reader never sees a
+  torn entry and concurrent writers of the *same* key (two workers
+  racing on a deduped unit) both write identical bytes; last rename
+  wins harmlessly.
+* **Integrity digests** — each entry embeds a sha256 over its canonical
+  payload; :meth:`ResultBank.get` verifies it on every read.  A corrupt
+  entry (bit rot, a partial copy, a tampered file) is *evicted* — moved
+  aside as ``<key>.corrupt`` — and reported as a miss, never crashed
+  on: the job simply re-runs.
+* **Keyed by code version** — the job key already folds in
+  :func:`~repro.jobs.keys.code_version`, so entries from older code
+  become unreachable rather than wrong.
+
+Observability follows the SNIPPETS ``CacheRegistry`` idiom: the bank
+counts hits, misses, writes and evictions, and :meth:`stats` exposes
+them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..core.atomicio import atomic_write_json
+from .keys import canonical_digest
+
+__all__ = ["ResultBank", "DEFAULT_BANK_ENV"]
+
+#: Environment variable naming the default bank directory for the CLI.
+DEFAULT_BANK_ENV = "REPRO_JOB_BANK"
+
+_ENTRY_SUFFIX = ".json"
+_CORRUPT_SUFFIX = ".corrupt"
+
+
+class ResultBank:
+    """Directory-backed store of job results, one JSON entry per key.
+
+    Parameters
+    ----------
+    directory:
+        Root of the bank.  Created on first write.  Entries shard into
+        256 two-hex-digit subdirectories so huge banks stay listable.
+
+    The bank is safe to share between processes: entries are immutable
+    once written (same key -> same canonical content) and all writes are
+    atomic.
+    """
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    def _path(self, key: str) -> Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed bank key {key!r} (expect lowercase "
+                             f"hex from repro.jobs.keys.job_key)")
+        return self.directory / key[:2] / (key + _ENTRY_SUFFIX)
+
+    @staticmethod
+    def _digest(payload, meta) -> str:
+        return canonical_digest({"payload": payload, "meta": meta})
+
+    # ------------------------------------------------------------------ #
+    def put(self, key: str, payload, meta: dict | None = None) -> Path:
+        """Bank ``payload`` (a JSON-able value) under ``key``.
+
+        ``meta`` carries provenance the payload itself should not:
+        degradation flags, attempt counts, timings.  The write is atomic
+        and includes the integrity digest verified by :meth:`get`.
+        """
+        meta = dict(meta or {})
+        entry = {"key": key, "payload": payload, "meta": meta,
+                 "digest": self._digest(payload, meta)}
+        path = atomic_write_json(self._path(key), entry)
+        self.writes += 1
+        return path
+
+    def get(self, key: str, with_meta: bool = False):
+        """The banked payload for ``key``, or ``None`` on a miss.
+
+        A present-but-corrupt entry (unparseable JSON, digest mismatch,
+        wrong embedded key) counts as a miss *and* is evicted: the bad
+        file is renamed to ``<key>.corrupt`` so the next writer starts
+        clean and the evidence survives for inspection.
+        """
+        path = self._path(key)
+        try:
+            raw = path.read_text()
+        except (FileNotFoundError, OSError):
+            self.misses += 1
+            return None
+        try:
+            entry = json.loads(raw)
+            ok = (isinstance(entry, dict) and entry.get("key") == key
+                  and entry.get("digest") == self._digest(
+                      entry.get("payload"), entry.get("meta", {})))
+        except (json.JSONDecodeError, TypeError, ValueError):
+            ok = False
+        if not ok:
+            self._evict(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        if with_meta:
+            return entry["payload"], entry.get("meta", {})
+        return entry["payload"]
+
+    def __contains__(self, key: str) -> bool:
+        """Whether a *valid* entry exists (corrupt entries are evicted)."""
+        hits, misses = self.hits, self.misses
+        found = self.get(key) is not None
+        # Probing for membership is not a serving hit/miss.
+        self.hits, self.misses = hits, misses
+        return found
+
+    def delete(self, key: str) -> bool:
+        """Remove one entry; returns whether it existed."""
+        try:
+            self._path(key).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    # ------------------------------------------------------------------ #
+    def _evict(self, path: Path) -> None:
+        try:
+            os.replace(path, path.with_suffix(_CORRUPT_SUFFIX))
+        except OSError:
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+        self.evictions += 1
+
+    def keys(self) -> list[str]:
+        """Keys of all present entries (validity not checked)."""
+        if not self.directory.exists():
+            return []
+        return sorted(p.stem for p in
+                      self.directory.glob("??/*" + _ENTRY_SUFFIX))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def gc(self) -> dict:
+        """Verify every entry; evict the corrupt ones.
+
+        Returns a report ``{"checked": n, "evicted": [keys...]}`` — the
+        CLI's ``gc`` command prints it.  Also clears leftover
+        ``*.corrupt`` carcasses older than one prior sweep.
+        """
+        evicted = []
+        checked = 0
+        for key in self.keys():
+            checked += 1
+            before = self.evictions
+            self.get(key)
+            if self.evictions > before:
+                evicted.append(key)
+        return {"checked": checked, "evicted": evicted}
+
+    def stats(self) -> dict:
+        """Hit/miss/write/eviction counters plus the current size."""
+        lookups = self.hits + self.misses
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes, "evictions": self.evictions,
+                "entries": len(self),
+                "hit_rate": self.hits / lookups if lookups else 0.0}
+
+    def __repr__(self) -> str:
+        return (f"ResultBank({str(self.directory)!r}, entries={len(self)}, "
+                f"hits={self.hits}, misses={self.misses})")

@@ -1,0 +1,162 @@
+"""Supervised counterparts of the top-level sim drivers.
+
+These are what ``run_sweep(..., supervise=True)``,
+``run_mix_sweep(..., supervise=True)`` and
+``ReconfiguringSharedRun(supervise=True)`` delegate to.  Each one maps
+the driver's inputs onto job payloads, runs them through a
+:class:`~repro.jobs.queue.JobQueue`, and reassembles the driver's normal
+result type — bit-identical to the unsupervised path, because every
+per-unit seed in this codebase is a stable function of the unit's
+identity, never of its position in a batch or of which worker ran it.
+
+Fault-injection hooks (``faults=``) take a mapping from unit index (or
+mix name) to a :class:`~repro.jobs.faults.FaultPlan`; they exist for the
+fault suite and for operators who want to drill recovery paths, and are
+excluded from job keys so a faulted run banks under the same address as
+a clean one.
+"""
+
+from __future__ import annotations
+
+from .bank import ResultBank
+from .payloads import MixSweepJob, SweepJob, as_trace_source
+from .queue import JobQueue, RetryPolicy
+
+__all__ = ["run_sweep_supervised", "run_mix_sweep_supervised",
+           "run_shared_supervised", "supervised_queue"]
+
+
+def supervised_queue(bank=None, *, max_workers: int = 2,
+                     job_timeout: float | None = 600.0,
+                     heartbeat_timeout: float = 30.0,
+                     retry: RetryPolicy | None = None,
+                     start_method: str | None = None) -> JobQueue:
+    """A :class:`JobQueue` with the drivers' defaults applied."""
+    return JobQueue(bank, max_workers=max_workers, job_timeout=job_timeout,
+                    heartbeat_timeout=heartbeat_timeout, retry=retry,
+                    start_method=start_method)
+
+
+def _split(items, shards: int) -> list[list]:
+    """Deal ``items`` round-robin into at most ``shards`` groups."""
+    shards = max(1, min(shards, len(items)))
+    groups = [[] for _ in range(shards)]
+    for i, item in enumerate(items):
+        groups[i % shards].append(item)
+    return [g for g in groups if g]
+
+
+def run_sweep_supervised(trace, spec, *, backend: str = "auto",
+                         max_workers: int | None = None,
+                         bank: ResultBank | str | None = None,
+                         queue: JobQueue | None = None,
+                         job_timeout: float | None = 600.0,
+                         faults=None):
+    """Supervised :func:`~repro.sim.sweep.run_sweep`.
+
+    Configs are sharded round-robin across ``max_workers`` jobs; inside
+    each job the worker banks every completed config, so a crash costs
+    at most one config and a resubmission resumes from the bank.
+    Returns the usual :class:`~repro.sim.sweep.SweepResult`.
+    """
+    from ..sim.sweep import SweepResult, SweepSpec
+    if isinstance(spec, SweepSpec):
+        configs = list(spec.expand())
+        if backend == "auto":
+            backend = spec.backend
+        if max_workers is None:
+            max_workers = spec.max_workers
+    else:
+        configs = list(spec)
+    source = as_trace_source(trace)
+    workers = max_workers if max_workers is not None else 2
+    owns_queue = queue is None
+    if owns_queue:
+        queue = supervised_queue(bank, max_workers=workers,
+                                 job_timeout=job_timeout)
+    try:
+        jobs = []
+        for shard_index, shard in enumerate(_split(configs, workers)):
+            fault = None if faults is None else faults.get(shard_index)
+            jobs.append(queue.submit(SweepJob(
+                trace=source, configs=tuple(shard), backend=backend,
+                fault=fault)))
+        merged: dict = {}
+        instructions = 0
+        for job in jobs:
+            result = job.result()          # raises JobFailed on failure
+            merged.update(result.stats)
+            instructions = result.instructions or instructions
+        return SweepResult(merged, instructions=instructions)
+    finally:
+        if owns_queue:
+            queue.close()
+
+
+def run_mix_sweep_supervised(mixes, spec, *,
+                             bank: ResultBank | str | None = None,
+                             queue: JobQueue | None = None,
+                             max_workers: int | None = None,
+                             job_timeout: float | None = 1800.0,
+                             faults=None):
+    """Supervised :func:`~repro.sim.mixsweep.run_mix_sweep`.
+
+    One job per mix (the natural isolation unit of the closed loop);
+    each finished mix banks individually, so an interrupted sweep
+    resumes by skipping the mixes already in the bank.  Returns the
+    usual :class:`~repro.sim.mixsweep.MixSweepResult`.
+    """
+    from ..sim.mixsweep import MixSweepResult
+    mixes = list(mixes)
+    workers = max_workers if max_workers is not None \
+        else max(spec.max_workers, 1)
+    owns_queue = queue is None
+    if owns_queue:
+        queue = supervised_queue(bank, max_workers=workers,
+                                 job_timeout=job_timeout)
+    try:
+        jobs = []
+        for mix in mixes:
+            fault = None if faults is None else faults.get(mix.name)
+            jobs.append(queue.submit(MixSweepJob(spec=spec, mix=mix,
+                                                 fault=fault)))
+        records = [job.result() for job in jobs]
+        return MixSweepResult(spec, mixes, records)
+    finally:
+        if owns_queue:
+            queue.close()
+
+
+def run_shared_supervised(run, traces, *, bank=None,
+                          queue: JobQueue | None = None,
+                          job_timeout: float | None = 1800.0,
+                          fault=None):
+    """Run one :class:`~repro.sim.multicore.ReconfiguringSharedRun` in a
+    supervised worker; returns its interval records."""
+    from ..sim.mixsweep import ALGORITHMS
+    from .payloads import SharedRunJob
+    names = {id(fn): name for name, fn in ALGORITHMS.items()}
+    algorithm = names.get(id(run.algorithm))
+    if algorithm is None:
+        raise ValueError(
+            "supervise=True needs a registered partitioning algorithm "
+            f"({', '.join(sorted(ALGORITHMS))}); got "
+            f"{getattr(run.algorithm, '__name__', run.algorithm)!r}")
+    payload = SharedRunJob(
+        traces=tuple(as_trace_source(t) for t in traces),
+        total_mb=run.total_mb, scheme=run.scheme, algorithm=algorithm,
+        interval_accesses=run.interval_accesses,
+        safety_margin=run.safety_margin,
+        warmup_intervals=run.warmup_intervals,
+        monitor_points=run.monitor_points,
+        granularity_mb=run.granularity_mb, backend=run.backend,
+        fault=fault)
+    owns_queue = queue is None
+    if owns_queue:
+        queue = supervised_queue(bank, max_workers=1,
+                                 job_timeout=job_timeout)
+    try:
+        return queue.submit(payload).result()
+    finally:
+        if owns_queue:
+            queue.close()

@@ -1,0 +1,388 @@
+"""Job payloads: the work descriptions the supervised runtime executes.
+
+A payload is a frozen, picklable dataclass wrapping the repo's existing
+declarative specs (:class:`~repro.sim.sweep.SweepSpec` configs,
+:class:`~repro.sim.mixsweep.MixSweepSpec` mixes,
+:class:`~repro.cache.spec.CacheSpec` replays, whole
+:class:`~repro.sim.multicore.ReconfiguringSharedRun` scenarios) together
+with the *trace identity* the job runs against.  Payloads define three
+things:
+
+* their canonical identity (every ``compare=True`` field feeds
+  :func:`repro.jobs.keys.job_key` — fault plans and raw arrays are
+  ``compare=False`` and keyed by digest instead);
+* :meth:`execute`, which runs inside a supervised worker process,
+  heart-beats at unit boundaries through the :class:`JobContext`, banks
+  completed units so a killed worker loses at most one unit, and skips
+  units the bank already holds (this is what makes interrupted or
+  cancelled sweeps *resume*);
+* :meth:`load`, which turns the JSON-able result payload back into the
+  rich result object (:class:`~repro.sim.sweep.SweepResult`,
+  :class:`~repro.sim.mixsweep.MixRunRecord`, ...) on the submitting
+  side.  Floats survive the JSON round trip exactly (shortest-repr), so
+  a loaded result is bit-identical to a directly computed one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..cache.cache import CacheStats
+from ..cache.spec import CacheSpec, PartitionSpec, TalusSpec, build
+from ..workloads.access import Trace
+from .faults import FaultPlan
+from .keys import job_key
+
+__all__ = ["TraceRef", "InlineTrace", "as_trace_source", "JobContext",
+           "SweepJob", "MixSweepJob", "SharedRunJob", "CacheJob",
+           "stats_to_payload", "stats_from_payload"]
+
+
+# --------------------------------------------------------------------- #
+# Trace identity
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TraceRef:
+    """A trace identified by its generator: ``(profile, length, seed)``.
+
+    The worker regenerates the trace deterministically, so nothing but
+    three scalars crosses the process boundary — and the job key is a
+    function of the *identity*, not the (large) data.
+    """
+
+    profile: str
+    n_accesses: int
+    seed: int = 0
+
+    def materialize(self) -> Trace:
+        from ..workloads.spec_profiles import get_profile
+        return get_profile(self.profile).trace(
+            n_accesses=self.n_accesses, seed=self.seed)
+
+
+@dataclass(frozen=True)
+class InlineTrace:
+    """A concrete trace carried with the job, keyed by content digest.
+
+    For traces that do not come from a registered profile (externally
+    loaded, synthetic one-offs).  The address array itself is excluded
+    from comparison/keying — the sha256 ``digest`` stands for it — but is
+    shipped with the pickle so workers need no side channel.
+    """
+
+    digest: str
+    instructions: int
+    name: str
+    addresses: np.ndarray = field(compare=False, repr=False)
+
+    @classmethod
+    def from_trace(cls, trace: Trace | np.ndarray | Sequence[int]
+                   ) -> "InlineTrace":
+        if isinstance(trace, Trace):
+            addrs = np.ascontiguousarray(trace.addresses, dtype=np.int64)
+            instructions = trace.instructions
+            name = trace.name
+        else:
+            addrs = np.ascontiguousarray(np.asarray(trace, dtype=np.int64))
+            instructions = max(1, int(addrs.size))
+            name = "trace"
+        if addrs.ndim != 1:
+            raise ValueError("trace must be one-dimensional")
+        import hashlib
+        digest = hashlib.sha256(addrs.tobytes()).hexdigest()
+        return cls(digest=digest, instructions=int(instructions), name=name,
+                   addresses=addrs)
+
+    def materialize(self) -> Trace:
+        return Trace(self.addresses, self.instructions, name=self.name)
+
+
+def as_trace_source(trace) -> TraceRef | InlineTrace:
+    """Coerce any accepted trace argument into a keyable trace source."""
+    if isinstance(trace, (TraceRef, InlineTrace)):
+        return trace
+    return InlineTrace.from_trace(trace)
+
+
+# --------------------------------------------------------------------- #
+# Worker-side execution context
+# --------------------------------------------------------------------- #
+@dataclass
+class JobContext:
+    """What a payload sees while executing inside a worker.
+
+    ``beat()`` feeds the supervisor's watchdog; :meth:`unit` combines a
+    beat with the payload's fault-injection hook so deterministic fault
+    tests fire at exact unit boundaries.  ``bank`` (when the queue was
+    given one) is where completed units persist.
+    """
+
+    attempt: int = 0
+    degraded: bool = False
+    bank: object | None = None
+    beat: Callable[[], None] = lambda: None
+    fault: FaultPlan | None = None
+
+    def unit(self, stage: str, index: int) -> None:
+        """Mark a unit boundary: heartbeat, then any planned fault."""
+        self.beat()
+        if self.fault is not None:
+            self.fault.maybe_fire(stage, index, self.attempt, self.degraded)
+
+    def unit_meta(self) -> dict:
+        """Provenance recorded with every banked unit."""
+        return {"degraded": bool(self.degraded),
+                "attempt": int(self.attempt)}
+
+
+# --------------------------------------------------------------------- #
+# Stats serialization
+# --------------------------------------------------------------------- #
+def stats_to_payload(stats: CacheStats) -> dict:
+    """JSON-able form of a :class:`CacheStats` (counters + extra)."""
+    return {"accesses": stats.accesses, "hits": stats.hits,
+            "misses": stats.misses, "instructions": stats.instructions,
+            "bypasses": stats.bypasses, "extra": dict(stats.extra)}
+
+
+def stats_from_payload(payload: dict) -> CacheStats:
+    """Inverse of :func:`stats_to_payload`."""
+    return CacheStats(accesses=int(payload["accesses"]),
+                      hits=int(payload["hits"]),
+                      misses=int(payload["misses"]),
+                      instructions=int(payload.get("instructions", 0)),
+                      bypasses=int(payload.get("bypasses", 0)),
+                      extra=dict(payload.get("extra", {})))
+
+
+def _key_to_json(key):
+    """Sweep-config keys (tuples of plain values) as JSON."""
+    if isinstance(key, tuple):
+        return {"__tuple__": [_key_to_json(k) for k in key]}
+    return key
+
+
+def _key_from_json(key):
+    if isinstance(key, dict) and "__tuple__" in key:
+        return tuple(_key_from_json(k) for k in key["__tuple__"])
+    return key
+
+
+# --------------------------------------------------------------------- #
+# Payloads
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SweepJob:
+    """Replay a batch of sweep configs against one trace.
+
+    Executes config by config (the per-config seeds are stable functions
+    of the point itself, so any grouping is bit-identical to a serial
+    :func:`~repro.sim.sweep.run_sweep`), banking each config's stats
+    under its own content key as it completes.  A retried or resubmitted
+    job therefore *resumes*: banked configs are loaded, not re-run.
+    """
+
+    trace: TraceRef | InlineTrace
+    configs: tuple
+    backend: str = "auto"
+    fault: FaultPlan | None = field(default=None, compare=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "configs", tuple(self.configs))
+        for config in self.configs:
+            if getattr(config, "builder", None) is not None:
+                raise ValueError(
+                    "builder-based sweep configs cannot run supervised: "
+                    "their closures are not picklable/keyable; describe "
+                    "the point with spec= or (policy, size) instead")
+
+    @classmethod
+    def from_spec(cls, trace, spec, backend: str | None = None,
+                  fault: FaultPlan | None = None) -> "SweepJob":
+        """A job for a whole :class:`~repro.sim.sweep.SweepSpec` (or an
+        explicit config sequence)."""
+        from ..sim.sweep import SweepSpec
+        if isinstance(spec, SweepSpec):
+            configs = spec.expand()
+            backend = backend if backend is not None else spec.backend
+        else:
+            configs = tuple(spec)
+            backend = backend if backend is not None else "auto"
+        return cls(trace=as_trace_source(trace), configs=configs,
+                   backend=backend, fault=fault)
+
+    def unit_key(self, config) -> str:
+        """Bank key of one config's stats on this trace."""
+        return job_key({"unit": "sweep-config", "trace": self.trace,
+                        "config": config, "backend": self.backend})
+
+    def execute(self, ctx: JobContext) -> dict:
+        from ..sim.sweep import run_sweep
+        trace = self.trace.materialize()
+        units = []
+        banked_units = 0
+        for i, config in enumerate(self.configs):
+            ctx.unit("unit", i)
+            ukey = self.unit_key(config)
+            banked = ctx.bank.get(ukey) if ctx.bank is not None else None
+            if banked is not None:
+                banked_units += 1
+                stats = banked
+            else:
+                result = run_sweep(trace, (config,), backend=self.backend,
+                                   max_workers=1, parallel="processes")
+                stats = stats_to_payload(result[config.key])
+                if ctx.bank is not None:
+                    ctx.bank.put(ukey, stats, meta=ctx.unit_meta())
+            units.append({"key": _key_to_json(config.key), "stats": stats})
+        return {"units": units, "instructions": trace.instructions,
+                "banked_units": banked_units}
+
+    @staticmethod
+    def load(payload: dict):
+        """Rebuild the :class:`~repro.sim.sweep.SweepResult`."""
+        from ..sim.sweep import SweepResult
+        stats = {_key_from_json(unit["key"]):
+                 stats_from_payload(unit["stats"])
+                 for unit in payload["units"]}
+        return SweepResult(stats,
+                           instructions=int(payload.get("instructions", 0)))
+
+
+@dataclass(frozen=True)
+class MixSweepJob:
+    """Execute one mix of a multi-mix sweep through the closed Talus loop.
+
+    One job per mix is the sweep's natural fault-isolation unit: a mix's
+    applications share one cache and must advance together, so the whole
+    mix re-runs on failure — deterministically, thanks to the stable
+    per-mix trace seeding.
+    """
+
+    spec: object            # MixSweepSpec (frozen dataclass)
+    mix: object             # WorkloadMix (frozen dataclass)
+    fault: FaultPlan | None = field(default=None, compare=False)
+
+    def execute(self, ctx: JobContext) -> dict:
+        from ..sim.mixsweep import _run_one_mix
+        ctx.unit("unit", 0)
+        record = _run_one_mix(self.spec, self.mix)
+        ctx.beat()
+        return record.to_payload()
+
+    @staticmethod
+    def load(payload: dict):
+        """Rebuild the :class:`~repro.sim.mixsweep.MixRunRecord`."""
+        from ..sim.mixsweep import MixRunRecord
+        return MixRunRecord.from_payload(payload)
+
+
+@dataclass(frozen=True)
+class SharedRunJob:
+    """A whole :class:`~repro.sim.multicore.ReconfiguringSharedRun`.
+
+    The run's parameters travel as plain values (the algorithm by its
+    :data:`~repro.sim.mixsweep.ALGORITHMS` name); its traces as keyable
+    sources.  The payload is the interval records, from which the
+    submitting side reconstructs ``run.records`` bit-identically.
+    """
+
+    traces: tuple
+    total_mb: float
+    scheme: str = "ideal"
+    algorithm: str = "hill"
+    interval_accesses: int = 20_000
+    safety_margin: float = 0.05
+    warmup_intervals: int = 1
+    monitor_points: int = 33
+    granularity_mb: float | None = None
+    backend: str = "auto"
+    fault: FaultPlan | None = field(default=None, compare=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "traces",
+                           tuple(as_trace_source(t) for t in self.traces))
+        from ..sim.mixsweep import ALGORITHMS
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(f"unknown algorithm {self.algorithm!r}; valid "
+                             f"algorithms: {', '.join(sorted(ALGORITHMS))}")
+
+    def execute(self, ctx: JobContext) -> dict:
+        from ..sim.mixsweep import ALGORITHMS
+        from ..sim.multicore import ReconfiguringSharedRun
+        ctx.unit("unit", 0)
+        run = ReconfiguringSharedRun(
+            total_mb=self.total_mb, scheme=self.scheme,
+            algorithm=ALGORITHMS[self.algorithm],
+            interval_accesses=self.interval_accesses,
+            safety_margin=self.safety_margin,
+            warmup_intervals=self.warmup_intervals,
+            monitor_points=self.monitor_points,
+            granularity_mb=self.granularity_mb,
+            backend=self.backend)
+        records = run.run([t.materialize() for t in self.traces])
+        ctx.beat()
+        return {"records": [
+            {"index": r.index, "accesses": list(r.accesses),
+             "misses": list(r.misses),
+             "allocations_mb": list(r.allocations_mb)}
+            for r in records]}
+
+    @staticmethod
+    def load(payload: dict):
+        """Rebuild the list of interval records."""
+        from ..sim.multicore import SharedIntervalRecord
+        return [SharedIntervalRecord(
+                    index=int(r["index"]),
+                    accesses=tuple(int(a) for a in r["accesses"]),
+                    misses=tuple(int(m) for m in r["misses"]),
+                    allocations_mb=tuple(float(a)
+                                         for a in r["allocations_mb"]))
+                for r in payload["records"]]
+
+
+@dataclass(frozen=True)
+class CacheJob:
+    """Replay one trace through one declaratively specified cache."""
+
+    trace: TraceRef | InlineTrace
+    cache: object           # CacheSpec or TalusSpec
+    fault: FaultPlan | None = field(default=None, compare=False)
+
+    def __post_init__(self):
+        if isinstance(self.cache, PartitionSpec):
+            raise TypeError(
+                "a bare PartitionSpec needs a per-access partition stream; "
+                "submit a TalusSpec (which steers internally) or a "
+                "CacheSpec instead")
+        if not isinstance(self.cache, (CacheSpec, TalusSpec)):
+            raise TypeError(f"cache must be a CacheSpec or TalusSpec, got "
+                            f"{type(self.cache).__name__}")
+        object.__setattr__(self, "trace", as_trace_source(self.trace))
+
+    def execute(self, ctx: JobContext) -> dict:
+        ctx.unit("unit", 0)
+        trace = self.trace.materialize()
+        cache = build(self.cache)
+        if getattr(cache, "supports_batch_replay", False):
+            cache.run(trace.addresses)
+        else:
+            access = cache.access
+            for addr in trace.addresses.tolist():
+                access(addr)
+        ctx.beat()
+        stats = getattr(cache, "stats", None)
+        if not isinstance(stats, CacheStats):
+            stats = cache.logical_stats[0]
+        return {"stats": stats_to_payload(stats),
+                "instructions": trace.instructions}
+
+    @staticmethod
+    def load(payload: dict) -> CacheStats:
+        stats = stats_from_payload(payload["stats"])
+        if not stats.instructions:
+            stats.instructions = int(payload.get("instructions", 0))
+        return stats

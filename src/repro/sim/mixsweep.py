@@ -41,7 +41,6 @@ True
 
 from __future__ import annotations
 
-import json
 import zlib
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import asdict, dataclass
@@ -49,6 +48,7 @@ from pathlib import Path
 from typing import Dict, Sequence
 
 from ..cache.factory import BACKENDS
+from ..core.atomicio import atomic_write_json
 from ..cache.hashing import mix64
 from ..cache.partition import SCHEME_REGISTRY
 from ..cache.spec import PartitionSpec
@@ -179,16 +179,47 @@ class MixRunRecord:
         return {
             "mix": self.mix_name,
             "apps": list(self.app_names),
+            "scheme": self.result.scheme,
             "per_app": [
                 {"name": app.name, "allocation_mb": app.allocation_mb,
                  "mpki": app.mpki, "ipc": app.ipc}
                 for app in self.result.apps],
             "cov_ipc": self.result.cov_ipc,
             "intervals": [
-                {"accesses": list(r.accesses), "misses": list(r.misses),
+                {"index": r.index,
+                 "accesses": list(r.accesses), "misses": list(r.misses),
                  "allocations_mb": list(r.allocations_mb)}
                 for r in self.intervals],
         }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "MixRunRecord":
+        """Inverse of :meth:`to_payload`.
+
+        Exact: floats round-trip through JSON bit-identically (shortest
+        repr), so a record banked by a supervised worker reconstructs
+        equal to one computed in-process.  Tolerates pre-supervision
+        payloads that lack ``scheme``/interval ``index`` fields.
+        """
+        from .perf_model import AppPerformance
+        apps = tuple(AppPerformance(
+            name=entry["name"],
+            allocation_mb=float(entry["allocation_mb"]),
+            mpki=float(entry["mpki"]), ipc=float(entry["ipc"]))
+            for entry in payload["per_app"])
+        intervals = tuple(SharedIntervalRecord(
+            index=int(entry.get("index", i)),
+            accesses=tuple(int(a) for a in entry["accesses"]),
+            misses=tuple(int(m) for m in entry["misses"]),
+            allocations_mb=tuple(float(a)
+                                 for a in entry["allocations_mb"]))
+            for i, entry in enumerate(payload["intervals"]))
+        return cls(mix_name=payload["mix"],
+                   app_names=tuple(payload["apps"]),
+                   intervals=intervals,
+                   result=MixResult(
+                       scheme=payload.get("scheme", "talus-execution"),
+                       apps=apps))
 
 
 def _mix_handles(store: TraceStore, spec: MixSweepSpec,
@@ -343,19 +374,21 @@ class MixSweepResult:
         return payload
 
     def save_json(self, path, include_baselines: bool = True) -> Path:
-        """Write the result bank to ``path`` (parents created)."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_payload(include_baselines),
-                                   indent=2, sort_keys=True) + "\n")
-        return path
+        """Write the result bank to ``path`` (parents created).
+
+        The write is atomic (temp file + ``os.replace``): an interrupted
+        run never leaves a torn or truncated bank behind.
+        """
+        return atomic_write_json(path, self.to_payload(include_baselines))
 
 
 def run_mix_sweep(mixes: Sequence[WorkloadMix], spec: MixSweepSpec, *,
                   max_workers: int | None = None,
                   backend: str | None = None,
                   parallel: str | None = None,
-                  trace_store: TraceStore | None = None) -> MixSweepResult:
+                  trace_store: TraceStore | None = None,
+                  supervise: bool = False,
+                  bank=None) -> MixSweepResult:
     """Execute every mix of the sweep through the closed Talus loop.
 
     Each mix runs one :class:`~repro.sim.multicore.ReconfiguringSharedRun`
@@ -377,6 +410,12 @@ def run_mix_sweep(mixes: Sequence[WorkloadMix], spec: MixSweepSpec, *,
     ``max_workers``/``backend``/``parallel`` override the spec's values
     (the spec stays the single source of truth for everything the workers
     need, which is what makes it picklable).
+
+    ``supervise=True`` (default off, preserving the in-process fast
+    path) routes each mix through the fault-tolerant job runtime
+    (:mod:`repro.jobs`): supervised worker processes with watchdogs and
+    bounded retry, per-mix results banked in ``bank`` so interrupted
+    sweeps resume.  Results are bit-identical either way.
     """
     mixes = list(mixes)
     names = [mix.name for mix in mixes]
@@ -385,6 +424,10 @@ def run_mix_sweep(mixes: Sequence[WorkloadMix], spec: MixSweepSpec, *,
     if backend is not None and backend != spec.backend:
         from dataclasses import replace
         spec = replace(spec, backend=backend)
+    if supervise:
+        from ..jobs.drivers import run_mix_sweep_supervised
+        return run_mix_sweep_supervised(mixes, spec, bank=bank,
+                                        max_workers=max_workers)
     workers = max_workers if max_workers is not None else spec.max_workers
     mode = resolve_parallel(parallel if parallel is not None
                             else spec.parallel)

@@ -420,6 +420,14 @@ class ReconfiguringSharedRun:
     threads:
         Monitor-recording thread width (default: ``REPRO_THREADS`` or the
         host core count, capped at the application count).
+    supervise:
+        Route the whole run through the fault-tolerant job runtime
+        (:mod:`repro.jobs`): a supervised worker process with heartbeat
+        watchdog and bounded retry executes it, and the interval records
+        bank in ``bank`` for dedupe/resume.  Default off (in-process).
+        Requires ``algorithm`` to be one of the registered
+        :data:`~repro.sim.mixsweep.ALGORITHMS`.  Records are
+        bit-identical either way.
     """
 
     total_mb: float
@@ -433,6 +441,8 @@ class ReconfiguringSharedRun:
     backend: str = "auto"
     parallel: str = "auto"
     threads: int | None = None
+    supervise: bool = False
+    bank: object | None = None
     records: list[SharedIntervalRecord] = field(default_factory=list)
 
     def run(self, traces: Sequence[Trace]) -> list[SharedIntervalRecord]:
@@ -442,6 +452,13 @@ class ReconfiguringSharedRun:
         cache always consumes the chunks in the same order, and each UMON
         only ever touches its own application's state.
         """
+        if self.supervise:
+            # Late import: repro.jobs reaches back into the sim drivers.
+            from ..jobs.drivers import run_shared_supervised
+            self.records = list(run_shared_supervised(
+                self, traces, bank=self.bank))
+            self._traces = list(traces)
+            return self.records
         n = len(traces)
         if n == 0:
             raise ValueError("need at least one application trace")

@@ -377,7 +377,9 @@ def run_sweep(trace: Trace | np.ndarray | Sequence[int],
               max_workers: int | None = None,
               parallel: str | None = None,
               threads: int | None = None,
-              trace_store: TraceStore | None = None) -> SweepResult:
+              trace_store: TraceStore | None = None,
+              supervise: bool = False,
+              bank=None) -> SweepResult:
     """Simulate every config of ``spec`` against ``trace``.
 
     The trace is materialized once; all configs consume the same address
@@ -395,7 +397,20 @@ def run_sweep(trace: Trace | np.ndarray | Sequence[int],
     given).  Builder configs always run serially in-process because their
     closures may not be picklable.  Results are bit-identical regardless
     of the execution strategy.
+
+    ``supervise=True`` (default off, preserving the in-process fast
+    path) routes the sweep through the fault-tolerant job runtime
+    (:mod:`repro.jobs`): supervised worker processes with heartbeat
+    watchdogs and bounded retry, per-config results banked in ``bank``
+    so interrupted sweeps resume.  Builder configs are rejected there
+    (their closures are neither picklable nor content-addressable);
+    results are bit-identical to the in-process path.
     """
+    if supervise:
+        from ..jobs.drivers import run_sweep_supervised
+        return run_sweep_supervised(
+            trace, spec, backend=backend if backend is not None else "auto",
+            max_workers=max_workers, bank=bank)
     if isinstance(trace, Trace):
         addrs = np.ascontiguousarray(trace.addresses, dtype=np.int64)
         instructions = trace.instructions

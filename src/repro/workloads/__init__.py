@@ -9,7 +9,8 @@ from .scale import (LINE_SIZE_BYTES, LINES_PER_PAPER_MB, lines_to_paper_mb,
 from .spec_profiles import (FIG10_BENCHMARKS, FIG13_BENCHMARKS, AppProfile,
                             SPEC_PROFILES, get_profile,
                             memory_intensive_profiles, profile_names)
-from .tracestore import TRACE_BACKINGS, TraceHandle, TraceStore
+from .tracestore import (TRACE_BACKINGS, TraceBackingError,
+                         TraceHandle, TraceStore)
 
 __all__ = [
     "Trace",
@@ -38,5 +39,6 @@ __all__ = [
     "homogeneous_mix",
     "TraceStore",
     "TraceHandle",
+    "TraceBackingError",
     "TRACE_BACKINGS",
 ]

@@ -29,6 +29,19 @@ digest of their bytes.
 
 The store owns the backing storage: :meth:`close` (or exiting the context
 manager) unlinks every file/segment.  Handles never unlink anything.
+
+Abnormal-exit safety
+--------------------
+Backing cleanup does not rely on ``close`` being reached: every store
+registers a :func:`weakref.finalize` finalizer (which the interpreter also
+runs at exit, like ``atexit``) releasing its segments and files when the
+store is garbage-collected or the process ends normally.  A process killed
+by a signal runs no finalizers, so owned memmap directories additionally
+carry an ``owner.pid`` marker and :meth:`TraceStore.gc_stale` sweeps
+orphaned ``repro-traces-*`` directories whose owning process is gone —
+the job runtime's ``gc`` command calls it.  Attaching a handle whose
+backing has vanished raises :class:`TraceBackingError` with the likely
+cause instead of a bare ``FileNotFoundError`` from deep inside numpy.
 """
 
 from __future__ import annotations
@@ -37,6 +50,7 @@ import hashlib
 import os
 import shutil
 import tempfile
+import weakref
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -44,10 +58,88 @@ import numpy as np
 
 from .access import Trace
 
-__all__ = ["TraceStore", "TraceHandle", "TRACE_BACKINGS"]
+__all__ = ["TraceStore", "TraceHandle", "TraceBackingError",
+           "TRACE_BACKINGS"]
 
 #: Backings a :class:`TraceStore` supports ("auto" resolves to "memmap").
 TRACE_BACKINGS = ("auto", "memory", "memmap", "shared_memory")
+
+#: Prefix of the private temporary directories owned memmap backings live
+#: in; :meth:`TraceStore.gc_stale` only ever touches directories matching
+#: this prefix (and only with a dead or missing ``owner.pid``).
+_TRACE_DIR_PREFIX = "repro-traces-"
+
+#: Name of the owning-process marker file inside an owned backing
+#: directory.
+_PID_MARKER = "owner.pid"
+
+
+class TraceBackingError(RuntimeError):
+    """An attachment's backing storage is gone.
+
+    Raised by :meth:`TraceHandle.attach`/:meth:`TraceHandle.array` when
+    the memmap file or shared-memory segment behind a handle no longer
+    exists — the owning :class:`TraceStore` was closed or garbage
+    collected, the process that owned it died and a :meth:`TraceStore.
+    gc_stale` sweep reclaimed the directory, or the handle outlived a
+    ``with TraceStore() as store:`` block.
+    """
+
+
+def _backing_missing(handle: "TraceHandle",
+                     truncated: bool = False) -> TraceBackingError:
+    what = ("has been truncated below its recorded length"
+            if truncated else "has vanished")
+    return TraceBackingError(
+        f"trace backing for {handle.name!r} {what} "
+        f"({handle.backing} at {handle.location!r}).  The owning "
+        f"TraceStore was closed, garbage-collected, or reclaimed by "
+        f"TraceStore.gc_stale(); keep the store open for the lifetime of "
+        f"every handle, or re-materialize the trace with store.put()/"
+        f"store.get().")
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with this pid exists (best effort)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return True
+    return True
+
+
+def _cleanup_backings(segments: list, directory: Path | None, own_dir: bool,
+                      owned_paths: list) -> None:
+    """Release a store's backing storage (finalizer-safe module function).
+
+    Runs from :meth:`TraceStore.close`, from the ``weakref.finalize``
+    finalizer when a store is garbage collected, and at interpreter exit —
+    it must therefore hold no reference to the store itself and tolerate
+    storage that is already gone.
+    """
+    for shm in segments:
+        try:
+            shm.close()
+            shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+    segments.clear()
+    if directory is not None:
+        if own_dir:
+            shutil.rmtree(directory, ignore_errors=True)
+        else:
+            for path in owned_paths:
+                try:
+                    Path(path).unlink(missing_ok=True)
+                except OSError:
+                    pass
+    owned_paths.clear()
 
 
 @dataclass(frozen=True)
@@ -74,15 +166,30 @@ class TraceHandle:
         if self.backing == "memmap":
             if self.length == 0:
                 return np.zeros(0, dtype=np.int64)
-            return np.memmap(self.location, dtype=np.int64, mode="r",
-                             shape=(self.length,))
+            try:
+                return np.memmap(self.location, dtype=np.int64, mode="r",
+                                 shape=(self.length,))
+            except (FileNotFoundError, ValueError) as exc:
+                # ValueError covers a truncated file (mmap smaller than
+                # the recorded shape) — same root cause, same remedy.
+                path = Path(self.location)
+                if isinstance(exc, ValueError):
+                    if path.exists() \
+                            and path.stat().st_size >= 8 * self.length:
+                        raise
+                    raise _backing_missing(
+                        self, truncated=path.exists()) from exc
+                raise _backing_missing(self) from exc
         if self.backing == "shared_memory":
             return self._attach_shm()[0]
         raise ValueError(f"unknown trace backing {self.backing!r}")
 
     def _attach_shm(self):
         from multiprocessing import shared_memory
-        shm = shared_memory.SharedMemory(name=self.location)
+        try:
+            shm = shared_memory.SharedMemory(name=self.location)
+        except FileNotFoundError as exc:
+            raise _backing_missing(self) from exc
         addrs = np.ndarray((self.length,), dtype=np.int64,
                            buffer=shm.buf)
         addrs.flags.writeable = False
@@ -124,16 +231,26 @@ class TraceStore:
         self.backing = "memmap" if backing == "auto" else backing
         self._handles: dict[str, TraceHandle] = {}
         self._segments: list = []
+        self._owned_paths: list = []
         self._own_dir = False
         self._dir: Path | None = None
         if self.backing == "memmap":
             if directory is None:
-                self._dir = Path(tempfile.mkdtemp(prefix="repro-traces-"))
+                self._dir = Path(tempfile.mkdtemp(prefix=_TRACE_DIR_PREFIX))
                 self._own_dir = True
+                # Ownership marker: gc_stale() reclaims this directory
+                # only once this process is gone (finalizers never ran).
+                (self._dir / _PID_MARKER).write_text(f"{os.getpid()}\n")
             else:
                 self._dir = Path(directory)
                 self._dir.mkdir(parents=True, exist_ok=True)
         self._closed = False
+        # Runs on close(), on garbage collection, and at interpreter exit
+        # (weakref.finalize registers itself with atexit) — whichever
+        # comes first; the others become no-ops.
+        self._finalizer = weakref.finalize(
+            self, _cleanup_backings, self._segments,
+            self._dir, self._own_dir, self._owned_paths)
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -210,6 +327,7 @@ class TraceStore:
             tmp = self._dir / (fname + ".tmp")
             addrs.tofile(tmp)
             os.replace(tmp, path)  # atomic: attachers never see a partial
+            self._owned_paths.append(str(path))
             return TraceHandle(backing="memmap", location=str(path), **meta)
         from multiprocessing import shared_memory
         shm = shared_memory.SharedMemory(
@@ -225,25 +343,54 @@ class TraceStore:
             raise RuntimeError("TraceStore is closed")
 
     def close(self) -> None:
-        """Release all backing storage (files/segments are unlinked)."""
+        """Release all backing storage (files/segments are unlinked).
+
+        Closing is idempotent, and the same cleanup runs automatically
+        when the store is garbage collected or the interpreter exits, so
+        a sweep aborted by an exception does not leak its backings.
+        """
         if self._closed:
             return
         self._closed = True
-        for shm in self._segments:
-            try:
-                shm.close()
-                shm.unlink()
-            except (FileNotFoundError, OSError):
-                pass
-        self._segments = []
-        if self._dir is not None:
-            if self._own_dir:
-                shutil.rmtree(self._dir, ignore_errors=True)
-            else:
-                for handle in self._handles.values():
-                    if handle.backing == "memmap":
-                        Path(handle.location).unlink(missing_ok=True)
+        self._finalizer()
         self._handles = {}
+
+    @classmethod
+    def gc_stale(cls, root: str | os.PathLike | None = None) -> list[Path]:
+        """Remove orphaned backing directories of dead processes.
+
+        A worker killed by a signal (the supervised job runtime's SIGKILL
+        fault class, an OOM kill, a machine crash) runs no finalizers and
+        leaves its ``repro-traces-*`` directory behind.  This sweeps
+        ``root`` (default: the system temporary directory) for such
+        directories whose ``owner.pid`` marker names a process that no
+        longer exists — directories of live stores are left alone — and
+        returns the paths it removed.  Safe to call from any process at
+        any time; the job CLI's ``gc`` command does.
+        """
+        root = Path(root if root is not None else tempfile.gettempdir())
+        removed = []
+        try:
+            candidates = sorted(root.glob(_TRACE_DIR_PREFIX + "*"))
+        except OSError:
+            return removed
+        for candidate in candidates:
+            if not candidate.is_dir():
+                continue
+            marker = candidate / _PID_MARKER
+            try:
+                pid = int(marker.read_text().strip())
+            except (FileNotFoundError, ValueError, OSError):
+                # No readable marker: a pre-marker store or a directory
+                # torn down mid-create.  Either way no live store can be
+                # serving handles from it once its creator is gone, but
+                # without a pid we cannot tell — leave it alone.
+                continue
+            if _pid_alive(pid):
+                continue
+            shutil.rmtree(candidate, ignore_errors=True)
+            removed.append(candidate)
+        return removed
 
     def __repr__(self) -> str:
         return (f"TraceStore(backing={self.backing!r}, "

@@ -1,0 +1,249 @@
+"""Unit tests for the job runtime: keys, bank, queue, payloads, CLI."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.jobs import (CacheJob, FaultPlan, InlineTrace, JobQueue, JobState,
+                        MixSweepJob, ResultBank, RetryPolicy, SweepJob,
+                        TraceRef, as_trace_source, canonical_json,
+                        code_version, job_key, run_mix_sweep_supervised)
+from repro.jobs.cli import main as cli_main
+from tests.faults import fault_queue, small_spec, small_trace
+
+
+class TestKeys:
+    def test_canonical_json_is_order_insensitive(self):
+        assert canonical_json({"b": 1, "a": (1, 2)}) == \
+            canonical_json({"a": [1, 2], "b": 1})
+
+    def test_numpy_scalars_reduce_to_plain_numbers(self):
+        assert canonical_json({"x": np.int64(3)}) == canonical_json({"x": 3})
+
+    def test_dataclasses_key_by_compare_fields_only(self):
+        clean = SweepJob.from_spec(small_trace(), small_spec())
+        faulted = SweepJob.from_spec(small_trace(), small_spec(),
+                                     fault=FaultPlan("exception"))
+        assert job_key(clean) == job_key(faulted)
+
+    def test_semantic_changes_change_the_key(self):
+        base = SweepJob.from_spec(small_trace(), small_spec())
+        other = SweepJob.from_spec(small_trace(),
+                                   small_spec(sizes_mb=(0.5, 1.0)))
+        assert job_key(base) != job_key(other)
+
+    def test_code_version_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CODE_VERSION", "pinned-token")
+        assert code_version() == "pinned-token"
+
+    def test_code_version_changes_the_key(self, monkeypatch):
+        payload = SweepJob.from_spec(small_trace(), small_spec())
+        monkeypatch.setenv("REPRO_CODE_VERSION", "v-one")
+        first = job_key(payload)
+        monkeypatch.setenv("REPRO_CODE_VERSION", "v-two")
+        assert job_key(payload) != first
+
+    def test_unkeyable_objects_are_rejected(self):
+        with pytest.raises(TypeError, match="canonicalize"):
+            canonical_json({"f": lambda: None})
+
+
+class TestTraceSources:
+    def test_trace_ref_materializes_deterministically(self):
+        ref = TraceRef("mcf", 2_000, seed=5)
+        a, b = ref.materialize(), ref.materialize()
+        assert np.array_equal(a.addresses, b.addresses)
+        assert a.instructions == b.instructions
+
+    def test_inline_trace_keys_by_digest_not_array(self):
+        addrs = np.arange(100, dtype=np.int64)
+        one = InlineTrace.from_trace(addrs)
+        two = InlineTrace.from_trace(addrs.copy())
+        assert job_key(one) == job_key(two)
+        assert job_key(one) != job_key(InlineTrace.from_trace(addrs + 1))
+
+    def test_as_trace_source_passthrough_and_coercion(self):
+        ref = TraceRef("mcf", 1_000)
+        assert as_trace_source(ref) is ref
+        inline = as_trace_source(small_trace())
+        assert isinstance(inline, InlineTrace)
+
+
+class TestResultBank:
+    def test_round_trip_with_meta(self, tmp_path):
+        bank = ResultBank(tmp_path)
+        key = "ab" * 32
+        bank.put(key, {"v": 1.5}, meta={"degraded": False})
+        assert bank.get(key, with_meta=True) == ({"v": 1.5},
+                                                 {"degraded": False})
+        assert key in bank
+        assert bank.stats()["writes"] == 1
+
+    def test_corrupt_entry_evicted_not_crashed_on(self, tmp_path):
+        bank = ResultBank(tmp_path)
+        key = "cd" * 32
+        path = bank.put(key, [1, 2, 3])
+        path.write_text('{"key": "' + key + '", "payload": [9], '
+                        '"meta": {}, "digest": "bogus"}')
+        assert bank.get(key) is None
+        assert bank.evictions == 1
+        assert path.with_suffix(".corrupt").exists()
+        # And the slot is writable again afterwards.
+        bank.put(key, [1, 2, 3])
+        assert bank.get(key) == [1, 2, 3]
+
+    def test_gc_reports_evictions(self, tmp_path):
+        bank = ResultBank(tmp_path)
+        good, bad = "11" * 32, "22" * 32
+        bank.put(good, "ok")
+        bank.put(bad, "soon-corrupt")
+        bank._path(bad).write_text("{ torn")
+        report = bank.gc()
+        assert report["checked"] == 2
+        assert report["evicted"] == [bad]
+
+    def test_malformed_keys_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="malformed"):
+            ResultBank(tmp_path).get("../escape")
+
+
+class TestRetryPolicy:
+    def test_deterministic_and_decorrelated(self):
+        policy = RetryPolicy(backoff_base=0.1, jitter=0.5)
+        assert policy.delay("k1", 1) == policy.delay("k1", 1)
+        assert policy.delay("k1", 1) != policy.delay("k2", 1)
+
+    def test_exponential_growth(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0,
+                             jitter=0.0)
+        assert policy.delay("k", 2) == pytest.approx(0.2)
+        assert policy.delay("k", 3) == pytest.approx(0.4)
+
+
+class TestJobQueue:
+    def test_identical_submissions_dedupe_to_one_job(self, tmp_path):
+        with fault_queue(tmp_path) as queue:
+            first = queue.submit(SweepJob.from_spec(small_trace(),
+                                                    small_spec()))
+            second = queue.submit(SweepJob.from_spec(small_trace(),
+                                                     small_spec()))
+            assert first is second
+            first.result()
+
+    def test_bank_satisfies_resubmission_across_queues(self, tmp_path):
+        payload = SweepJob.from_spec(small_trace(), small_spec())
+        with fault_queue(tmp_path) as queue:
+            ran = queue.submit(payload)
+            direct = ran.result()
+        with fault_queue(tmp_path) as queue:
+            hit = queue.submit(payload)
+            banked = hit.result()
+        assert hit.meta.get("bank_hit") is True
+        assert hit.attempts == 0
+        assert {k: (s.accesses, s.hits, s.misses)
+                for k, s in banked.stats.items()} == \
+               {k: (s.accesses, s.hits, s.misses)
+                for k, s in direct.stats.items()}
+
+    def test_exception_retries_then_fails(self, tmp_path):
+        plan = FaultPlan("exception", attempts=tuple(range(10)))
+        with fault_queue(tmp_path, max_retries=1) as queue:
+            job = queue.submit(SweepJob.from_spec(small_trace(),
+                                                  small_spec(), fault=plan))
+            queue.wait(job, timeout=60.0)
+        assert job.state == JobState.FAILED
+        assert job.attempts == 2
+        assert "FaultInjected" in job.error
+
+    def test_close_cancels_outstanding_jobs(self, tmp_path):
+        queue = fault_queue(tmp_path, job_timeout=600.0)
+        job = queue.submit(SweepJob.from_spec(
+            small_trace(), small_spec(),
+            fault=FaultPlan("hang", attempts=tuple(range(10)))))
+        queue.close()
+        assert job.state == JobState.CANCELLED
+
+    def test_builder_configs_are_rejected(self):
+        from repro.sim.sweep import SweepConfig
+        config = SweepConfig(key="custom", size_mb=1.0,
+                             builder=lambda: object())
+        with pytest.raises(ValueError, match="builder"):
+            SweepJob(trace=as_trace_source(small_trace()),
+                     configs=(config,))
+
+
+class TestPayloadRoundTrips:
+    def test_cache_job_matches_direct_replay(self, tmp_path):
+        from repro.cache.spec import CacheSpec, build
+        trace = small_trace()
+        spec = CacheSpec(capacity_lines=2048, policy="LRU")
+        cache = build(spec)
+        cache.run(trace.addresses)
+        with fault_queue(tmp_path) as queue:
+            stats = queue.submit(CacheJob(trace=trace, cache=spec)).result()
+        assert (stats.accesses, stats.hits, stats.misses) == \
+            (cache.stats.accesses, cache.stats.hits, cache.stats.misses)
+
+    def test_partition_spec_rejected_with_clear_error(self):
+        from repro.cache.spec import PartitionSpec
+        spec = PartitionSpec(scheme="ideal", capacity_lines=2048,
+                             num_partitions=2)
+        with pytest.raises(TypeError, match="TalusSpec"):
+            CacheJob(trace=small_trace(), cache=spec)
+
+    def test_mix_record_payload_round_trip(self, tmp_path):
+        from repro.sim.mixsweep import (MixRunRecord, MixSweepSpec,
+                                        run_mix_sweep)
+        from repro.workloads.mixes import random_mixes
+        mixes = random_mixes(2, apps_per_mix=2)
+        spec = MixSweepSpec(total_mb=2.0, trace_accesses=6_000,
+                            interval_accesses=3_000)
+        direct = run_mix_sweep(mixes, spec)
+        for record in direct.records.values():
+            clone = MixRunRecord.from_payload(record.to_payload())
+            assert clone == record
+        supervised = run_mix_sweep_supervised(mixes, spec, bank=tmp_path)
+        for name, record in direct.records.items():
+            assert supervised.records[name] == record
+
+
+class TestCli:
+    def _submit(self, bank, capsys):
+        code = cli_main(["--bank", str(bank), "submit", "--profile", "mcf",
+                         "--accesses", "3000", "--sizes", "0.5,1",
+                         "--policies", "LRU", "--workers", "2"])
+        out = json.loads(capsys.readouterr().out)
+        return code, out
+
+    def test_submit_status_gc_round_trip(self, tmp_path, capsys):
+        bank = tmp_path / "bank"
+        code, report = self._submit(bank, capsys)
+        assert code == 0
+        assert all(j["state"] == "succeeded" for j in report["jobs"])
+        assert report["bank"]["entries"] > 0
+
+        assert cli_main(["--bank", str(bank), "status"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert {j["state"] for j in status["jobs"]} == {"succeeded"}
+        assert all(j["pid"] == os.getpid() for j in status["jobs"])
+
+        assert cli_main(["--bank", str(bank), "gc"]) == 0
+        gc_report = json.loads(capsys.readouterr().out)
+        assert gc_report["bank"]["evicted"] == []
+        assert sorted(gc_report["pruned_jobs"]) == \
+            sorted(j["id"] for j in status["jobs"])
+
+    def test_resubmit_hits_bank(self, tmp_path, capsys):
+        bank = tmp_path / "bank"
+        self._submit(bank, capsys)
+        code, report = self._submit(bank, capsys)
+        assert code == 0
+        assert all(j["meta"].get("bank_hit") for j in report["jobs"])
+
+    def test_cancel_writes_markers(self, tmp_path, capsys):
+        bank = tmp_path / "bank"
+        assert cli_main(["--bank", str(bank), "cancel", "--all"]) == 0
+        assert (bank / "cancel" / "all").exists()
+        capsys.readouterr()

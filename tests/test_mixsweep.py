@@ -147,7 +147,8 @@ class TestRunMixSweep:
                               "harmonic_speedup_vs_lru_shared"}
         assert len(entry["per_app"]) == len(entry["apps"]) == 2
         interval = entry["intervals"][0]
-        assert set(interval) == {"accesses", "misses", "allocations_mb"}
+        assert set(interval) == {"index", "accesses", "misses",
+                                 "allocations_mb"}
         path = result.save_json(tmp_path / "bank" / "mix_sweep.json")
         assert json.loads(path.read_text())["mixes"]
 

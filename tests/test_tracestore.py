@@ -118,3 +118,63 @@ class TestOwnership:
         store.close()
         assert target.exists()
         assert not Path(handle.location).exists()
+
+
+class TestAbnormalExitSafety:
+    def test_attach_after_backing_vanishes_names_the_backing(self):
+        from repro.workloads import TraceBackingError
+        store = TraceStore()
+        handle = store.put(np.arange(64, dtype=np.int64))
+        Path(handle.location).unlink()
+        with pytest.raises(TraceBackingError, match="has vanished"):
+            handle.attach()
+        store.close()
+
+    def test_truncated_backing_reported_clearly(self):
+        from repro.workloads import TraceBackingError
+        store = TraceStore()
+        handle = store.put(np.arange(64, dtype=np.int64))
+        with open(handle.location, "r+b") as f:
+            f.truncate(8)
+        with pytest.raises(TraceBackingError, match="truncated"):
+            handle.attach()
+        store.close()
+
+    def test_finalizer_cleans_up_without_close(self):
+        store = TraceStore()
+        handle = store.put(np.arange(32, dtype=np.int64))
+        path = Path(handle.location)
+        directory = store._dir
+        assert path.exists()
+        del store
+        import gc
+        gc.collect()
+        assert not path.exists()
+        assert not directory.exists()
+
+    def test_gc_stale_reclaims_dead_owner_dirs(self, tmp_path):
+        fake = tmp_path / "repro-traces-dead"
+        fake.mkdir()
+        (fake / "owner.pid").write_text("999999999")
+        (fake / "leftover.bin").write_bytes(b"\0" * 64)
+        removed = TraceStore.gc_stale(root=tmp_path)
+        assert fake in removed
+        assert not fake.exists()
+
+    def test_gc_stale_spares_live_owner_dirs(self, tmp_path):
+        import os
+        live = tmp_path / "repro-traces-live"
+        live.mkdir()
+        (live / "owner.pid").write_text(str(os.getpid()))
+        unmarked = tmp_path / "repro-traces-unmarked"
+        unmarked.mkdir()
+        removed = TraceStore.gc_stale(root=tmp_path)
+        assert removed == []
+        assert live.exists() and unmarked.exists()
+
+    def test_own_store_dir_carries_pid_marker(self):
+        import os
+        store = TraceStore()
+        marker = store._dir / "owner.pid"
+        assert marker.read_text().strip() == str(os.getpid())
+        store.close()
