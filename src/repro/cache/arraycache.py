@@ -286,6 +286,17 @@ class ArraySetAssociativeCache:
         """Zero the statistics without touching cache contents."""
         self.stats = CacheStats()
 
+    def snapshot(self, position: int = 0, meta: dict | None = None):
+        """Capture the warm state as a picklable, content-hashable
+        :class:`~repro.sampling.checkpoint.CacheCheckpoint`."""
+        from ..sampling.checkpoint import snapshot
+        return snapshot(self, position=position, meta=meta)
+
+    def restore(self, checkpoint) -> None:
+        """Rewind this cache to ``checkpoint``'s state, in place."""
+        from ..sampling.checkpoint import restore_into
+        restore_into(self, checkpoint)
+
     # ------------------------------------------------------------------ #
     def access(self, address: int) -> bool:
         """Perform one access; returns True on a hit and updates stats.

@@ -12,10 +12,12 @@ reproducible.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 __all__ = ["H3Hash", "SamplingFunction", "GOLDEN64", "mix64", "mix64_array",
-           "seed_mix", "set_index"]
+           "seed_mix", "set_index", "derive_seed"]
 
 _MASK64 = (1 << 64) - 1
 
@@ -48,6 +50,20 @@ def mix64(value: int) -> int:
     z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
     return (z ^ (z >> 31)) & _MASK64
+
+
+def derive_seed(base_seed: int, token: str) -> int:
+    """Identity-derived deterministic seed for one unit of work.
+
+    A stable function of ``(base_seed, token)`` — never of execution
+    order, worker identity or batch composition — so a unit simulated
+    alone, in a batched sweep, in a pooled worker or resumed from a
+    result bank always draws the same random stream.  The sweep engine
+    derives per-config seeds from ``"policy|size"`` tokens and the
+    sampling driver per-window seeds from ``"sampling-window|start"``
+    tokens through this one helper.
+    """
+    return mix64(mix64(base_seed) ^ zlib.crc32(token.encode())) & 0x7FFFFFFF
 
 
 def mix64_array(values: np.ndarray) -> np.ndarray:

@@ -653,6 +653,17 @@ class ArrayPartitionedCache(PartitionedCache):
             if isinstance(region, ArraySetAssociativeCache):
                 region.reset_stats()
 
+    def snapshot(self, position: int = 0, meta: dict | None = None):
+        """Capture the warm state as a picklable, content-hashable
+        :class:`~repro.sampling.checkpoint.CacheCheckpoint`."""
+        from ...sampling.checkpoint import snapshot
+        return snapshot(self, position=position, meta=meta)
+
+    def restore(self, checkpoint) -> None:
+        """Rewind this cache to ``checkpoint``'s state, in place."""
+        from ...sampling.checkpoint import restore_into
+        restore_into(self, checkpoint)
+
     def to_spec(self):
         """A :class:`~repro.cache.spec.PartitionSpec` rebuilding this cache."""
         from ..spec import PartitionSpec
@@ -1095,6 +1106,17 @@ class ArrayVantageCache(PartitionedCache):
         self._free[0] = free_box[0]
 
     # ------------------------------------------------------------------ #
+    def snapshot(self, position: int = 0, meta: dict | None = None):
+        """Capture the warm state as a picklable, content-hashable
+        :class:`~repro.sampling.checkpoint.CacheCheckpoint`."""
+        from ...sampling.checkpoint import snapshot
+        return snapshot(self, position=position, meta=meta)
+
+    def restore(self, checkpoint) -> None:
+        """Rewind this cache to ``checkpoint``'s state, in place."""
+        from ...sampling.checkpoint import restore_into
+        restore_into(self, checkpoint)
+
     def to_spec(self):
         """A :class:`~repro.cache.spec.PartitionSpec` rebuilding this cache."""
         from ..spec import PartitionSpec

@@ -311,6 +311,18 @@ class TalusCache:
         self.logical_stats = [CacheStats() for _ in range(self.num_logical)]
         self.base.reset_stats()
 
+    def snapshot(self, position: int = 0, meta: dict | None = None):
+        """Capture the warm state (base cache + sampler registers +
+        logical statistics) as a picklable, content-hashable
+        :class:`~repro.sampling.checkpoint.CacheCheckpoint`."""
+        from ..sampling.checkpoint import snapshot
+        return snapshot(self, position=position, meta=meta)
+
+    def restore(self, checkpoint) -> None:
+        """Rewind this cache to ``checkpoint``'s state, in place."""
+        from ..sampling.checkpoint import restore_into
+        restore_into(self, checkpoint)
+
     def to_spec(self):
         """A :class:`~repro.cache.spec.TalusSpec` rebuilding this cache.
 

@@ -149,7 +149,13 @@ def _cmd_gc(args) -> int:
     bank = ResultBank(bank_dir)
     report = {"bank": bank.gc()}
     from ..workloads.tracestore import TraceStore
-    report["stale_trace_dirs"] = [str(p) for p in TraceStore.gc_stale()]
+    stale = TraceStore.stale_dirs()
+    stale_bytes = sum(TraceStore.dir_bytes(p) for p in stale)
+    reclaimed = TraceStore.gc_stale()
+    report["stale_trace_dirs"] = [str(p) for p in reclaimed]
+    report["trace_gc"] = {"found": len(stale),
+                          "reclaimed": len(reclaimed),
+                          "reclaimed_bytes": int(stale_bytes)}
     state = _load_state(bank_dir)
     live = {job_id: row for job_id, row in state.items()
             if row.get("state") not in JobState.TERMINAL}

@@ -19,11 +19,12 @@ a clean one.
 from __future__ import annotations
 
 from .bank import ResultBank
-from .payloads import MixSweepJob, SweepJob, as_trace_source
+from .payloads import MixSweepJob, SamplingJob, SweepJob, as_trace_source
 from .queue import JobQueue, RetryPolicy
 
 __all__ = ["run_sweep_supervised", "run_mix_sweep_supervised",
-           "run_shared_supervised", "supervised_queue"]
+           "run_shared_supervised", "run_sampled_supervised",
+           "supervised_queue"]
 
 
 def supervised_queue(bank=None, *, max_workers: int = 2,
@@ -88,6 +89,46 @@ def run_sweep_supervised(trace, spec, *, backend: str = "auto",
             merged.update(result.stats)
             instructions = result.instructions or instructions
         return SweepResult(merged, instructions=instructions)
+    finally:
+        if owns_queue:
+            queue.close()
+
+
+def run_sampled_supervised(trace, cache, spec, units, *,
+                           max_workers: int = 2,
+                           bank: ResultBank | str | None = None,
+                           queue: JobQueue | None = None,
+                           job_timeout: float | None = 600.0,
+                           faults=None) -> list[tuple]:
+    """Supervised window execution for
+    :func:`~repro.sampling.driver.run_sampled`.
+
+    Window units are sharded round-robin across ``max_workers``
+    :class:`SamplingJob` payloads; every completed window banks under
+    its own content key, so a killed worker loses at most one window and
+    a resubmission (same trace/cache/spec) resumes from the bank.
+    ``faults`` maps shard index to a :class:`~repro.jobs.faults.FaultPlan`
+    (fault-suite hook).  Returns the raw per-window rows; the caller
+    assembles the :class:`~repro.sampling.estimator.SampledResult`.
+    """
+    del spec  # window identity is fully encoded in the pre-derived units
+    source = as_trace_source(trace)
+    units = list(units)
+    owns_queue = queue is None
+    if owns_queue:
+        queue = supervised_queue(bank, max_workers=max_workers,
+                                 job_timeout=job_timeout)
+    try:
+        jobs = []
+        for shard_index, shard in enumerate(_split(units, max_workers)):
+            fault = None if faults is None else faults.get(shard_index)
+            jobs.append(queue.submit(SamplingJob(
+                trace=source, cache=cache, units=tuple(shard),
+                fault=fault)))
+        rows: list[tuple] = []
+        for job in jobs:
+            rows.extend(job.result())      # raises JobFailed on failure
+        return rows
     finally:
         if owns_queue:
             queue.close()

@@ -33,12 +33,13 @@ import numpy as np
 from ..cache.cache import CacheStats
 from ..cache.spec import CacheSpec, PartitionSpec, TalusSpec, build
 from ..workloads.access import Trace
+from ..workloads.scale import ChunkedTrace
 from .faults import FaultPlan
 from .keys import job_key
 
 __all__ = ["TraceRef", "InlineTrace", "as_trace_source", "JobContext",
            "SweepJob", "MixSweepJob", "SharedRunJob", "CacheJob",
-           "stats_to_payload", "stats_from_payload"]
+           "SamplingJob", "stats_to_payload", "stats_from_payload"]
 
 
 # --------------------------------------------------------------------- #
@@ -100,9 +101,15 @@ class InlineTrace:
         return Trace(self.addresses, self.instructions, name=self.name)
 
 
-def as_trace_source(trace) -> TraceRef | InlineTrace:
-    """Coerce any accepted trace argument into a keyable trace source."""
-    if isinstance(trace, (TraceRef, InlineTrace)):
+def as_trace_source(trace) -> TraceRef | InlineTrace | ChunkedTrace:
+    """Coerce any accepted trace argument into a keyable trace source.
+
+    A :class:`~repro.workloads.scale.ChunkedTrace` passes through as-is:
+    it is already a frozen dataclass of plain values, so it is both
+    picklable and canonically keyable by its *generator identity* — a
+    10^9-access trace rides inside a job key as a handful of scalars.
+    """
+    if isinstance(trace, (TraceRef, InlineTrace, ChunkedTrace)):
         return trace
     return InlineTrace.from_trace(trace)
 
@@ -250,6 +257,70 @@ class SweepJob:
                  for unit in payload["units"]}
         return SweepResult(stats,
                            instructions=int(payload.get("instructions", 0)))
+
+
+@dataclass(frozen=True)
+class SamplingJob:
+    """Simulate a shard of sampled-simulation windows against one trace.
+
+    The unit of work (and of banking) is one detailed window: each
+    window's ``(accesses, misses)`` banks under a key derived from the
+    trace identity, the cache spec and the window's bounds/seed — never
+    its shard or index — so a SIGKILLed worker loses at most one window
+    and a resubmitted estimate resumes from the bank.  Window seeds
+    arrive pre-derived inside ``units`` (stable functions of window
+    *position*, see :func:`repro.sampling.driver.window_units`), which is
+    what keeps supervised, pooled and serial estimates bit-identical.
+    """
+
+    trace: TraceRef | InlineTrace | ChunkedTrace
+    cache: CacheSpec | TalusSpec
+    units: tuple    #: ``(index, warm_start, start, stop, seed)`` tuples
+    fault: FaultPlan | None = field(default=None, compare=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "units", tuple(tuple(u) for u in self.units))
+        if not isinstance(self.cache, (CacheSpec, TalusSpec)):
+            raise TypeError("cache must be a CacheSpec or TalusSpec")
+
+    def unit_key(self, unit) -> str:
+        """Bank key of one window's counters (index excluded: the key
+        names the window's *content*, not its place in a placement)."""
+        _, warm_start, start, stop, seed = unit
+        return job_key({"unit": "sampling-window", "trace": self.trace,
+                        "cache": self.cache,
+                        "window": [int(warm_start), int(start), int(stop),
+                                   None if seed is None else int(seed)]})
+
+    def execute(self, ctx: JobContext) -> dict:
+        from ..sampling.driver import simulate_window_units
+        source = (self.trace if isinstance(self.trace, ChunkedTrace)
+                  else self.trace.materialize())
+        rows = []
+        banked_units = 0
+        for i, unit in enumerate(self.units):
+            ctx.unit("unit", i)
+            index, warm_start, start, stop, seed = unit
+            ukey = self.unit_key(unit)
+            banked = ctx.bank.get(ukey) if ctx.bank is not None else None
+            if banked is not None:
+                banked_units += 1
+                counters = banked
+            else:
+                (_, _, accesses, misses, _), = simulate_window_units(
+                    source, self.cache, (unit,))
+                counters = {"accesses": int(accesses), "misses": int(misses)}
+                if ctx.bank is not None:
+                    ctx.bank.put(ukey, counters, meta=ctx.unit_meta())
+            rows.append([int(index), int(start),
+                         int(counters["accesses"]), int(counters["misses"]),
+                         int(start - warm_start)])
+        return {"rows": rows, "banked_units": banked_units}
+
+    @staticmethod
+    def load(payload: dict) -> list[tuple]:
+        """The shard's ``(index, start, accesses, misses, warmup)`` rows."""
+        return [tuple(int(v) for v in row) for row in payload["rows"]]
 
 
 @dataclass(frozen=True)

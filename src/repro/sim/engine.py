@@ -66,18 +66,23 @@ def simulate_policy_at_size(trace: Trace, size_mb: float, policy: str,
 def simulated_mpki_curve(trace: Trace, sizes_mb: Sequence[float], policy: str,
                          ways: int = DEFAULT_WAYS,
                          backend: str = "auto",
-                         max_workers: int = 1) -> MissCurve:
+                         max_workers: int = 1,
+                         sampling=None) -> MissCurve:
     """Simulated MPKI curve of an arbitrary policy, batched over all sizes.
 
     All sizes are simulated from one materialized trace through
     :func:`repro.sim.sweep.run_sweep`; ``backend`` selects the simulation
     core ("object", "array" or "auto") and ``max_workers`` optionally fans
-    the sizes out over a process pool.
+    the sizes out over a process pool.  ``sampling=`` (a
+    :class:`~repro.sampling.driver.SamplingSpec`) estimates each point
+    from sampled detailed windows instead of an exact replay — the way
+    to draw a curve from a trace too long to materialize (a
+    :class:`~repro.workloads.scale.ChunkedTrace` is accepted directly).
     """
     spec = SweepSpec(sizes_mb=tuple(float(s) for s in sizes_mb),
                      policies=(policy,), ways=ways, backend=backend,
                      max_workers=max_workers)
-    return run_sweep(trace, spec).mpki_curve(policy)
+    return run_sweep(trace, spec, sampling=sampling).mpki_curve(policy)
 
 
 def monitored_mpki_curve(trace: Trace, sizes_mb: Sequence[float],

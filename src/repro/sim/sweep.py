@@ -49,7 +49,6 @@ Example
 
 from __future__ import annotations
 
-import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Sequence
@@ -60,7 +59,7 @@ from ..cache._native import resolve_threads
 from ..cache.arraycache import run_lru_family_batch
 from ..cache.cache import CacheStats
 from ..cache.factory import BACKENDS, build_cache, resolve_backend
-from ..cache.hashing import mix64
+from ..cache.hashing import derive_seed
 from ..cache.threadbatch import PARALLEL_MODES, resolve_parallel, run_tasks
 from ..core.misscurve import MissCurve
 from ..workloads.access import Trace
@@ -81,10 +80,11 @@ def _derive_seed(base_seed: int, policy: str, size_mb: float) -> int:
     Deriving from ``(policy, size)`` rather than the config's position in
     the sweep makes seeds independent of execution order and sweep
     composition: a point simulated alone, in a batched sweep, or in a
-    process-pool worker always draws the same stream.
+    process-pool worker always draws the same stream.  (The shared
+    primitive is :func:`repro.cache.hashing.derive_seed`; the sampling
+    driver derives its per-window seeds the same way.)
     """
-    token = f"{policy}|{float(size_mb)!r}".encode()
-    return mix64(mix64(base_seed) ^ zlib.crc32(token)) & 0x7FFFFFFF
+    return derive_seed(base_seed, f"{policy}|{float(size_mb)!r}")
 
 
 @dataclass(frozen=True)
@@ -211,6 +211,10 @@ class SweepResult:
                  instructions: int = 0):
         self.stats = stats
         self.instructions = instructions
+        #: Per-config :class:`~repro.sampling.estimator.SampledResult`
+        #: when the sweep ran with ``sampling=`` (else empty).  The
+        #: entry is ``None`` for analytic points (zero capacity).
+        self.sampled: dict[Hashable, object] = {}
 
     def __getitem__(self, key: Hashable) -> CacheStats:
         return self.stats[key]
@@ -371,6 +375,58 @@ def _simulate_chunk(addrs: np.ndarray | TraceHandle,
     return out
 
 
+def _run_sweep_sampled(trace, configs, sampling, *, backend: str,
+                       max_workers: int, parallel: str,
+                       threads: int | None, trace_store, supervise: bool,
+                       bank) -> SweepResult:
+    """The ``sampling=`` execution path of :func:`run_sweep`.
+
+    Each config's MPKI comes from a sampled estimate
+    (:func:`repro.sampling.driver.run_sampled`) instead of an exact
+    replay; parallelism applies across each config's detailed windows.
+    The trace may be a :class:`~repro.workloads.scale.ChunkedTrace` —
+    it is never materialized.
+    """
+    from ..cache.spec import CacheSpec
+    from ..sampling.driver import _as_view, run_sampled
+    view = _as_view(trace)
+    n = view.n_accesses
+    instructions = int(view.instructions)
+    stats: dict[Hashable, CacheStats] = {}
+    sampled: dict[Hashable, object] = {}
+    for config in configs:
+        if config.builder is not None:
+            raise ValueError(
+                "builder-based sweep configs cannot run sampled: the "
+                "sampling driver builds per-window caches from a "
+                "picklable spec; describe the point with spec= or "
+                "(policy, size) instead")
+        if config.spec is not None:
+            cache_spec = config.spec
+        elif config.capacity_lines <= 0:
+            stats[config.key] = _all_miss_stats(n)
+            stats[config.key].instructions = instructions
+            sampled[config.key] = None
+            continue
+        else:
+            cache_spec = CacheSpec(
+                capacity_lines=config.capacity_lines, ways=config.ways,
+                policy=config.policy, backend=backend, seed=config.seed,
+                policy_kwargs=config.policy_kwargs)
+        result = run_sampled(
+            trace, cache_spec, sampling, parallel=parallel,
+            threads=threads, max_workers=max_workers,
+            trace_store=trace_store, supervise=supervise, bank=bank)
+        sampled[config.key] = result
+        misses = int(round(result.estimated_misses))
+        stats[config.key] = CacheStats(
+            accesses=n, hits=n - misses, misses=misses,
+            instructions=instructions)
+    out = SweepResult(stats, instructions=instructions)
+    out.sampled = sampled
+    return out
+
+
 def run_sweep(trace: Trace | np.ndarray | Sequence[int],
               spec: SweepSpec | Sequence[SweepConfig],
               *, backend: str | None = None,
@@ -379,7 +435,8 @@ def run_sweep(trace: Trace | np.ndarray | Sequence[int],
               threads: int | None = None,
               trace_store: TraceStore | None = None,
               supervise: bool = False,
-              bank=None) -> SweepResult:
+              bank=None,
+              sampling=None) -> SweepResult:
     """Simulate every config of ``spec`` against ``trace``.
 
     The trace is materialized once; all configs consume the same address
@@ -405,7 +462,36 @@ def run_sweep(trace: Trace | np.ndarray | Sequence[int],
     so interrupted sweeps resume.  Builder configs are rejected there
     (their closures are neither picklable nor content-addressable);
     results are bit-identical to the in-process path.
+
+    ``sampling=`` (a :class:`~repro.sampling.driver.SamplingSpec`)
+    switches every config to a *sampled* estimate: detailed windows out
+    of the trace instead of an exact replay, with per-config
+    :class:`~repro.sampling.estimator.SampledResult` objects (point
+    estimate + confidence interval) in the returned result's
+    ``.sampled`` dict.  The trace may then be a
+    :class:`~repro.workloads.scale.ChunkedTrace` of 10^8+ accesses — it
+    is never materialized.  ``supervise``/``bank`` compose with it
+    (per-window banking); builder configs are rejected.
     """
+    if sampling is not None:
+        if isinstance(spec, SweepSpec):
+            configs = spec.expand()
+            backend = backend if backend is not None else spec.backend
+            max_workers = (max_workers if max_workers is not None
+                           else spec.max_workers)
+            parallel = parallel if parallel is not None else spec.parallel
+        else:
+            configs = tuple(spec)
+            backend = backend if backend is not None else "auto"
+            max_workers = max_workers if max_workers is not None else 1
+            parallel = parallel if parallel is not None else "auto"
+        keys = [config.key for config in configs]
+        if len(set(keys)) != len(keys):
+            raise ValueError("sweep config keys must be unique")
+        return _run_sweep_sampled(
+            trace, configs, sampling, backend=backend,
+            max_workers=max_workers, parallel=parallel, threads=threads,
+            trace_store=trace_store, supervise=supervise, bank=bank)
     if supervise:
         from ..jobs.drivers import run_sweep_supervised
         return run_sweep_supervised(

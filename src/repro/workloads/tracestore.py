@@ -356,24 +356,24 @@ class TraceStore:
         self._handles = {}
 
     @classmethod
-    def gc_stale(cls, root: str | os.PathLike | None = None) -> list[Path]:
-        """Remove orphaned backing directories of dead processes.
+    def stale_dirs(cls, root: str | os.PathLike | None = None) -> list[Path]:
+        """Orphaned backing directories of dead processes (not removed).
 
-        A worker killed by a signal (the supervised job runtime's SIGKILL
-        fault class, an OOM kill, a machine crash) runs no finalizers and
-        leaves its ``repro-traces-*`` directory behind.  This sweeps
-        ``root`` (default: the system temporary directory) for such
-        directories whose ``owner.pid`` marker names a process that no
-        longer exists — directories of live stores are left alone — and
-        returns the paths it removed.  Safe to call from any process at
-        any time; the job CLI's ``gc`` command does.
+        Sweeps ``root`` (default: the system temporary directory) for
+        ``repro-traces-*`` directories whose ``owner.pid`` marker names a
+        process that no longer exists.  Directories of live stores — and
+        directories without a readable marker (a pre-marker store or one
+        torn down mid-create; without a pid we cannot tell) — are not
+        reported.  This is the read-only census behind :meth:`gc_stale`;
+        the job CLI's ``gc`` command uses both to report what it
+        reclaimed and how many bytes it freed.
         """
         root = Path(root if root is not None else tempfile.gettempdir())
-        removed = []
+        stale = []
         try:
             candidates = sorted(root.glob(_TRACE_DIR_PREFIX + "*"))
         except OSError:
-            return removed
+            return stale
         for candidate in candidates:
             if not candidate.is_dir():
                 continue
@@ -381,13 +381,40 @@ class TraceStore:
             try:
                 pid = int(marker.read_text().strip())
             except (FileNotFoundError, ValueError, OSError):
-                # No readable marker: a pre-marker store or a directory
-                # torn down mid-create.  Either way no live store can be
-                # serving handles from it once its creator is gone, but
-                # without a pid we cannot tell — leave it alone.
                 continue
             if _pid_alive(pid):
                 continue
+            stale.append(candidate)
+        return stale
+
+    @staticmethod
+    def dir_bytes(path: Path) -> int:
+        """Total size of one backing directory's files (best effort)."""
+        total = 0
+        try:
+            for entry in path.rglob("*"):
+                try:
+                    if entry.is_file():
+                        total += entry.stat().st_size
+                except OSError:
+                    continue
+        except OSError:
+            pass
+        return total
+
+    @classmethod
+    def gc_stale(cls, root: str | os.PathLike | None = None) -> list[Path]:
+        """Remove orphaned backing directories of dead processes.
+
+        A worker killed by a signal (the supervised job runtime's SIGKILL
+        fault class, an OOM kill, a machine crash) runs no finalizers and
+        leaves its ``repro-traces-*`` directory behind.  This removes
+        every directory :meth:`stale_dirs` identifies under ``root`` and
+        returns the paths it removed.  Safe to call from any process at
+        any time; the job CLI's ``gc`` command does.
+        """
+        removed = []
+        for candidate in cls.stale_dirs(root):
             shutil.rmtree(candidate, ignore_errors=True)
             removed.append(candidate)
         return removed
