@@ -1,0 +1,120 @@
+"""Whole-matrix threaded sweep speedup over the serial object stream.
+
+The tentpole claim of the total backend matrix: every replacement policy
+on every partitioning scheme at every size — TA-DRRIP, offline Belady
+MIN and non-LRU Vantage regions included — executes as **one**
+``batch_run_threaded`` dispatch over one shared ``TraceStore`` copy of
+the trace.  This benchmark runs the same policy × scheme × size grid
+through :func:`repro.sim.sweep.run_matrix_sweep` twice:
+
+* ``backend="object"`` — the reference serial stream, access by access,
+  one core (Belady excluded from the baseline grid: MIN has no object
+  organization, so its cells are timed on the array path only);
+* ``backend="auto"`` — the threaded native matrix,
+
+checking that both record **identical cell keys**, that the exact-tier
+numbers agree, and that the threaded matrix clears the **>= 5x**
+acceptance criterion.  Timings land in
+``benchmarks/out/matrix_sweep.json`` (override with
+``$REPRO_BENCH_MATRIX_JSON``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchlib import bench_json_path, write_bench_json
+from repro.cache._native import native_available, resolve_threads
+from repro.experiments.common import trace_length
+from repro.sim.sweep import matrix_cells, run_matrix_sweep
+from repro.workloads.spec_profiles import get_profile
+
+#: The benchmark grid: every scheme of the matrix, a policy from each
+#: exactness tier (exact, dueling, thread-aware, offline oracle).
+SIZES_MB = (0.5, 1.0, 2.0)
+POLICIES = ("LRU", "SRRIP", "DRRIP", "TA-DRRIP", "Belady")
+SCHEMES = ("none", "way", "set", "ideal", "vantage")
+NUM_PARTITIONS = 2
+SEED = 2015
+
+_JSON_PATH = bench_json_path("matrix_sweep.json", "REPRO_BENCH_MATRIX_JSON")
+
+
+def _grid_kwargs(policies):
+    return dict(sizes_mb=SIZES_MB, policies=policies, schemes=SCHEMES,
+                num_partitions=NUM_PARTITIONS, seed=SEED)
+
+
+def test_matrix_sweep_speedup(capsys):
+    trace = get_profile("omnetpp").trace(n_accesses=trace_length())
+    online = tuple(p for p in POLICIES if p != "Belady")
+
+    t0 = time.perf_counter()
+    serial = run_matrix_sweep(trace, backend="object",
+                              **_grid_kwargs(online))
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    threaded = run_matrix_sweep(trace, **_grid_kwargs(POLICIES))
+    t_threaded = time.perf_counter() - t0
+
+    # Identical record identity: the threaded matrix covers every serial
+    # cell (plus Belady's array-only scheme-"none" cells).
+    serial_keys = set(serial.stats)
+    threaded_keys = set(threaded.stats)
+    assert serial_keys == set(matrix_cells(SIZES_MB, online, SCHEMES))
+    assert threaded_keys == set(matrix_cells(SIZES_MB, POLICIES, SCHEMES))
+    assert serial_keys < threaded_keys
+    for key in threaded_keys:
+        assert threaded.stats[key].accesses == len(trace), key
+
+    # Exact-tier agreement between the serial object stream and the
+    # threaded kernel path, cell by cell.
+    exact = [k for k in serial_keys if k[0] in ("LRU", "SRRIP")]
+    for key in exact:
+        assert threaded.stats[key].misses == serial.stats[key].misses, key
+
+    speedup = t_serial / t_threaded if t_threaded > 0 else float("inf")
+    cells = len(threaded_keys)
+    with capsys.disabled():
+        print()
+        print(f"== whole-matrix sweep: {cells} cells "
+              f"({len(POLICIES)} policies x {len(SCHEMES)} schemes x "
+              f"{len(SIZES_MB)} sizes), {len(trace)} accesses ==")
+        print(f"  serial object stream : {t_serial * 1000:8.1f} ms "
+              f"({len(serial_keys)} cells)")
+        print(f"  threaded auto matrix : {t_threaded * 1000:8.1f} ms "
+              f"({cells} cells, width {resolve_threads()})")
+        print(f"  speedup              : {speedup:8.1f}x "
+              f"(native={'yes' if native_available() else 'no'})")
+
+    write_bench_json(
+        _JSON_PATH, "matrix_sweep",
+        {"serial_object_s": t_serial, "threaded_auto_s": t_threaded,
+         "speedup": speedup, "cells_serial": len(serial_keys),
+         "cells_threaded": cells},
+        meta={"sizes_mb": list(SIZES_MB), "policies": list(POLICIES),
+              "schemes": list(SCHEMES), "accesses": len(trace),
+              "num_partitions": NUM_PARTITIONS, "seed": SEED})
+
+    if not native_available():
+        pytest.skip("no C compiler: the matrix runs the slow Python "
+                    "fallback; speedup criterion needs the native kernel")
+    assert speedup >= 5.0, (
+        f"threaded matrix only {speedup:.2f}x faster than the serial "
+        f"object stream (acceptance criterion is >= 5x)")
+
+
+def test_matrix_thread_width_invariance():
+    """The recorded numbers are a function of the matrix, not the
+    thread width the dispatch happened to use."""
+    trace = get_profile("omnetpp").trace(n_accesses=12_000)
+    kwargs = _grid_kwargs(("LRU", "TA-DRRIP", "Belady"))
+    base = run_matrix_sweep(trace, threads=1, **kwargs)
+    for width in (2, 8):
+        other = run_matrix_sweep(trace, threads=width, **kwargs)
+        assert set(other.stats) == set(base.stats)
+        for key, stats in base.stats.items():
+            assert other.stats[key].misses == stats.misses, (width, key)

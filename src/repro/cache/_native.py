@@ -33,7 +33,8 @@ __all__ = ["get_kernel", "native_available", "disable_native",
            "NativeKernel", "BatchTask",
            "resolve_threads",
            "KIND_LRU", "KIND_RRIP", "KIND_DIP", "KIND_PDP", "KIND_RANDOM",
-           "KIND_PART_LRU", "KIND_PART_SRRIP", "KIND_VANTAGE"]
+           "KIND_PART_LRU", "KIND_PART_SRRIP", "KIND_VANTAGE",
+           "KIND_TADRRIP", "KIND_BELADY"]
 
 _SOURCE = Path(__file__).with_name("_sweepkernel.c")
 
@@ -46,7 +47,8 @@ _kernel_tried = False
 #: Task kinds of the threaded batch dispatcher; must match the
 #: BATCH_KIND_* enum in _sweepkernel.c.
 (KIND_LRU, KIND_RRIP, KIND_DIP, KIND_PDP, KIND_RANDOM,
- KIND_PART_LRU, KIND_PART_SRRIP, KIND_VANTAGE) = range(8)
+ KIND_PART_LRU, KIND_PART_SRRIP, KIND_VANTAGE,
+ KIND_TADRRIP, KIND_BELADY) = range(10)
 
 _P64 = ctypes.POINTER(ctypes.c_int64)
 _PU64 = ctypes.POINTER(ctypes.c_uint64)
@@ -111,6 +113,20 @@ class BatchTask(ctypes.Structure):
         ("tsize", ctypes.c_int64),
         ("num_regions", ctypes.c_int64),
         ("unm_cap", ctypes.c_int64),
+        ("node_aux", _P64),
+        ("node_stamp", _P64),
+        ("vp_maxdp", _P64),
+        ("vp_interval", _P64),
+        ("vp_clear", _P64),
+        ("next_use", _P64),
+        ("heap_key", _P64),
+        ("heap_tag", _P64),
+        ("heap_io", _P64),
+        ("hist_stride", ctypes.c_int64),
+        ("ls_size", ctypes.c_int64),
+        ("heap_cap", ctypes.c_int64),
+        ("capacity", ctypes.c_int64),
+        ("num_streams", ctypes.c_int64),
         ("epsilon", ctypes.c_double),
         ("result", ctypes.c_int64),
     ]
@@ -145,8 +161,11 @@ class NativeKernel:
     (several LRU/LIP configs in one trace pass), ``stack_hist_run``
     (one-shot Mattson stack-distance histogram), ``stack_hist_chunk`` /
     ``stack_state_rehash`` (the incremental, caller-owned-state variant),
+    ``tadrrip_run`` (thread-aware DRRIP with per-thread PSEL),
+    ``belady_run`` (Belady MIN over precomputed next-use indices),
     and ``vantage_run`` / ``vantage_realloc`` (line-granular Vantage
-    partitioning with a shared unmanaged region).
+    partitioning, managed regions running any of the recency/RRIP/PDP/
+    Random policies, with a shared unmanaged region).
     All replay kernels accept modulo or hashed set indexing, and all are
     chunk-resumable: state is passed in and returned, so split replays are
     bit-identical to one-shot replays.
@@ -222,10 +241,30 @@ class NativeKernel:
             _I64, _I64, _I64, _I64,
             ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, _I64,
         ]
+        lib.tadrrip_run.restype = ctypes.c_int64
+        lib.tadrrip_run.argtypes = [
+            _I64, _I64, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            ctypes.c_int64, _I64, _I64, _I64, _I64,
+            ctypes.c_double, _U64, _I64,
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            ctypes.c_int64, ctypes.c_int64, _I64,
+        ]
+        lib.belady_run.restype = ctypes.c_int64
+        lib.belady_run.argtypes = [
+            _I64, _I64, ctypes.c_int64, ctypes.c_int64,
+            _I64, _I64, ctypes.c_int64,
+            _I64, _I64, ctypes.c_int64, _I64,
+        ]
         lib.vantage_run.restype = ctypes.c_int64
         lib.vantage_run.argtypes = [
             _I64, _I64, ctypes.c_int64, ctypes.c_int64, _I64,
             ctypes.c_int64,
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_double,
+            _I64, _U64, _I64, _I64, ctypes.c_int64, ctypes.c_int64,
+            _I64, _I64,
+            _I64, _I64, _I64, _I64, ctypes.c_int64,
+            _I64, _I64, _I64,
+            _I64, _I64, _I64, ctypes.c_int64,
             _I64, _I64, _I64, ctypes.c_int64,
             _I64, _I64, _I64,
             _I64, _I64, _I64, _I64, _I64,
@@ -233,6 +272,8 @@ class NativeKernel:
         lib.vantage_realloc.restype = ctypes.c_int64
         lib.vantage_realloc.argtypes = [
             ctypes.c_int64, _I64, ctypes.c_int64,
+            ctypes.c_int64, ctypes.c_int64, _U64,
+            _I64, _I64, _I64, _I64,
             _I64, _I64, _I64, ctypes.c_int64,
             _I64, _I64, _I64,
             _I64, _I64, _I64, _I64,
@@ -347,26 +388,71 @@ class NativeKernel:
                                            rrpv, stamp, counter, max_rrpv,
                                            hashed, index_seed, miss_out))
 
-    def vantage_run(self, addrs, parts, num_parts, caps, unm_cap, ht_tag,
-                    ht_reg, ht_node, node_tag, node_prev, node_next, head,
-                    tail, occ, free_io, miss_out) -> int:
-        """Partition-tagged Vantage replay (fully-associative LRU regions
-        plus the shared unmanaged region); fills per-partition miss counts
-        into ``miss_out`` and returns the total (negative on a bad
-        partition id / exhausted node pool — both defensive)."""
+    def tadrrip_run(self, addrs, threads, num_sets, ways, max_rrpv, tags,
+                    rrpv, stamp, counter, epsilon, rng_state, psel,
+                    num_streams, psel_max, leader_levels, miss_out,
+                    hashed=0, index_seed=0) -> int:
+        """Thread-aware DRRIP replay: per-thread PSEL counters dueled by
+        address constituency; fills per-thread miss counts into
+        ``miss_out`` and returns the total (-1 on a thread id outside
+        ``[0, num_streams)``)."""
+        return int(self.lib.tadrrip_run(addrs, threads, addrs.size,
+                                        num_sets, ways, max_rrpv, tags,
+                                        rrpv, stamp, counter, epsilon,
+                                        rng_state, psel, num_streams,
+                                        psel_max, leader_levels, hashed,
+                                        index_seed, miss_out))
+
+    def belady_run(self, addrs, next_use, capacity, ht_tag, ht_val,
+                   heap_key, heap_tag, heap_io) -> int:
+        """Belady MIN replay over a fully-associative cache of ``capacity``
+        lines, fed by precomputed next-use indices (see
+        ``belady_next_use``); returns misses (-2 on heap overflow /
+        corruption — defensive, cannot happen when the heap holds
+        ``len(addrs) + 1`` slots)."""
+        return int(self.lib.belady_run(addrs, next_use, addrs.size,
+                                       capacity, ht_tag, ht_val,
+                                       ht_tag.size, heap_key, heap_tag,
+                                       heap_key.size, heap_io))
+
+    def vantage_run(self, addrs, parts, num_parts, caps, unm_cap, pol,
+                    max_rrpv, epsilon, counter, rng_state, roles, psel,
+                    psel_max, leader_levels, node_aux, node_stamp,
+                    pdp_clock, pdp_dp, pdp_sample, pdp_hist, hist_stride,
+                    vp_maxdp, vp_interval, vp_clear, ls_tags, ls_clocks,
+                    ls_count, ls_size, ht_tag, ht_reg, ht_node, node_tag,
+                    node_prev, node_next, head, tail, occ, free_io,
+                    miss_out) -> int:
+        """Partition-tagged Vantage replay (fully-associative managed
+        regions running the ``pol`` replacement policy, plus the shared
+        unmanaged region); fills per-partition miss counts into
+        ``miss_out`` and returns the total (negative on a bad partition
+        id / exhausted node pool — both defensive).  Policy side state the
+        selected ``pol`` does not read may be size-1 dummies."""
         return int(self.lib.vantage_run(addrs, parts, addrs.size, num_parts,
-                                        caps, unm_cap, ht_tag, ht_reg,
+                                        caps, unm_cap, pol, max_rrpv,
+                                        epsilon, counter, rng_state, roles,
+                                        psel, psel_max, leader_levels,
+                                        node_aux, node_stamp, pdp_clock,
+                                        pdp_dp, pdp_sample, pdp_hist,
+                                        hist_stride, vp_maxdp, vp_interval,
+                                        vp_clear, ls_tags, ls_clocks,
+                                        ls_count, ls_size, ht_tag, ht_reg,
                                         ht_node, ht_tag.size, node_tag,
                                         node_prev, node_next, head, tail,
                                         occ, free_io, miss_out))
 
-    def vantage_realloc(self, num_parts, new_caps, unm_cap, ht_tag, ht_reg,
-                        ht_node, node_tag, node_prev, node_next, head, tail,
-                        occ, free_io) -> int:
+    def vantage_realloc(self, num_parts, new_caps, unm_cap, pol, max_rrpv,
+                        rng_state, node_aux, node_stamp, pdp_clock, pdp_dp,
+                        ht_tag, ht_reg, ht_node, node_tag, node_prev,
+                        node_next, head, tail, occ, free_io) -> int:
         """Warm Vantage reallocation: trim each managed region to its new
-        capacity, demoting evicted victims into the unmanaged region."""
+        capacity via the ``pol`` victim policy, demoting evicted victims
+        into the unmanaged region."""
         return int(self.lib.vantage_realloc(num_parts, new_caps, unm_cap,
-                                            ht_tag, ht_reg, ht_node,
+                                            pol, max_rrpv, rng_state,
+                                            node_aux, node_stamp, pdp_clock,
+                                            pdp_dp, ht_tag, ht_reg, ht_node,
                                             ht_tag.size, node_tag, node_prev,
                                             node_next, head, tail, occ,
                                             free_io))

@@ -293,6 +293,216 @@ int64_t rrip_run(const int64_t *addrs, int64_t n, int64_t num_sets,
     return misses;
 }
 
+/* ------------------------------------------------------------- TA-DRRIP --- */
+
+/* Thread-aware DRRIP (Jaleel et al., PACT 2008 as used by the Talus paper's
+ * multiprogram baseline): one PSEL counter *per thread* (stream), each
+ * updated only by that thread's misses in the address-hash dueling
+ * constituencies, so every co-running app converges to its own SRRIP/BRRIP
+ * preference.  `threads[i]` carries the id of the thread issuing access i
+ * (NULL == all stream 0); `psel` holds `num_streams` counters.  The
+ * bimodal draws come from the shared splitmix64 stream, so the kernel is
+ * seeded-deterministic like DRRIP (bit-identical to the Python twin in
+ * arraycache.py, not to the object model's Mersenne twister).  `miss_out`,
+ * when non-NULL, accumulates per-thread miss counts (never reset here —
+ * it is persistent caller state, like the PSEL counters).  Returns the
+ * total miss count, or -1 on an out-of-range thread id. */
+int64_t tadrrip_run(const int64_t *addrs, const int64_t *threads, int64_t n,
+                    int64_t num_sets, int64_t ways, int64_t max_rrpv,
+                    int64_t *tags, int64_t *rrpv, int64_t *stamp,
+                    int64_t *counter_io, double epsilon, uint64_t *rng_state,
+                    int64_t *psel, int64_t num_streams, int64_t psel_max,
+                    int64_t leader_levels, int64_t hashed, int64_t index_seed,
+                    int64_t *miss_out)
+{
+    int64_t misses = 0;
+    int64_t t = counter_io[0];
+    uint64_t seed_mul = (uint64_t)index_seed * GOLDEN;
+
+    for (int64_t i = 0; i < n; i++) {
+        int64_t a = addrs[i];
+        int64_t tid = threads ? threads[i] : 0;
+        if (tid < 0 || tid >= num_streams)
+            return -1;
+        int64_t s = set_of(a, num_sets, hashed, seed_mul);
+        int64_t *row = tags + s * ways;
+        int64_t *rv = rrpv + s * ways;
+        int64_t *st = stamp + s * ways;
+        int64_t hit = -1, empty = -1;
+
+        for (int64_t w = 0; w < ways; w++) {
+            int64_t tag = row[w];
+            if (tag == a) { hit = w; break; }
+            if (tag == EMPTY && empty < 0) empty = w;
+        }
+        t++;
+        if (hit >= 0) {
+            rv[hit] = 0; /* hit priority */
+            st[hit] = t;
+            continue;
+        }
+        misses++;
+        if (miss_out)
+            miss_out[tid]++;
+
+        int64_t role = address_role(a, leader_levels);
+        if (role == ROLE_LEADER_SRRIP && psel[tid] < psel_max)
+            psel[tid]++;
+        else if (role == ROLE_LEADER_BRRIP && psel[tid] > 0)
+            psel[tid]--;
+
+        if (empty < 0) {
+            int64_t maxp = -1;
+            for (int64_t w = 0; w < ways; w++)
+                if (rv[w] > maxp) maxp = rv[w];
+            int64_t victim = 0, best = I64_MAX;
+            for (int64_t w = 0; w < ways; w++)
+                if (rv[w] == maxp && st[w] < best) { best = st[w]; victim = w; }
+            int64_t d = max_rrpv - maxp;
+            if (d > 0)
+                for (int64_t w = 0; w < ways; w++) rv[w] += d;
+            empty = victim;
+        }
+
+        int64_t ins = max_rrpv - 1;
+        int bimodal = (role == ROLE_LEADER_BRRIP) ||
+                      (role == ROLE_FOLLOWER && psel[tid] > psel_max / 2);
+        if (bimodal && uniform01(rng_state) >= epsilon)
+            ins = max_rrpv;
+
+        row[empty] = a;
+        rv[empty] = ins;
+        st[empty] = t;
+    }
+    counter_io[0] = t;
+    return misses;
+}
+
+/* --------------------------------------------------------------- Belady --- */
+
+/* Belady MIN: evict the resident line whose next use is furthest in the
+ * future.  The future is precomputed — next_use[i] is the trace position of
+ * the next access to addrs[i]'s line (I64_MAX when it is never touched
+ * again), built once by a vectorized two-pass numpy argsort/scatter in
+ * arraycache.belady_next_use and shared across every capacity point of a
+ * miss curve.
+ *
+ * State (all caller-owned, so the replay is chunk-resumable):
+ *   ht_tag/ht_val      open-addressing residency table tag -> current next
+ *                      use (ht_tag[slot] == -1 marks an empty slot;
+ *                      deletion is by backward shift)
+ *   heap_key/heap_tag  lazy binary max-heap of (next_use, tag) entries;
+ *                      every access pushes one entry, evictions pop until
+ *                      the top matches the residency table (stale entries
+ *                      from re-pushed hits are skipped), exactly the
+ *                      object model's heapq-with-invalidation
+ *   heap_io            [0] = live heap length, [1] = resident line count
+ *
+ * Ties among never-reused lines are broken by heap order rather than the
+ * object model's tag order; MIN's miss count is invariant to that choice
+ * (evicting any dead line leaves every future hit intact), which is why the
+ * kernel is exact on miss counts — enforced by tests.  Returns the miss
+ * count, or -2 when the heap would overflow heap_cap / underflow while
+ * lines are resident (both defensive; the caller sizes the heap to the
+ * trace length). */
+int64_t belady_run(const int64_t *addrs, const int64_t *next_use, int64_t n,
+                   int64_t capacity, int64_t *ht_tag, int64_t *ht_val,
+                   int64_t tsize, int64_t *heap_key, int64_t *heap_tag,
+                   int64_t heap_cap, int64_t *heap_io)
+{
+    uint64_t tmask = (uint64_t)(tsize - 1);
+    int64_t misses = 0;
+
+    for (int64_t i = 0; i < n; i++) {
+        int64_t a = addrs[i];
+        int64_t nu = next_use[i];
+
+        uint64_t slot = mix64((uint64_t)a) & tmask;
+        while (ht_tag[slot] != EMPTY && ht_tag[slot] != a)
+            slot = (slot + 1) & tmask;
+
+        if (heap_io[0] >= heap_cap)
+            return -2;
+
+        if (ht_tag[slot] == a) {
+            /* Hit: renew the residency deadline, lazily re-push. */
+            ht_val[slot] = nu;
+        } else {
+            misses++;
+            if (capacity == 0)
+                continue;
+            if (heap_io[1] >= capacity) {
+                /* Evict the furthest-next-use resident line. */
+                for (;;) {
+                    int64_t len = heap_io[0];
+                    if (len <= 0)
+                        return -2;
+                    int64_t key = heap_key[0], tag = heap_tag[0];
+                    /* Pop the root. */
+                    len = --heap_io[0];
+                    heap_key[0] = heap_key[len];
+                    heap_tag[0] = heap_tag[len];
+                    int64_t j = 0;
+                    for (;;) {
+                        int64_t l = 2 * j + 1, r = l + 1, big = j;
+                        if (l < len && heap_key[l] > heap_key[big]) big = l;
+                        if (r < len && heap_key[r] > heap_key[big]) big = r;
+                        if (big == j) break;
+                        int64_t tk = heap_key[j]; heap_key[j] = heap_key[big];
+                        heap_key[big] = tk;
+                        int64_t tt = heap_tag[j]; heap_tag[j] = heap_tag[big];
+                        heap_tag[big] = tt;
+                        j = big;
+                    }
+                    uint64_t vs = mix64((uint64_t)tag) & tmask;
+                    while (ht_tag[vs] != EMPTY && ht_tag[vs] != tag)
+                        vs = (vs + 1) & tmask;
+                    if (ht_tag[vs] != tag || ht_val[vs] != key)
+                        continue;   /* stale entry: deadline since renewed */
+                    /* Backward-shift delete. */
+                    ht_tag[vs] = EMPTY;
+                    uint64_t hole = vs;
+                    uint64_t k = (vs + 1) & tmask;
+                    while (ht_tag[k] != EMPTY) {
+                        uint64_t home = mix64((uint64_t)ht_tag[k]) & tmask;
+                        if (((k - home) & tmask) >= ((k - hole) & tmask)) {
+                            ht_tag[hole] = ht_tag[k];
+                            ht_val[hole] = ht_val[k];
+                            ht_tag[k] = EMPTY;
+                            hole = k;
+                        }
+                        k = (k + 1) & tmask;
+                    }
+                    heap_io[1]--;
+                    break;
+                }
+                /* The delete may have moved our probe target; re-find. */
+                slot = mix64((uint64_t)a) & tmask;
+                while (ht_tag[slot] != EMPTY)
+                    slot = (slot + 1) & tmask;
+            }
+            ht_tag[slot] = a;
+            ht_val[slot] = nu;
+            heap_io[1]++;
+        }
+        /* Push (nu, a); hits and fills both push, as the object model does. */
+        int64_t j = heap_io[0]++;
+        heap_key[j] = nu;
+        heap_tag[j] = a;
+        while (j > 0) {
+            int64_t parent = (j - 1) / 2;
+            if (heap_key[parent] >= heap_key[j])
+                break;
+            int64_t tk = heap_key[j]; heap_key[j] = heap_key[parent];
+            heap_key[parent] = tk;
+            int64_t tt = heap_tag[j]; heap_tag[j] = heap_tag[parent];
+            heap_tag[parent] = tt;
+            j = parent;
+        }
+    }
+    return misses;
+}
+
 /* ------------------------------------------------------------ LIP/BIP/DIP --- */
 
 /* Insertion modes (must match arraycache.py). */
@@ -754,12 +964,73 @@ int64_t multi_lru_run(const int64_t *addrs, int64_t n, int64_t num_configs,
  *
  * The same tag may be resident in several regions at once (the object
  * model keeps per-region dicts), which is why the table is keyed by the
- * pair.  Misses in a full region demote the LRU victim into the unmanaged
- * region (re-demotion moves it to the newest position); unmanaged hits
- * promote the line back into the accessing partition.  With LRU regions
- * every step is deterministic, and this replay is bit-identical to
- * VantagePartitionedCache.
+ * pair.  Misses in a full region demote the policy's victim into the
+ * unmanaged region (re-demotion moves it to the newest position);
+ * unmanaged hits promote the line back into the accessing partition.
+ *
+ * Managed regions run any replacement policy of the array family (the
+ * VPOL_* codes below), mirroring VantagePartitionedCache built with the
+ * corresponding named_policy_factory:
+ *
+ *   recency family (LRU/LIP/BIP/DIP)  the region list *is* the recency
+ *                                     order; only the insertion end (and
+ *                                     DIP's shared-PSEL duel) differ
+ *   RRIP family (SRRIP/BRRIP/DRRIP/   per-node RRPV (node_aux) + bucket-
+ *   TA-DRRIP)                         entrant stamps (node_stamp); victims
+ *                                     scan the region for (max RRPV,
+ *                                     oldest stamp) and age survivors,
+ *                                     exactly _RRIPBase.evict_one
+ *   PDP                               per-node protection deadline
+ *                                     (node_aux) + per-region clock/dp/
+ *                                     reuse-sampler state, exactly
+ *                                     PDPPolicy (evict_one falls back to
+ *                                     the oldest line when every line is
+ *                                     protected, so Vantage never bypasses)
+ *   Random                            victims drawn from the shared
+ *                                     splitmix64 stream
+ *
+ * The deterministic policies (LRU, LIP, SRRIP, PDP) are bit-identical to
+ * the object model; the randomized ones (BIP/DIP/BRRIP/DRRIP/TA-DRRIP/
+ * Random) are seeded-deterministic twins of the Python fallback, as in the
+ * set-associative kernels above.
  */
+
+/* Managed-region policy codes (must match repro.cache.partition.array). */
+#define VPOL_LRU 0
+#define VPOL_LIP 1
+#define VPOL_BIP 2
+#define VPOL_DIP 3
+#define VPOL_SRRIP 4
+#define VPOL_BRRIP 5
+#define VPOL_DRRIP 6
+#define VPOL_TADRRIP 7
+#define VPOL_PDP 8
+#define VPOL_RANDOM 9
+
+/* All Vantage replay state + policy parameters, bundled so the policy
+ * helpers stay readable.  Built on entry by vantage_run/vantage_realloc. */
+typedef struct {
+    int64_t num_parts, unm, unm_cap;
+    int64_t pol, max_rrpv;
+    double epsilon;
+    int64_t *counter;          /* shared bucket-entrant stamp (RRIP family) */
+    uint64_t *rng;
+    const int64_t *roles;      /* per-region duel roles (DIP/DRRIP) */
+    int64_t *psel;             /* psel[0] shared (DIP/DRRIP) or per region
+                                * (TA-DRRIP) */
+    int64_t psel_max, leader_levels;
+    int64_t *node_aux;         /* RRPV (RRIP family) / deadline (PDP) */
+    int64_t *node_stamp;       /* bucket-entrant order (RRIP family) */
+    int64_t *pdp_clock, *pdp_dp, *pdp_sample, *pdp_hist;
+    int64_t hist_stride;
+    const int64_t *pdp_maxdp, *pdp_interval, *pdp_clear;
+    int64_t *ls_tags, *ls_clocks, *ls_count;
+    int64_t ls_size;
+    int64_t *ht_tag, *ht_reg, *ht_node;
+    uint64_t tmask;
+    int64_t *node_tag, *node_prev, *node_next;
+    int64_t *head, *tail, *occ, *free_io;
+} vt_ctx;
 
 static inline uint64_t vt_home(int64_t tag, int64_t region)
 {
@@ -834,135 +1105,398 @@ static inline void vt_list_push(int64_t node, int64_t region,
     occ[region]++;
 }
 
+/* Push at the head (the LRU / oldest end): LIP-style insertion, i.e.
+ * OrderedDict.move_to_end(tag, last=False) right after the insert. */
+static inline void vt_list_push_front(int64_t node, int64_t region,
+                                      int64_t *node_prev, int64_t *node_next,
+                                      int64_t *head, int64_t *tail,
+                                      int64_t *occ)
+{
+    int64_t first = head[region];
+    node_next[node] = first;
+    node_prev[node] = -1;
+    if (first >= 0) node_prev[first] = node; else tail[region] = node;
+    head[region] = node;
+    occ[region]++;
+}
+
+/* PDPPolicy._record_reuse for region p: advance the region clock, sample
+ * the bounded reuse distance, and periodically recompute dp. */
+static inline void vt_pdp_record(vt_ctx *c, int64_t p, int64_t a)
+{
+    int64_t clk = ++c->pdp_clock[p];
+    int64_t *lst = c->ls_tags + p * c->ls_size;
+    int64_t *lsc = c->ls_clocks + p * c->ls_size;
+    uint64_t lmask = (uint64_t)(c->ls_size - 1);
+    int64_t maxdp = c->pdp_maxdp[p];
+    int64_t slot = ls_slot(lst, lmask, a);
+    if (lst[slot] == a) {
+        int64_t d = clk - lsc[slot];
+        if (d <= maxdp)
+            c->pdp_hist[p * c->hist_stride + d]++;
+    } else {
+        lst[slot] = a;
+        c->ls_count[p]++;
+    }
+    lsc[slot] = clk;
+    c->pdp_sample[p]++;
+    if (c->pdp_sample[p] % c->pdp_interval[p] == 0)
+        pdp_recompute(c->pdp_hist + p * c->hist_stride, maxdp, c->pdp_dp + p,
+                      c->pdp_sample[p], lst, c->ls_size, c->ls_count + p,
+                      c->pdp_clear[p]);
+}
+
+/* region.evict_one(): select (and for RRIP, age) but do not yet unlink the
+ * victim of managed region p.  Returns the victim node, or -1 when the
+ * region is empty. */
+static int64_t vt_evict_one(vt_ctx *c, int64_t p)
+{
+    if (c->occ[p] <= 0)
+        return -1;
+    switch (c->pol) {
+    case VPOL_SRRIP:
+    case VPOL_BRRIP:
+    case VPOL_DRRIP:
+    case VPOL_TADRRIP: {
+        /* Oldest bucket entrant at the highest RRPV, then age everyone —
+         * _RRIPBase._age_until_victim_available + evict. */
+        int64_t maxp = -1;
+        for (int64_t m = c->head[p]; m >= 0; m = c->node_next[m])
+            if (c->node_aux[m] > maxp) maxp = c->node_aux[m];
+        int64_t victim = -1, best = I64_MAX;
+        for (int64_t m = c->head[p]; m >= 0; m = c->node_next[m])
+            if (c->node_aux[m] == maxp && c->node_stamp[m] < best) {
+                best = c->node_stamp[m];
+                victim = m;
+            }
+        int64_t d = c->max_rrpv - maxp;
+        if (d > 0)
+            for (int64_t m = c->head[p]; m >= 0; m = c->node_next[m])
+                c->node_aux[m] += d;
+        return victim;
+    }
+    case VPOL_PDP: {
+        /* Oldest unprotected line, else the oldest line (PDPPolicy.evict_one
+         * — no clock advance here). */
+        int64_t clk = c->pdp_clock[p];
+        for (int64_t m = c->head[p]; m >= 0; m = c->node_next[m])
+            if (c->node_aux[m] <= clk)
+                return m;
+        return c->head[p];
+    }
+    case VPOL_RANDOM: {
+        uint64_t k = splitmix64_next(c->rng) % (uint64_t)c->occ[p];
+        int64_t m = c->head[p];
+        while (k--)
+            m = c->node_next[m];
+        return m;
+    }
+    default:
+        /* Recency family: the list head is the LRU line. */
+        return c->head[p];
+    }
+}
+
+/* region.access(tag) on a resident line. */
+static inline void vt_policy_hit(vt_ctx *c, int64_t p, int64_t node,
+                                 int64_t a)
+{
+    switch (c->pol) {
+    case VPOL_SRRIP:
+    case VPOL_BRRIP:
+    case VPOL_DRRIP:
+    case VPOL_TADRRIP:
+        /* Promote to bucket 0; the region list stays in membership order
+         * (victims are ordered by (RRPV, stamp), never by list position). */
+        c->node_aux[node] = 0;
+        c->node_stamp[node] = ++c->counter[0];
+        break;
+    case VPOL_PDP:
+        vt_pdp_record(c, p, a);
+        c->node_aux[node] = c->pdp_clock[p] + c->pdp_dp[p];
+        vt_list_remove(node, p, c->node_prev, c->node_next, c->head, c->tail,
+                       c->occ);
+        vt_list_push(node, p, c->node_prev, c->node_next, c->head, c->tail,
+                     c->occ);
+        break;
+    case VPOL_RANDOM:
+        break;  /* RandomPolicy keeps no recency state */
+    default:
+        /* Recency family: move to MRU. */
+        vt_list_remove(node, p, c->node_prev, c->node_next, c->head, c->tail,
+                       c->occ);
+        vt_list_push(node, p, c->node_prev, c->node_next, c->head, c->tail,
+                     c->occ);
+        break;
+    }
+}
+
+/* region.access(tag) insertion of a fresh node (the region has room):
+ * policy metadata, duel bookkeeping and the insertion position. */
+static void vt_policy_insert(vt_ctx *c, int64_t p, int64_t node, int64_t a)
+{
+    switch (c->pol) {
+    case VPOL_LIP:
+        vt_list_push_front(node, p, c->node_prev, c->node_next, c->head,
+                           c->tail, c->occ);
+        return;
+    case VPOL_BIP:
+        if (uniform01(c->rng) >= c->epsilon)
+            vt_list_push_front(node, p, c->node_prev, c->node_next, c->head,
+                               c->tail, c->occ);
+        else
+            vt_list_push(node, p, c->node_prev, c->node_next, c->head,
+                         c->tail, c->occ);
+        return;
+    case VPOL_DIP: {
+        int64_t role = c->roles[p];
+        if (role == ROLE_LEADER_SRRIP && c->psel[0] < c->psel_max)
+            c->psel[0]++;
+        else if (role == ROLE_LEADER_BRRIP && c->psel[0] > 0)
+            c->psel[0]--;
+        int bip = (role == ROLE_LEADER_BRRIP) ||
+                  (role == ROLE_FOLLOWER && c->psel[0] > c->psel_max / 2);
+        if (bip && uniform01(c->rng) >= c->epsilon)
+            vt_list_push_front(node, p, c->node_prev, c->node_next, c->head,
+                               c->tail, c->occ);
+        else
+            vt_list_push(node, p, c->node_prev, c->node_next, c->head,
+                         c->tail, c->occ);
+        return;
+    }
+    case VPOL_SRRIP:
+    case VPOL_BRRIP:
+    case VPOL_DRRIP:
+    case VPOL_TADRRIP: {
+        int64_t ins = c->max_rrpv - 1;
+        int bimodal = 0;
+        if (c->pol == VPOL_BRRIP) {
+            bimodal = 1;
+        } else if (c->pol == VPOL_DRRIP) {
+            int64_t role = c->roles[p];
+            if (role == ROLE_LEADER_SRRIP && c->psel[0] < c->psel_max)
+                c->psel[0]++;
+            else if (role == ROLE_LEADER_BRRIP && c->psel[0] > 0)
+                c->psel[0]--;
+            bimodal = (role == ROLE_LEADER_BRRIP) ||
+                      (role == ROLE_FOLLOWER &&
+                       c->psel[0] > c->psel_max / 2);
+        } else if (c->pol == VPOL_TADRRIP) {
+            int64_t role = address_role(a, c->leader_levels);
+            if (role == ROLE_LEADER_SRRIP && c->psel[p] < c->psel_max)
+                c->psel[p]++;
+            else if (role == ROLE_LEADER_BRRIP && c->psel[p] > 0)
+                c->psel[p]--;
+            bimodal = (role == ROLE_LEADER_BRRIP) ||
+                      (role == ROLE_FOLLOWER &&
+                       c->psel[p] > c->psel_max / 2);
+        }
+        if (bimodal && uniform01(c->rng) >= c->epsilon)
+            ins = c->max_rrpv;
+        c->node_aux[node] = ins;
+        c->node_stamp[node] = ++c->counter[0];
+        vt_list_push(node, p, c->node_prev, c->node_next, c->head, c->tail,
+                     c->occ);
+        return;
+    }
+    case VPOL_PDP:
+        vt_pdp_record(c, p, a);
+        c->node_aux[node] = c->pdp_clock[p] + c->pdp_dp[p];
+        vt_list_push(node, p, c->node_prev, c->node_next, c->head, c->tail,
+                     c->occ);
+        return;
+    default:
+        /* LRU / Random: MRU (insertion-order) end. */
+        vt_list_push(node, p, c->node_prev, c->node_next, c->head, c->tail,
+                     c->occ);
+        return;
+    }
+}
+
 /* Move a line demoted from (or bypassing) a managed region into the
  * unmanaged region, evicting its oldest entries while over capacity —
  * VantagePartitionedCache._demote.  Returns 0, or -2 on a corrupt free
  * list (defensive; cannot happen when the pool holds capacity + 1 nodes). */
-static inline int64_t vt_demote(int64_t tag, int64_t unm, int64_t unm_cap,
-                                int64_t *ht_tag, int64_t *ht_reg,
-                                int64_t *ht_node, uint64_t tmask,
-                                int64_t *node_tag, int64_t *node_prev,
-                                int64_t *node_next, int64_t *head,
-                                int64_t *tail, int64_t *occ, int64_t *free_io)
+static inline int64_t vt_demote(vt_ctx *c, int64_t tag)
 {
-    if (unm_cap == 0)
+    if (c->unm_cap == 0)
         return 0;
-    int64_t slot = vt_lookup(ht_tag, ht_reg, ht_node, tmask, tag, unm);
+    int64_t unm = c->unm;
+    int64_t slot = vt_lookup(c->ht_tag, c->ht_reg, c->ht_node, c->tmask,
+                             tag, unm);
     if (slot >= 0) {
-        int64_t node = ht_node[slot];
-        vt_list_remove(node, unm, node_prev, node_next, head, tail, occ);
-        vt_list_push(node, unm, node_prev, node_next, head, tail, occ);
+        int64_t node = c->ht_node[slot];
+        vt_list_remove(node, unm, c->node_prev, c->node_next, c->head,
+                       c->tail, c->occ);
+        vt_list_push(node, unm, c->node_prev, c->node_next, c->head, c->tail,
+                     c->occ);
     } else {
-        int64_t node = free_io[0];
+        int64_t node = c->free_io[0];
         if (node < 0)
             return -2;
-        free_io[0] = node_next[node];
-        node_tag[node] = tag;
-        vt_list_push(node, unm, node_prev, node_next, head, tail, occ);
-        vt_insert(ht_tag, ht_reg, ht_node, tmask, tag, unm, node);
+        c->free_io[0] = c->node_next[node];
+        c->node_tag[node] = tag;
+        vt_list_push(node, unm, c->node_prev, c->node_next, c->head, c->tail,
+                     c->occ);
+        vt_insert(c->ht_tag, c->ht_reg, c->ht_node, c->tmask, tag, unm, node);
     }
-    while (occ[unm] > unm_cap) {
-        int64_t victim = head[unm];
-        int64_t vslot = vt_lookup(ht_tag, ht_reg, ht_node, tmask,
-                                  node_tag[victim], unm);
-        vt_list_remove(victim, unm, node_prev, node_next, head, tail, occ);
-        vt_delete(ht_tag, ht_reg, ht_node, tmask, (uint64_t)vslot);
-        node_next[victim] = free_io[0];
-        free_io[0] = victim;
+    while (c->occ[unm] > c->unm_cap) {
+        int64_t victim = c->head[unm];
+        int64_t vslot = vt_lookup(c->ht_tag, c->ht_reg, c->ht_node, c->tmask,
+                                  c->node_tag[victim], unm);
+        vt_list_remove(victim, unm, c->node_prev, c->node_next, c->head,
+                       c->tail, c->occ);
+        vt_delete(c->ht_tag, c->ht_reg, c->ht_node, c->tmask,
+                  (uint64_t)vslot);
+        c->node_next[victim] = c->free_io[0];
+        c->free_io[0] = victim;
     }
     return 0;
 }
 
-/* Insert into managed partition p, demoting that partition's LRU victim
+/* Unlink region p's chosen victim, demote it, and free its node. */
+static inline int64_t vt_evict_and_demote(vt_ctx *c, int64_t p)
+{
+    int64_t victim = vt_evict_one(c, p);
+    if (victim < 0)
+        return 0;
+    int64_t vtag = c->node_tag[victim];
+    int64_t vslot = vt_lookup(c->ht_tag, c->ht_reg, c->ht_node, c->tmask,
+                              vtag, p);
+    vt_list_remove(victim, p, c->node_prev, c->node_next, c->head, c->tail,
+                   c->occ);
+    vt_delete(c->ht_tag, c->ht_reg, c->ht_node, c->tmask, (uint64_t)vslot);
+    c->node_next[victim] = c->free_io[0];
+    c->free_io[0] = victim;
+    return vt_demote(c, vtag);
+}
+
+/* Insert into managed partition p, demoting that partition's policy victim
  * (or the line itself when the partition has no budget) —
  * VantagePartitionedCache._insert_managed. */
-static inline int64_t vt_insert_managed(int64_t a, int64_t p, int64_t cap,
-                                        int64_t unm, int64_t unm_cap,
-                                        int64_t *ht_tag, int64_t *ht_reg,
-                                        int64_t *ht_node, uint64_t tmask,
-                                        int64_t *node_tag, int64_t *node_prev,
-                                        int64_t *node_next, int64_t *head,
-                                        int64_t *tail, int64_t *occ,
-                                        int64_t *free_io)
+static inline int64_t vt_insert_managed(vt_ctx *c, int64_t a, int64_t p,
+                                        int64_t cap)
 {
     if (cap == 0)
-        return vt_demote(a, unm, unm_cap, ht_tag, ht_reg, ht_node, tmask,
-                         node_tag, node_prev, node_next, head, tail, occ,
-                         free_io);
-    if (occ[p] >= cap) {
-        int64_t victim = head[p];
-        int64_t vtag = node_tag[victim];
-        int64_t vslot = vt_lookup(ht_tag, ht_reg, ht_node, tmask, vtag, p);
-        vt_list_remove(victim, p, node_prev, node_next, head, tail, occ);
-        vt_delete(ht_tag, ht_reg, ht_node, tmask, (uint64_t)vslot);
-        node_next[victim] = free_io[0];
-        free_io[0] = victim;
-        int64_t rc = vt_demote(vtag, unm, unm_cap, ht_tag, ht_reg, ht_node,
-                               tmask, node_tag, node_prev, node_next, head,
-                               tail, occ, free_io);
+        return vt_demote(c, a);
+    if (c->occ[p] >= cap) {
+        int64_t rc = vt_evict_and_demote(c, p);
         if (rc < 0)
             return rc;
     }
-    int64_t node = free_io[0];
+    int64_t node = c->free_io[0];
     if (node < 0)
         return -2;
-    free_io[0] = node_next[node];
-    node_tag[node] = a;
-    vt_list_push(node, p, node_prev, node_next, head, tail, occ);
-    vt_insert(ht_tag, ht_reg, ht_node, tmask, a, p, node);
+    c->free_io[0] = c->node_next[node];
+    c->node_tag[node] = a;
+    vt_insert(c->ht_tag, c->ht_reg, c->ht_node, c->tmask, a, p, node);
+    vt_policy_insert(c, p, node, a);
     return 0;
 }
 
-/* Replay a partition-tagged trace through a Vantage cache.  Fills
- * per-partition miss counts into miss_out (caller-zeroed) and returns the
- * total, -1 on an out-of-range partition id, or -2 on free-list
- * exhaustion (both defensive; callers validate / size the pool). */
+static inline vt_ctx vt_make_ctx(int64_t num_parts, int64_t unm_cap,
+                                 int64_t pol, int64_t max_rrpv,
+                                 double epsilon, int64_t *counter,
+                                 uint64_t *rng_state, const int64_t *roles,
+                                 int64_t *psel, int64_t psel_max,
+                                 int64_t leader_levels, int64_t *node_aux,
+                                 int64_t *node_stamp, int64_t *pdp_clock,
+                                 int64_t *pdp_dp, int64_t *pdp_sample,
+                                 int64_t *pdp_hist, int64_t hist_stride,
+                                 const int64_t *pdp_maxdp,
+                                 const int64_t *pdp_interval,
+                                 const int64_t *pdp_clear, int64_t *ls_tags,
+                                 int64_t *ls_clocks, int64_t *ls_count,
+                                 int64_t ls_size, int64_t *ht_tag,
+                                 int64_t *ht_reg, int64_t *ht_node,
+                                 int64_t tsize, int64_t *node_tag,
+                                 int64_t *node_prev, int64_t *node_next,
+                                 int64_t *head, int64_t *tail, int64_t *occ,
+                                 int64_t *free_io)
+{
+    vt_ctx c;
+    c.num_parts = num_parts; c.unm = num_parts; c.unm_cap = unm_cap;
+    c.pol = pol; c.max_rrpv = max_rrpv; c.epsilon = epsilon;
+    c.counter = counter; c.rng = rng_state; c.roles = roles; c.psel = psel;
+    c.psel_max = psel_max; c.leader_levels = leader_levels;
+    c.node_aux = node_aux; c.node_stamp = node_stamp;
+    c.pdp_clock = pdp_clock; c.pdp_dp = pdp_dp; c.pdp_sample = pdp_sample;
+    c.pdp_hist = pdp_hist; c.hist_stride = hist_stride;
+    c.pdp_maxdp = pdp_maxdp; c.pdp_interval = pdp_interval;
+    c.pdp_clear = pdp_clear;
+    c.ls_tags = ls_tags; c.ls_clocks = ls_clocks; c.ls_count = ls_count;
+    c.ls_size = ls_size;
+    c.ht_tag = ht_tag; c.ht_reg = ht_reg; c.ht_node = ht_node;
+    c.tmask = (uint64_t)(tsize - 1);
+    c.node_tag = node_tag; c.node_prev = node_prev; c.node_next = node_next;
+    c.head = head; c.tail = tail; c.occ = occ; c.free_io = free_io;
+    return c;
+}
+
+/* Replay a partition-tagged trace through a Vantage cache whose managed
+ * regions run the `pol` replacement policy.  Fills per-partition miss
+ * counts into miss_out (caller-zeroed) and returns the total, -1 on an
+ * out-of-range partition id, or -2 on free-list exhaustion (both
+ * defensive; callers validate / size the pool).  Policy side state not
+ * used by `pol` may be NULL. */
 int64_t vantage_run(const int64_t *addrs, const int64_t *parts, int64_t n,
                     int64_t num_parts, const int64_t *caps, int64_t unm_cap,
-                    int64_t *ht_tag, int64_t *ht_reg, int64_t *ht_node,
-                    int64_t tsize, int64_t *node_tag, int64_t *node_prev,
-                    int64_t *node_next, int64_t *head, int64_t *tail,
-                    int64_t *occ, int64_t *free_io, int64_t *miss_out)
+                    int64_t pol, int64_t max_rrpv, double epsilon,
+                    int64_t *counter, uint64_t *rng_state,
+                    const int64_t *roles, int64_t *psel, int64_t psel_max,
+                    int64_t leader_levels, int64_t *node_aux,
+                    int64_t *node_stamp, int64_t *pdp_clock, int64_t *pdp_dp,
+                    int64_t *pdp_sample, int64_t *pdp_hist,
+                    int64_t hist_stride, const int64_t *pdp_maxdp,
+                    const int64_t *pdp_interval, const int64_t *pdp_clear,
+                    int64_t *ls_tags, int64_t *ls_clocks, int64_t *ls_count,
+                    int64_t ls_size, int64_t *ht_tag, int64_t *ht_reg,
+                    int64_t *ht_node, int64_t tsize, int64_t *node_tag,
+                    int64_t *node_prev, int64_t *node_next, int64_t *head,
+                    int64_t *tail, int64_t *occ, int64_t *free_io,
+                    int64_t *miss_out)
 {
+    vt_ctx c = vt_make_ctx(num_parts, unm_cap, pol, max_rrpv, epsilon,
+                           counter, rng_state, roles, psel, psel_max,
+                           leader_levels, node_aux, node_stamp, pdp_clock,
+                           pdp_dp, pdp_sample, pdp_hist, hist_stride,
+                           pdp_maxdp, pdp_interval, pdp_clear, ls_tags,
+                           ls_clocks, ls_count, ls_size, ht_tag, ht_reg,
+                           ht_node, tsize, node_tag, node_prev, node_next,
+                           head, tail, occ, free_io);
     int64_t total_misses = 0;
-    int64_t unm = num_parts;
-    uint64_t tmask = (uint64_t)(tsize - 1);
 
     for (int64_t i = 0; i < n; i++) {
         int64_t a = addrs[i];
         int64_t p = parts[i];
         if (p < 0 || p >= num_parts)
             return -1;
-        int64_t slot = vt_lookup(ht_tag, ht_reg, ht_node, tmask, a, p);
+        int64_t slot = vt_lookup(c.ht_tag, c.ht_reg, c.ht_node, c.tmask,
+                                 a, p);
         if (slot >= 0) {
-            /* Managed hit: move to MRU. */
-            int64_t node = ht_node[slot];
-            vt_list_remove(node, p, node_prev, node_next, head, tail, occ);
-            vt_list_push(node, p, node_prev, node_next, head, tail, occ);
+            /* Managed hit. */
+            vt_policy_hit(&c, p, c.ht_node[slot], a);
             continue;
         }
-        int64_t uslot = vt_lookup(ht_tag, ht_reg, ht_node, tmask, a, unm);
+        int64_t uslot = vt_lookup(c.ht_tag, c.ht_reg, c.ht_node, c.tmask,
+                                  a, c.unm);
         if (uslot >= 0) {
             /* Unmanaged hit: promote back into the partition. */
-            int64_t node = ht_node[uslot];
-            vt_list_remove(node, unm, node_prev, node_next, head, tail, occ);
-            vt_delete(ht_tag, ht_reg, ht_node, tmask, (uint64_t)uslot);
-            node_next[node] = free_io[0];
-            free_io[0] = node;
-            int64_t rc = vt_insert_managed(a, p, caps[p], unm, unm_cap,
-                                           ht_tag, ht_reg, ht_node, tmask,
-                                           node_tag, node_prev, node_next,
-                                           head, tail, occ, free_io);
+            int64_t node = c.ht_node[uslot];
+            vt_list_remove(node, c.unm, c.node_prev, c.node_next, c.head,
+                           c.tail, c.occ);
+            vt_delete(c.ht_tag, c.ht_reg, c.ht_node, c.tmask,
+                      (uint64_t)uslot);
+            c.node_next[node] = c.free_io[0];
+            c.free_io[0] = node;
+            int64_t rc = vt_insert_managed(&c, a, p, caps[p]);
             if (rc < 0)
                 return rc;
             continue;
         }
         miss_out[p]++;
         total_misses++;
-        int64_t rc = vt_insert_managed(a, p, caps[p], unm, unm_cap,
-                                       ht_tag, ht_reg, ht_node, tmask,
-                                       node_tag, node_prev, node_next,
-                                       head, tail, occ, free_io);
+        int64_t rc = vt_insert_managed(&c, a, p, caps[p]);
         if (rc < 0)
             return rc;
     }
@@ -970,29 +1504,28 @@ int64_t vantage_run(const int64_t *addrs, const int64_t *parts, int64_t n,
 }
 
 /* Warm reallocation: shrink each managed region to its new capacity,
- * demoting the evicted LRU victims (in eviction order) into the unmanaged
- * region — VantagePartitionedCache.set_allocations.  The caller records
- * the new capacities afterwards.  Returns 0 or -2 (see vantage_run). */
+ * demoting the policy's evicted victims (in eviction order) into the
+ * unmanaged region — VantagePartitionedCache.set_allocations.  The caller
+ * records the new capacities afterwards.  Returns 0 or -2 (see
+ * vantage_run). */
 int64_t vantage_realloc(int64_t num_parts, const int64_t *new_caps,
-                        int64_t unm_cap, int64_t *ht_tag, int64_t *ht_reg,
+                        int64_t unm_cap, int64_t pol, int64_t max_rrpv,
+                        uint64_t *rng_state, int64_t *node_aux,
+                        int64_t *node_stamp, int64_t *pdp_clock,
+                        int64_t *pdp_dp, int64_t *ht_tag, int64_t *ht_reg,
                         int64_t *ht_node, int64_t tsize, int64_t *node_tag,
                         int64_t *node_prev, int64_t *node_next, int64_t *head,
                         int64_t *tail, int64_t *occ, int64_t *free_io)
 {
-    int64_t unm = num_parts;
-    uint64_t tmask = (uint64_t)(tsize - 1);
+    vt_ctx c = vt_make_ctx(num_parts, unm_cap, pol, max_rrpv, 0.0, NULL,
+                           rng_state, NULL, NULL, 0, 0, node_aux, node_stamp,
+                           pdp_clock, pdp_dp, NULL, NULL, 0, NULL, NULL,
+                           NULL, NULL, NULL, NULL, 0, ht_tag, ht_reg,
+                           ht_node, tsize, node_tag, node_prev, node_next,
+                           head, tail, occ, free_io);
     for (int64_t p = 0; p < num_parts; p++) {
-        while (occ[p] > new_caps[p]) {
-            int64_t victim = head[p];
-            int64_t vtag = node_tag[victim];
-            int64_t vslot = vt_lookup(ht_tag, ht_reg, ht_node, tmask, vtag, p);
-            vt_list_remove(victim, p, node_prev, node_next, head, tail, occ);
-            vt_delete(ht_tag, ht_reg, ht_node, tmask, (uint64_t)vslot);
-            node_next[victim] = free_io[0];
-            free_io[0] = victim;
-            int64_t rc = vt_demote(vtag, unm, unm_cap, ht_tag, ht_reg,
-                                   ht_node, tmask, node_tag, node_prev,
-                                   node_next, head, tail, occ, free_io);
+        while (c.occ[p] > new_caps[p]) {
+            int64_t rc = vt_evict_and_demote(&c, p);
             if (rc < 0)
                 return rc;
         }
@@ -1184,6 +1717,8 @@ enum {
     BATCH_KIND_PART_LRU = 5, /* part_lru_run (LRU/LIP regions)     */
     BATCH_KIND_PART_SRRIP = 6, /* part_srrip_run                   */
     BATCH_KIND_VANTAGE = 7,  /* vantage_run                        */
+    BATCH_KIND_TADRRIP = 8,  /* tadrrip_run (parts = thread ids)   */
+    BATCH_KIND_BELADY = 9,   /* belady_run (ht_reg = next-use map) */
 };
 
 /* One replay task.  Every member is 8 bytes, so the layout is identical
@@ -1240,6 +1775,20 @@ typedef struct {
     int64_t tsize;
     int64_t num_regions;
     int64_t unm_cap;
+    int64_t *node_aux;
+    int64_t *node_stamp;
+    const int64_t *vp_maxdp;
+    const int64_t *vp_interval;
+    const int64_t *vp_clear;
+    const int64_t *next_use;
+    int64_t *heap_key;
+    int64_t *heap_tag;
+    int64_t *heap_io;
+    int64_t hist_stride;
+    int64_t ls_size;
+    int64_t heap_cap;
+    int64_t capacity;
+    int64_t num_streams;
     double epsilon;
     int64_t result;
 } batch_task;
@@ -1295,10 +1844,31 @@ static void batch_run_one(batch_task *t)
         break;
     case BATCH_KIND_VANTAGE:
         t->result = vantage_run(t->addrs, t->parts, t->n, t->num_regions,
-                                t->caps, t->unm_cap, t->ht_tag, t->ht_reg,
+                                t->caps, t->unm_cap, t->mode, t->max_rrpv,
+                                t->epsilon, t->counter, t->rng_state,
+                                t->roles, t->psel, t->psel_max,
+                                t->leader_levels, t->node_aux,
+                                t->node_stamp, t->clock, t->dp,
+                                t->sample_count, t->hist, t->hist_stride,
+                                t->vp_maxdp, t->vp_interval, t->vp_clear,
+                                t->ls_tags, t->ls_clocks, t->ls_count,
+                                t->ls_size, t->ht_tag, t->ht_reg,
                                 t->ht_node, t->tsize, t->node_tag,
                                 t->node_prev, t->node_next, t->head,
                                 t->tail, t->occ, t->free_io, t->miss_out);
+        break;
+    case BATCH_KIND_TADRRIP:
+        t->result = tadrrip_run(t->addrs, t->parts, t->n, t->num_sets,
+                                t->ways, t->max_rrpv, t->tags, t->rrpv,
+                                t->stamp, t->counter, t->epsilon,
+                                t->rng_state, t->psel, t->num_streams,
+                                t->psel_max, t->leader_levels, t->hashed,
+                                t->index_seed, t->miss_out);
+        break;
+    case BATCH_KIND_BELADY:
+        t->result = belady_run(t->addrs, t->next_use, t->n, t->capacity,
+                               t->ht_tag, t->ht_reg, t->tsize, t->heap_key,
+                               t->heap_tag, t->heap_cap, t->heap_io);
         break;
     default:
         t->result = -2;

@@ -55,12 +55,26 @@ empty-way sentinel; :meth:`ArraySetAssociativeCache.access`/``run`` reject
 it rather than silently mis-reporting a hit (the object model has no such
 reservation).
 
-``BIP``, ``DIP``, ``BRRIP``, ``DRRIP`` and ``Random`` are *statistically*
-equivalent but not bit-identical: their randomized draws (bimodal
-insertions, random victims) come from a shared splitmix64 stream (used by
-both the kernel and the Python fallback, so the array backend is
+``BIP``, ``DIP``, ``BRRIP``, ``DRRIP``, ``TA-DRRIP`` and ``Random`` are
+*statistically* equivalent but not bit-identical: their randomized draws
+(bimodal insertions, random victims) come from a shared splitmix64 stream
+(used by both the kernel and the Python fallback, so the array backend is
 deterministic per seed across machines) rather than each set's
 ``random.Random`` instance.
+
+``Belady`` (offline MIN) lives in its own organization,
+:class:`ArrayBeladyCache`: it is fully associative and needs the whole
+trace up front (:func:`belady_next_use` precomputes every access's
+next-use position once, shared across capacities).  Its *miss counts* are
+exact against :class:`~repro.cache.replacement.belady.BeladyMINPolicy` —
+ties among never-reused lines may be broken differently, but evicting any
+dead line leaves every future hit intact, so MIN's miss count is invariant
+to that choice.
+
+``TA-DRRIP`` additionally threads a per-access ``thread_ids`` lane through
+:meth:`ArraySetAssociativeCache.run`/``run_chunk``/``replay_task``: each
+thread (stream) duels SRRIP against BRRIP with its own PSEL counter, and
+per-thread miss counts accumulate in :attr:`thread_misses`.
 
 Resumable-runtime contract
 --------------------------
@@ -86,12 +100,14 @@ from .cache import CacheStats, materialize_addresses
 from .hashing import GOLDEN64 as _GOLDEN
 from .hashing import mix64, seed_mix
 
-__all__ = ["ArraySetAssociativeCache", "ARRAY_POLICIES",
-           "ARRAY_EXACT_POLICIES", "run_lru_family_batch"]
+__all__ = ["ArraySetAssociativeCache", "ArrayBeladyCache", "ARRAY_POLICIES",
+           "ARRAY_EXACT_POLICIES", "belady_next_use", "run_lru_family_batch"]
 
-#: Policies the array backend implements.
+#: Policies the array backend implements (``Belady`` through
+#: :class:`ArrayBeladyCache`; everything else through
+#: :class:`ArraySetAssociativeCache`).
 ARRAY_POLICIES = ("LRU", "LIP", "BIP", "DIP", "SRRIP", "BRRIP", "DRRIP",
-                  "PDP", "Random")
+                  "TA-DRRIP", "PDP", "Random", "Belady")
 
 #: Policies whose array implementation is bit-identical to the object model.
 ARRAY_EXACT_POLICIES = ("LRU", "LIP", "SRRIP", "PDP")
@@ -107,6 +123,9 @@ _ROLE_ADDRESS_DUEL = 3
 
 #: Policies using the RRIP state matrix / rrip_run kernel.
 _RRIP_FAMILY = ("SRRIP", "BRRIP", "DRRIP")
+#: Policies whose per-line state is the RRIP matrix (victim selection and
+#: warm resizing share one code path); TA-DRRIP has its own kernel.
+_RRIP_STATE = _RRIP_FAMILY + ("TA-DRRIP",)
 #: Policies using the recency matrix with dueled insertion / dip_run kernel.
 _DIP_FAMILY = ("BIP", "DIP")
 #: Policies that set-duel two insertion policies through per-set roles.
@@ -183,11 +202,17 @@ class ArraySetAssociativeCache:
                  index_seed: int = 0,
                  recompute_interval: int | None = None,
                  max_distance_factor: float = 3.0,
-                 initial_distance: int | None = None):
+                 initial_distance: int | None = None,
+                 num_streams: int = 8):
         if num_sets <= 0:
             raise ValueError("num_sets must be positive")
         if ways <= 0:
             raise ValueError("ways must be positive")
+        if policy == "Belady":
+            raise ValueError(
+                "Belady is offline and fully associative; build it with "
+                "ArrayBeladyCache(capacity, trace) (a spec needs the trace "
+                "attached via spec.with_trace(...))")
         if policy not in ARRAY_POLICIES:
             raise ValueError(f"array backend does not implement {policy!r}; "
                              f"supported: {ARRAY_POLICIES}")
@@ -216,6 +241,20 @@ class ArraySetAssociativeCache:
         self._roles = (_dueling_roles(num_sets) if policy in _DUELING
                        else np.zeros(num_sets, dtype=np.int64))
         self._leader_levels = max(1, int(round(1024 / 16.0)))
+        if num_streams != 8 and policy != "TA-DRRIP":
+            raise ValueError("num_streams applies to TA-DRRIP only")
+        self.num_streams = int(num_streams)
+        if policy == "TA-DRRIP":
+            # Thread-aware dueling (mirrors TADRRIPPolicy): one PSEL per
+            # stream, address-hash leader constituencies (1/32 of the
+            # address space per insertion policy), per-stream miss
+            # accumulators surfaced as :attr:`thread_misses`.
+            if self.num_streams < 1:
+                raise ValueError("num_streams must be >= 1")
+            self._psel = np.full(self.num_streams, self._psel_max // 2,
+                                 dtype=np.int64)
+            self._leader_levels = max(1, int(round(1024 / 32.0)))
+            self._tad_misses = np.zeros(self.num_streams, dtype=np.int64)
         if policy == "PDP":
             self._init_pdp_state(recompute_interval, max_distance_factor,
                                  initial_distance)
@@ -298,18 +337,24 @@ class ArraySetAssociativeCache:
         restore_into(self, checkpoint)
 
     # ------------------------------------------------------------------ #
-    def access(self, address: int) -> bool:
+    def access(self, address: int, thread_id: int = 0) -> bool:
         """Perform one access; returns True on a hit and updates stats.
 
         This is the pure-Python replay path, bit-compatible with the
         native kernel: a trace can be replayed partly through
         :meth:`run` and partly through :meth:`access` with identical
-        results.
+        results.  ``thread_id`` attributes the access to a stream
+        (TA-DRRIP only; other policies are thread-oblivious and reject a
+        nonzero id).
         """
         address = int(address)
         if address == _EMPTY:
             raise ValueError("address -1 is reserved as the empty-way "
                              "sentinel; the array backend cannot cache it")
+        if self.policy == "TA-DRRIP":
+            tid = self._tad_tid(thread_id)
+        elif thread_id != 0:
+            raise ValueError("thread_id applies to TA-DRRIP only")
         if self.ways == 0 or self.num_sets == 0:
             # A region warm-resized to zero capacity: every access misses,
             # but side state advances exactly as the object policies' do
@@ -319,12 +364,17 @@ class ArraySetAssociativeCache:
                 s = self.set_index(address)
                 if self.policy == "PDP":
                     self._pdp_sample(address, s)
+                elif self.policy == "TA-DRRIP":
+                    self._tad_misses[tid] += 1
+                    self._tad_duel(address, tid)
                 elif self.policy in _DUELING:
                     self._duel_role(address, s)
             self.stats.record(False)
             return False
         s = self.set_index(address)
-        if self.policy in _RRIP_FAMILY:
+        if self.policy == "TA-DRRIP":
+            hit = self._tadrrip_access(address, s, tid)
+        elif self.policy in _RRIP_FAMILY:
             hit = self._rrip_access(address, s)
         elif self.policy in _DIP_FAMILY:
             hit = self._dip_access(address, s)
@@ -417,6 +467,76 @@ class ArraySetAssociativeCache:
                            and int(self._psel[0]) > self._psel_max // 2))
         else:
             bimodal = False
+        if bimodal and _uniform01(self._rng_state) >= self.epsilon:
+            ins = self.max_rrpv
+
+        row[w] = a
+        rv[w] = ins
+        st[w] = t
+        return False
+
+    # -- TA-DRRIP -------------------------------------------------------- #
+    @property
+    def thread_misses(self) -> np.ndarray:
+        """Per-stream cumulative miss counts (TA-DRRIP only)."""
+        if self.policy != "TA-DRRIP":
+            raise AttributeError("thread_misses applies to TA-DRRIP only")
+        return self._tad_misses
+
+    def _tad_tid(self, thread_id: int) -> int:
+        tid = int(thread_id)
+        if not 0 <= tid < self.num_streams:
+            raise ValueError(f"thread_id must be in [0, {self.num_streams}),"
+                             f" got {tid}")
+        return tid
+
+    def _tad_duel(self, a: int, tid: int) -> int:
+        """Address-constituency role of a TA-DRRIP miss, updating the
+        issuing stream's PSEL (mirrors TADRRIPPolicy._address_role +
+        DuelingController.record_leader_miss, and the kernel exactly)."""
+        bucket = (a * _GOLDEN) & 1023
+        if bucket < self._leader_levels:
+            role = _ROLE_LEADER_SRRIP
+        elif bucket < 2 * self._leader_levels:
+            role = _ROLE_LEADER_BRRIP
+        else:
+            role = _ROLE_FOLLOWER
+        if role == _ROLE_LEADER_SRRIP and self._psel[tid] < self._psel_max:
+            self._psel[tid] += 1
+        elif role == _ROLE_LEADER_BRRIP and self._psel[tid] > 0:
+            self._psel[tid] -= 1
+        return role
+
+    def _tadrrip_access(self, a: int, s: int, tid: int) -> bool:
+        row = self.tags[s]
+        rv = self.rrpv[s]
+        st = self.stamp[s]
+        self._counter[0] += 1
+        t = int(self._counter[0])
+        match = np.nonzero(row == a)[0]
+        if match.size:
+            w = int(match[0])
+            rv[w] = 0  # hit priority
+            st[w] = t
+            return True
+        self._tad_misses[tid] += 1
+        role = self._tad_duel(a, tid)
+
+        empty = np.nonzero(row == _EMPTY)[0]
+        if empty.size:
+            w = int(empty[0])
+        else:
+            maxp = int(rv.max())
+            candidates = np.nonzero(rv == maxp)[0]
+            w = int(candidates[np.argmin(st[candidates])])
+            d = self.max_rrpv - maxp
+            if d > 0:
+                rv += d
+
+        ins = self.max_rrpv - 1
+        bimodal = (role == _ROLE_LEADER_BRRIP
+                   or (role == _ROLE_FOLLOWER
+                       and int(self._psel[tid]) > self._psel_max // 2))
         if bimodal and _uniform01(self._rng_state) >= self.epsilon:
             ins = self.max_rrpv
 
@@ -561,12 +681,35 @@ class ArraySetAssociativeCache:
         return False
 
     # ------------------------------------------------------------------ #
+    def _materialize_tids(self, addrs: np.ndarray, thread_ids) -> np.ndarray | None:
+        """Validated per-access stream ids (TA-DRRIP's thread lane).
+
+        Returns ``None`` for thread-oblivious policies; for TA-DRRIP an
+        int64 array the shape of ``addrs`` (all stream 0 when no ids were
+        supplied)."""
+        if self.policy != "TA-DRRIP":
+            if thread_ids is not None:
+                raise ValueError("thread_ids applies to TA-DRRIP only")
+            return None
+        if thread_ids is None:
+            return np.zeros(addrs.size, dtype=np.int64)
+        tids = np.ascontiguousarray(thread_ids, dtype=np.int64)
+        if tids.shape != addrs.shape:
+            raise ValueError("thread_ids must have the trace's shape")
+        if tids.size and (int(tids.min()) < 0
+                          or int(tids.max()) >= self.num_streams):
+            raise ValueError(
+                f"thread ids must be in [0, {self.num_streams})")
+        return tids
+
     def run(self, trace: Iterable[int] | Sequence[int] | np.ndarray,
-            instructions: int = 0) -> CacheStats:
+            instructions: int = 0, thread_ids=None) -> CacheStats:
         """Replay a trace; returns (and stores) the accumulated stats.
 
         Uses the native kernel when available, the Python access path
-        otherwise — results are identical either way.
+        otherwise — results are identical either way.  ``thread_ids``
+        (TA-DRRIP only) attributes each access to a stream; omitted, every
+        access belongs to stream 0.
         """
         addrs = materialize_addresses(trace)
         if addrs.ndim != 1:
@@ -574,16 +717,21 @@ class ArraySetAssociativeCache:
         if addrs.size and bool(np.any(addrs == _EMPTY)):
             raise ValueError("address -1 is reserved as the empty-way "
                              "sentinel; the array backend cannot cache it")
+        tids = self._materialize_tids(addrs, thread_ids)
         kernel = get_kernel()
         if kernel is None or self.ways == 0 or self.num_sets == 0:
             # No kernel, or a zero-capacity warm-resized region (the
             # kernels index per-way rows, which a zero-way geometry does
             # not have; the Python path advances the capacity-independent
             # side state exactly).
-            for a in addrs.tolist():
-                self.access(a)
+            if tids is None:
+                for a in addrs.tolist():
+                    self.access(a)
+            else:
+                for a, tid in zip(addrs.tolist(), tids.tolist()):
+                    self.access(a, tid)
         elif addrs.size:
-            misses = self._run_native(kernel, addrs)
+            misses = self._run_native(kernel, addrs, tids)
             self.stats.accesses += int(addrs.size)
             self.stats.misses += misses
             self.stats.hits += int(addrs.size) - misses
@@ -592,7 +740,7 @@ class ArraySetAssociativeCache:
         return self.stats
 
     def run_chunk(self, trace: Iterable[int] | Sequence[int] | np.ndarray,
-                  instructions: int = 0) -> CacheStats:
+                  instructions: int = 0, thread_ids=None) -> CacheStats:
         """Replay one chunk of a trace; returns this chunk's stats only.
 
         The chunked entry point of the resumable runtime: state is carried
@@ -603,15 +751,31 @@ class ArraySetAssociativeCache:
         before = CacheStats(accesses=self.stats.accesses,
                             hits=self.stats.hits, misses=self.stats.misses,
                             instructions=self.stats.instructions)
-        self.run(trace, instructions=instructions)
+        self.run(trace, instructions=instructions, thread_ids=thread_ids)
         return CacheStats(
             accesses=self.stats.accesses - before.accesses,
             hits=self.stats.hits - before.hits,
             misses=self.stats.misses - before.misses,
             instructions=self.stats.instructions - before.instructions)
 
-    def _run_native(self, kernel, addrs: np.ndarray) -> int:
+    def _run_native(self, kernel, addrs: np.ndarray,
+                    tids: np.ndarray | None = None) -> int:
         hashed = 1 if self.hashed_index else 0
+        if self.policy == "TA-DRRIP":
+            if tids is None:
+                tids = np.zeros(addrs.size, dtype=np.int64)
+            misses = kernel.tadrrip_run(addrs, tids, self.num_sets,
+                                        self.ways, self.max_rrpv, self.tags,
+                                        self.rrpv, self.stamp, self._counter,
+                                        self.epsilon, self._rng_state,
+                                        self._psel, self.num_streams,
+                                        self._psel_max, self._leader_levels,
+                                        self._tad_misses, hashed,
+                                        self.index_seed)
+            if misses < 0:
+                raise ValueError(
+                    f"thread ids must be in [0, {self.num_streams})")
+            return misses
         if self.policy in _RRIP_FAMILY:
             return kernel.rrip_run(addrs, self.num_sets, self.ways,
                                    self.max_rrpv, self.tags, self.rrpv,
@@ -647,7 +811,7 @@ class ArraySetAssociativeCache:
                               1 if self.policy == "LIP" else 0,
                               hashed, self.index_seed)
 
-    def replay_task(self, trace):
+    def replay_task(self, trace, thread_ids=None):
         """This cache's replay of ``trace`` as a batchable
         :class:`~repro.cache.threadbatch.ReplayTask`.
 
@@ -656,7 +820,7 @@ class ArraySetAssociativeCache:
         task executed by the threaded dispatcher — at any width — is
         bit-identical to calling :meth:`run` directly.  Without a kernel
         (or at zero geometry) the task carries :meth:`run` itself as its
-        fallback.
+        fallback.  ``thread_ids`` is TA-DRRIP's per-access stream lane.
         """
         from . import _native
         from .threadbatch import ReplayTask, i64_ptr, u64_ptr
@@ -666,10 +830,12 @@ class ArraySetAssociativeCache:
         if addrs.size and bool(np.any(addrs == _EMPTY)):
             raise ValueError("address -1 is reserved as the empty-way "
                              "sentinel; the array backend cannot cache it")
+        tids = self._materialize_tids(addrs, thread_ids)
         kernel = get_kernel()
         if (kernel is None or not kernel.has_batch or self.ways == 0
                 or self.num_sets == 0 or addrs.size == 0):
-            return ReplayTask(fallback=lambda: self.run(addrs))
+            return ReplayTask(
+                fallback=lambda: self.run(addrs, thread_ids=tids))
         n = int(addrs.size)
         fields = {
             "addrs": i64_ptr(addrs), "n": n,
@@ -679,7 +845,18 @@ class ArraySetAssociativeCache:
             "hashed": 1 if self.hashed_index else 0,
             "index_seed": self.index_seed,
         }
-        if self.policy in _RRIP_FAMILY:
+        refs: tuple = (addrs,)
+        if self.policy == "TA-DRRIP":
+            fields.update(
+                kind=_native.KIND_TADRRIP, max_rrpv=self.max_rrpv,
+                rrpv=i64_ptr(self.rrpv), parts=i64_ptr(tids),
+                epsilon=self.epsilon, rng_state=u64_ptr(self._rng_state),
+                psel=i64_ptr(self._psel), psel_max=self._psel_max,
+                leader_levels=self._leader_levels,
+                num_streams=self.num_streams,
+                miss_out=i64_ptr(self._tad_misses))
+            refs = (addrs, tids)
+        elif self.policy in _RRIP_FAMILY:
             fields.update(
                 kind=_native.KIND_RRIP, max_rrpv=self.max_rrpv,
                 rrpv=i64_ptr(self.rrpv), mode=_MODE[self.policy],
@@ -711,11 +888,14 @@ class ArraySetAssociativeCache:
                           lip=1 if self.policy == "LIP" else 0)
 
         def commit(misses: int) -> None:
+            if misses < 0:
+                raise ValueError(
+                    f"thread ids must be in [0, {self.num_streams})")
             self.stats.accesses += n
             self.stats.misses += misses
             self.stats.hits += n - misses
 
-        return ReplayTask(fields=fields, refs=(addrs,), commit=commit)
+        return ReplayTask(fields=fields, refs=refs, commit=commit)
 
     # ------------------------------------------------------------------ #
     # Warm resizing (the reallocation primitive of the resumable runtime)
@@ -744,7 +924,7 @@ class ArraySetAssociativeCache:
                 resident.pop()
             return np.sort(np.asarray(resident, dtype=np.int64))
         st = self.stamp[s, occupied]
-        if self.policy in _RRIP_FAMILY:
+        if self.policy in _RRIP_STATE:
             order = occupied[np.lexsort((st, -self.rrpv[s, occupied]))]
         elif self.policy == "PDP":
             protected = (self.expires[s, occupied]
@@ -792,7 +972,7 @@ class ArraySetAssociativeCache:
                     continue
                 new_tags[s, :m] = self.tags[s, surv]
                 new_stamp[s, :m] = self.stamp[s, surv]
-                if self.policy in _RRIP_FAMILY:
+                if self.policy in _RRIP_STATE:
                     rv = self.rrpv[s, surv]
                     evicted = np.setdiff1d(
                         np.nonzero(self.tags[s] != _EMPTY)[0], surv)
@@ -871,11 +1051,13 @@ class ArraySetAssociativeCache:
             return stored
         from .spec import CacheSpec
         kwargs = {}
-        if self.policy in _RRIP_FAMILY and self.m_bits != 2:
+        if self.policy in _RRIP_STATE and self.m_bits != 2:
             kwargs["m_bits"] = self.m_bits
-        if (self.policy in _RRIP_FAMILY or self.policy in _DIP_FAMILY) \
+        if (self.policy in _RRIP_STATE or self.policy in _DIP_FAMILY) \
                 and self.epsilon != 1.0 / 32.0:
             kwargs["epsilon"] = self.epsilon
+        if self.policy == "TA-DRRIP" and self.num_streams != 8:
+            kwargs["num_streams"] = self.num_streams
         return CacheSpec(capacity_lines=self.capacity_lines, ways=self.ways,
                          policy=self.policy, backend="array",
                          seed=self.seed or None,
@@ -893,6 +1075,331 @@ class ArraySetAssociativeCache:
         return (f"ArraySetAssociativeCache(sets={self.num_sets}, "
                 f"ways={self.ways}, policy={self.policy!r}, "
                 f"capacity={self.capacity_lines} lines)")
+
+
+#: next_use sentinel for lines never accessed again (must sort above every
+#: real trace position; matches I64_MAX in the kernel's documentation).
+_NEVER = np.iinfo(np.int64).max
+
+
+def belady_next_use(trace) -> np.ndarray:
+    """Per-access next-use positions of ``trace`` (vectorized two-pass).
+
+    ``out[i]`` is the trace position of the next access to the line
+    ``trace[i]`` touches after position ``i``, or ``2**63 - 1`` when that
+    line is never touched again.  One stable argsort groups each line's
+    accesses in trace order; a scatter then links every access to its
+    successor.  Computed once per trace and shared across every capacity
+    point of a Belady miss curve (and across every
+    :class:`ArrayBeladyCache` built from the same precomputation).
+    """
+    addrs = materialize_addresses(trace)
+    if addrs.ndim != 1:
+        raise ValueError("trace must be one-dimensional")
+    out = np.full(addrs.size, _NEVER, dtype=np.int64)
+    if addrs.size > 1:
+        order = np.argsort(addrs, kind="stable")
+        same = addrs[order[1:]] == addrs[order[:-1]]
+        out[order[:-1][same]] = order[1:][same]
+    return out
+
+
+class ArrayBeladyCache:
+    """Belady's MIN (offline optimal) over caller-owned array state.
+
+    The array counterpart of
+    :class:`~repro.cache.replacement.belady.BeladyMINPolicy`: fully
+    associative, fed the whole trace up front.  Next-use positions are
+    precomputed by :func:`belady_next_use` (pass ``next_use=`` to share one
+    precomputation across capacities); the replay itself is a lazy
+    max-heap over an open-addressing residency table, chunk-resumable like
+    every other array organization (``run``/``run_chunk``/``access`` calls
+    may be freely mixed, and must follow the attached trace in order).
+
+    Miss counts are exact against the object model at every capacity: ties
+    (which only arise among lines never accessed again) may be broken
+    differently, but evicting any dead line leaves every future hit
+    intact, so MIN's miss count is invariant to the choice.
+    """
+
+    supports_batch_replay = True
+    policy = "Belady"
+
+    def __init__(self, capacity: int, trace, next_use: np.ndarray | None = None):
+        capacity = int(capacity)
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._trace = materialize_addresses(trace)
+        if self._trace.ndim != 1:
+            raise ValueError("trace must be one-dimensional")
+        if self._trace.size and bool(np.any(self._trace == _EMPTY)):
+            raise ValueError("address -1 is reserved as the empty-slot "
+                             "sentinel; the array backend cannot cache it")
+        if next_use is None:
+            next_use = belady_next_use(self._trace)
+        else:
+            next_use = np.ascontiguousarray(next_use, dtype=np.int64)
+            if next_use.shape != self._trace.shape:
+                raise ValueError("next_use must have the trace's shape")
+        self._next_use = next_use
+        self._cursor = 0
+        n = int(self._trace.size)
+        live = min(capacity, n)
+        self._tsize = _next_pow2(2 * (live + 2))
+        self._ht_tag = np.full(self._tsize, _EMPTY, dtype=np.int64)
+        self._ht_val = np.zeros(self._tsize, dtype=np.int64)
+        # Every access pushes one lazy heap entry, so n + 1 slots suffice
+        # for the whole attached trace regardless of chunking.
+        self._heap_key = np.zeros(n + 1, dtype=np.int64)
+        self._heap_tag = np.zeros(n + 1, dtype=np.int64)
+        self._heap_io = np.zeros(2, dtype=np.int64)  # [live len, resident]
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity_lines(self) -> int:
+        """Capacity in lines (fully associative)."""
+        return self.capacity
+
+    @property
+    def trace_remaining(self) -> int:
+        """Accesses of the attached trace not yet replayed."""
+        return int(self._trace.size) - self._cursor
+
+    def occupancy(self) -> int:
+        """Number of currently resident lines."""
+        return int(self._heap_io[1])
+
+    def reset_stats(self) -> None:
+        """Zero the statistics without touching cache contents."""
+        self.stats = CacheStats()
+
+    def snapshot(self, position: int = 0, meta: dict | None = None):
+        """Capture the warm state (replay cursor included) as a
+        picklable :class:`~repro.sampling.checkpoint.CacheCheckpoint`."""
+        from ..sampling.checkpoint import snapshot
+        return snapshot(self, position=position, meta=meta)
+
+    def restore(self, checkpoint) -> None:
+        """Rewind this cache to ``checkpoint``'s state, in place (the
+        attached trace must match the checkpoint's)."""
+        from ..sampling.checkpoint import restore_into
+        restore_into(self, checkpoint)
+
+    def _claim(self, trace) -> tuple[int, np.ndarray]:
+        """Validate ``trace`` as the next chunk of the attached trace and
+        advance the cursor past it (``None`` claims the whole remainder)."""
+        start = self._cursor
+        if trace is None:
+            addrs = self._trace[start:]
+        else:
+            addrs = materialize_addresses(trace)
+            if addrs.ndim != 1:
+                raise ValueError("trace must be one-dimensional")
+            end = start + int(addrs.size)
+            if (end > self._trace.size
+                    or not np.array_equal(addrs, self._trace[start:end])):
+                raise ValueError(
+                    f"out-of-order replay: Belady MIN is offline and must "
+                    f"replay its attached trace in order (cursor at "
+                    f"{start} of {self._trace.size})")
+        self._cursor = start + int(addrs.size)
+        return start, addrs
+
+    # ------------------------------------------------------------------ #
+    def access(self, address: int) -> bool:
+        """Replay the next attached-trace access (which must be
+        ``address``); returns True on a hit and updates stats."""
+        start, addrs = self._claim(
+            np.asarray([int(address)], dtype=np.int64))
+        misses = self._replay_python(addrs, self._next_use[start:start + 1])
+        hit = misses == 0
+        self.stats.record(hit)
+        return hit
+
+    def run(self, trace=None, instructions: int = 0) -> CacheStats:
+        """Replay the next chunk of the attached trace (all of it when
+        ``trace`` is None); returns (and stores) the accumulated stats."""
+        start, addrs = self._claim(trace)
+        n = int(addrs.size)
+        if n:
+            nu = self._next_use[start:start + n]
+            kernel = get_kernel()
+            if kernel is None:
+                misses = self._replay_python(addrs, nu)
+            else:
+                misses = kernel.belady_run(addrs, nu, self.capacity,
+                                           self._ht_tag, self._ht_val,
+                                           self._heap_key, self._heap_tag,
+                                           self._heap_io)
+                if misses < 0:
+                    raise RuntimeError("belady_run: corrupt heap state")
+            self.stats.accesses += n
+            self.stats.misses += misses
+            self.stats.hits += n - misses
+        if instructions:
+            self.stats.instructions += instructions
+        return self.stats
+
+    def run_chunk(self, trace=None, instructions: int = 0) -> CacheStats:
+        """Replay one chunk; returns this chunk's stats only (state and
+        cumulative :attr:`stats` carry across calls)."""
+        before = CacheStats(accesses=self.stats.accesses,
+                            hits=self.stats.hits, misses=self.stats.misses,
+                            instructions=self.stats.instructions)
+        self.run(trace, instructions=instructions)
+        return CacheStats(
+            accesses=self.stats.accesses - before.accesses,
+            hits=self.stats.hits - before.hits,
+            misses=self.stats.misses - before.misses,
+            instructions=self.stats.instructions - before.instructions)
+
+    def _replay_python(self, addrs: np.ndarray, next_use: np.ndarray) -> int:
+        """Pure-Python twin of ``belady_run`` over the same arrays
+        (bit-identical state, so kernel and Python chunks may be mixed)."""
+        ht_tag, ht_val = self._ht_tag, self._ht_val
+        hk, ht = self._heap_key, self._heap_tag
+        io = self._heap_io
+        mask = self._tsize - 1
+        cap = self.capacity
+        heap_cap = int(hk.size)
+        misses = 0
+        for i in range(int(addrs.size)):
+            a = int(addrs[i])
+            nu = int(next_use[i])
+            slot = mix64(a) & mask
+            while ht_tag[slot] != _EMPTY and ht_tag[slot] != a:
+                slot = (slot + 1) & mask
+            if int(io[0]) >= heap_cap:
+                raise RuntimeError("belady: corrupt heap state")
+            if ht_tag[slot] == a:
+                ht_val[slot] = nu
+            else:
+                misses += 1
+                if cap == 0:
+                    continue
+                if int(io[1]) >= cap:
+                    while True:  # evict the furthest-next-use resident line
+                        ln = int(io[0])
+                        if ln <= 0:
+                            raise RuntimeError("belady: corrupt heap state")
+                        key, tag = int(hk[0]), int(ht[0])
+                        ln -= 1
+                        io[0] = ln
+                        hk[0] = hk[ln]
+                        ht[0] = ht[ln]
+                        j = 0
+                        while True:
+                            left, right, big = 2 * j + 1, 2 * j + 2, j
+                            if left < ln and hk[left] > hk[big]:
+                                big = left
+                            if right < ln and hk[right] > hk[big]:
+                                big = right
+                            if big == j:
+                                break
+                            hk[j], hk[big] = int(hk[big]), int(hk[j])
+                            ht[j], ht[big] = int(ht[big]), int(ht[j])
+                            j = big
+                        vs = mix64(tag) & mask
+                        while ht_tag[vs] != _EMPTY and ht_tag[vs] != tag:
+                            vs = (vs + 1) & mask
+                        if ht_tag[vs] != tag or ht_val[vs] != key:
+                            continue  # stale entry: deadline since renewed
+                        ht_tag[vs] = _EMPTY  # backward-shift delete
+                        hole = vs
+                        k = (vs + 1) & mask
+                        while ht_tag[k] != _EMPTY:
+                            home = mix64(int(ht_tag[k])) & mask
+                            if ((k - home) & mask) >= ((k - hole) & mask):
+                                ht_tag[hole] = ht_tag[k]
+                                ht_val[hole] = ht_val[k]
+                                ht_tag[k] = _EMPTY
+                                hole = k
+                            k = (k + 1) & mask
+                        io[1] -= 1
+                        break
+                    # The delete may have moved the probe target; re-find.
+                    slot = mix64(a) & mask
+                    while ht_tag[slot] != _EMPTY:
+                        slot = (slot + 1) & mask
+                ht_tag[slot] = a
+                ht_val[slot] = nu
+                io[1] += 1
+            # Push (nu, a); hits and fills both push, like the object model.
+            j = int(io[0])
+            io[0] = j + 1
+            hk[j] = nu
+            ht[j] = a
+            while j > 0:
+                parent = (j - 1) // 2
+                if hk[parent] >= hk[j]:
+                    break
+                hk[j], hk[parent] = int(hk[parent]), int(hk[j])
+                ht[j], ht[parent] = int(ht[parent]), int(ht[j])
+                j = parent
+        return misses
+
+    # ------------------------------------------------------------------ #
+    def replay_task(self, trace=None):
+        """The next chunk's replay as a batchable
+        :class:`~repro.cache.threadbatch.ReplayTask` (claims the chunk
+        immediately; the dispatcher commits its statistics)."""
+        from . import _native
+        from .threadbatch import ReplayTask, i64_ptr
+        start, addrs = self._claim(trace)
+        n = int(addrs.size)
+        nu = self._next_use[start:start + n]
+        kernel = get_kernel()
+        if kernel is None or not kernel.has_batch or n == 0:
+            def fallback():
+                self._cursor = start  # run() re-claims the chunk
+                return self.run(addrs)
+            return ReplayTask(fallback=fallback)
+        fields = {
+            "kind": _native.KIND_BELADY, "addrs": i64_ptr(addrs), "n": n,
+            "capacity": self.capacity, "next_use": i64_ptr(nu),
+            "ht_tag": i64_ptr(self._ht_tag), "ht_reg": i64_ptr(self._ht_val),
+            "tsize": self._tsize, "heap_key": i64_ptr(self._heap_key),
+            "heap_tag": i64_ptr(self._heap_tag),
+            "heap_cap": int(self._heap_key.size),
+            "heap_io": i64_ptr(self._heap_io),
+        }
+
+        def commit(misses: int) -> None:
+            if misses < 0:
+                raise RuntimeError("belady_run: corrupt heap state")
+            self.stats.accesses += n
+            self.stats.misses += misses
+            self.stats.hits += n - misses
+
+        return ReplayTask(fields=fields, refs=(addrs, nu), commit=commit)
+
+    def to_spec(self):
+        """A :class:`~repro.cache.spec.CacheSpec` rebuilding this cache
+        (the trace itself is attached at build time, not stored in the
+        spec)."""
+        stored = getattr(self, "_built_spec", None)
+        if stored is not None:
+            return stored
+        from .spec import CacheSpec
+        return CacheSpec(capacity_lines=self.capacity,
+                         ways=max(1, self.capacity), policy="Belady",
+                         backend="array")
+
+    @classmethod
+    def from_spec(cls, spec, trace=None):
+        """Build a cache from a :class:`~repro.cache.spec.CacheSpec`
+        (``trace`` may also be pre-attached on the spec)."""
+        from .spec import build
+        if trace is not None:
+            spec = spec.with_trace(trace)
+        return build(spec)
+
+    def __repr__(self) -> str:
+        return (f"ArrayBeladyCache(capacity={self.capacity} lines, "
+                f"trace={int(self._trace.size)} accesses, "
+                f"cursor={self._cursor})")
 
 
 def run_lru_family_batch(trace, caches: Sequence[ArraySetAssociativeCache]

@@ -8,7 +8,7 @@ experiments can just ask for a policy by name.
 
 from __future__ import annotations
 
-from .arraycache import ARRAY_EXACT_POLICIES, ARRAY_POLICIES
+from .arraycache import ARRAY_POLICIES
 from .replacement import (BIPPolicy, BRRIPPolicy, DIPPolicy, DRRIPPolicy,
                           LIPPolicy, LRUPolicy, PDPPolicy, RandomPolicy,
                           SRRIPPolicy, TADRRIPPolicy)
@@ -20,16 +20,22 @@ __all__ = ["named_policy_factory", "POLICY_NAMES", "BACKENDS",
            "SEEDED_POLICIES", "cache_geometry", "resolve_backend",
            "build_cache"]
 
-#: Policy names accepted by :func:`named_policy_factory`.
+#: Policy names accepted by the spec layer.  All of them (``Belady``
+#: included) run on the array backend; :func:`named_policy_factory` covers
+#: the online subset (``Belady`` is offline — it has no per-region factory).
 POLICY_NAMES = ("LRU", "LIP", "BIP", "Random", "SRRIP", "BRRIP", "DRRIP",
-                "DIP", "PDP", "TA-DRRIP")
+                "DIP", "PDP", "TA-DRRIP", "Belady")
 
 #: Cache backends accepted by :func:`build_cache`.  "object" is the
 #: reference per-set policy-object model; "array" is the numpy/native model
-#: (:mod:`repro.cache.arraycache`); "auto" picks the array model exactly
-#: when it is bit-identical to the reference
-#: (:data:`~repro.cache.arraycache.ARRAY_EXACT_POLICIES`: LRU, LIP, SRRIP
-#: and PDP) and the object model otherwise.
+#: (:mod:`repro.cache.arraycache`).  "auto" now resolves to the array model
+#: for *every* policy: the exact tier
+#: (:data:`~repro.cache.arraycache.ARRAY_EXACT_POLICIES`: LRU, LIP, SRRIP,
+#: PDP) is bit-identical to the reference, the randomized tier (BIP, DIP,
+#: BRRIP, DRRIP, Random, TA-DRRIP) is seeded-deterministic (splitmix64
+#: stream instead of the object model's Mersenne twisters), and Belady is
+#: exact on miss counts.  Ask for ``backend="object"`` explicitly to run
+#: the reference model.
 BACKENDS = ("object", "array", "auto")
 
 #: Policies whose constructors take a ``seed`` argument (their behaviour
@@ -53,6 +59,13 @@ def named_policy_factory(name: str, num_regions: int, **kwargs) -> PolicyFactory
     """
     if num_regions <= 0:
         raise ValueError("num_regions must be positive")
+    if name == "Belady":
+        raise ValueError(
+            "Belady is offline and replays one attached trace; it has no "
+            "per-region policy factory — build it with "
+            "CacheSpec(policy='Belady').with_trace(trace) or "
+            "BeladyMINPolicy(capacity, trace).  Online policies: "
+            + ", ".join(n for n in POLICY_NAMES if n != "Belady"))
     simple = {
         "LRU": LRUPolicy,
         "LIP": LIPPolicy,
@@ -98,14 +111,16 @@ def cache_geometry(capacity_lines: int, ways: int) -> tuple[int, int]:
 def resolve_backend(backend: str, policy: str) -> str:
     """Resolve a backend name to "object" or "array" for ``policy``.
 
-    "auto" selects the array backend only where it is bit-identical to the
-    reference object model (:data:`~repro.cache.arraycache.ARRAY_EXACT_POLICIES`).
-    The randomized policies (BIP, DIP, BRRIP, DRRIP, Random) also exist on
-    the array backend — deterministic per seed, but drawing from a
-    splitmix64 stream instead of the object model's Mersenne twisters — so
-    "auto" keeps them on the object model to preserve reference results;
-    ask for ``backend="array"`` explicitly to trade bit-exactness for
-    speed.
+    The policy matrix is total on the array backend, so "auto" resolves
+    to "array" for every policy.  The exact tier
+    (:data:`~repro.cache.arraycache.ARRAY_EXACT_POLICIES`) is
+    bit-identical to the reference object model; the randomized policies
+    (BIP, DIP, BRRIP, DRRIP, Random, TA-DRRIP) are deterministic per seed
+    but draw from a splitmix64 stream instead of the object model's
+    Mersenne twisters; Belady matches the object MIN's miss counts
+    exactly.  Ask for ``backend="object"`` explicitly to run the
+    reference model (Belady excepted: MIN is offline and fully
+    associative, so only the array organization exists).
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; valid backends: "
@@ -113,8 +128,14 @@ def resolve_backend(backend: str, policy: str) -> str:
     if policy not in POLICY_NAMES:
         raise ValueError(f"unknown policy {policy!r}; valid policies: "
                          f"{', '.join(POLICY_NAMES)}")
+    if policy == "Belady":
+        if backend == "object":
+            raise ValueError(
+                "Belady has no object-backend organization (MIN is offline "
+                "and fully associative); use backend='array' or 'auto'")
+        return "array"
     if backend == "auto":
-        return "array" if policy in ARRAY_EXACT_POLICIES else "object"
+        return "array"
     if backend == "array" and policy not in ARRAY_POLICIES:
         raise ValueError(
             f"the array backend does not implement {policy!r} "

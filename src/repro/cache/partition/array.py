@@ -26,10 +26,14 @@ possible:
 
 Exactness matches the plain array cache: LRU, LIP and SRRIP (and PDP via
 the per-region path) are bit-identical to the object-model schemes in
-:mod:`repro.cache.partition`; BIP/DIP/BRRIP/DRRIP are deterministic per
-seed but draw from splitmix64 streams, and their set-dueling state is
-per-region rather than shared across a shadow pair, so they stay off the
-``auto`` tier.
+:mod:`repro.cache.partition`; BIP/DIP/BRRIP/DRRIP/TA-DRRIP/Random are
+deterministic per seed but draw from splitmix64 streams, with set-dueling
+state per region rather than shared across a shadow pair — the same
+seeded-deterministic tier as the plain array cache.  Idealized
+(fully-associative) partitions run any array policy: LRU keeps the
+stack-distance batch replay below, every other policy runs as a
+single-set :class:`~repro.cache.arraycache.ArraySetAssociativeCache`
+region whose one set *is* the fully-associative partition.
 
 Allocations are granted with the *same* rounding helpers as the object
 schemes (:func:`~repro.cache.partition.way.round_to_ways`,
@@ -40,9 +44,14 @@ Vantage is the one scheme whose partitions are *not* independent — every
 managed partition demotes its victims into one shared unmanaged region —
 so it gets its own organization, :class:`ArrayVantageCache`: a linked-list
 node pool plus a (tag, region)-keyed hash table replayed by the
-``vantage_run`` kernel, bit-identical to the object
-:class:`~repro.cache.partition.vantage.VantagePartitionedCache` (whose LRU
-semantics are fully deterministic).  Futility scaling stays object-only.
+``vantage_run`` kernel.  Managed regions run any policy of the array
+family (per-region RRPV/protecting-distance side state rides on the node
+pool); the deterministic policies (LRU, LIP, SRRIP, PDP) are bit-identical
+to the object :class:`~repro.cache.partition.vantage.
+VantagePartitionedCache`, the randomized tier is seeded-deterministic.
+Futility scaling is the only remaining object-only scheme (its
+feedback-controlled insertion probabilities have no array twin — use
+``backend="object"``).
 
 Warm reallocation
 -----------------
@@ -81,9 +90,10 @@ from typing import Sequence
 import numpy as np
 
 from .._native import get_kernel
-from ..arraycache import ARRAY_POLICIES, ArraySetAssociativeCache
+from ..arraycache import (ARRAY_POLICIES, ArraySetAssociativeCache,
+                          _dueling_roles, _next_pow2, _splitmix64, _uniform01)
 from ..cache import materialize_addresses
-from ..hashing import _MASK64, mix64, seed_mix
+from ..hashing import _MASK64, GOLDEN64, mix64, seed_mix
 from ..replacement.lru import LRUPolicy
 from .base import PartitionedCache, trim_line_allocations
 from .setpart import round_to_sets
@@ -103,6 +113,16 @@ _SET_ASSOC_SCHEMES = ("ideal", "way", "set")
 
 #: Policies replayed by the interleaved multi-region part kernels.
 _PART_KERNEL_POLICIES = ("LRU", "LIP", "SRRIP")
+
+#: Managed-region policy codes of the native Vantage kernel (must match
+#: the ``VPOL_*`` enum in ``_sweepkernel.c``).
+_VPOL = {"LRU": 0, "LIP": 1, "BIP": 2, "DIP": 3, "SRRIP": 4, "BRRIP": 5,
+         "DRRIP": 6, "TA-DRRIP": 7, "PDP": 8, "Random": 9}
+
+#: Vantage managed-region policies whose victims come from the RRPV scan.
+_VT_RRIP = ("SRRIP", "BRRIP", "DRRIP", "TA-DRRIP")
+
+_ROLE_FOLLOWER, _ROLE_LEADER_SRRIP, _ROLE_LEADER_BRRIP = 0, 1, 2
 
 _EMPTY = -1
 
@@ -188,9 +208,11 @@ class ArrayPartitionedCache(PartitionedCache):
         way/set geometries derive the set count exactly as the object
         factory does.
     policy:
-        One of :data:`~repro.cache.arraycache.ARRAY_POLICIES` for way/set
-        partitioning; idealized partitions are fully associative and
-        support "LRU" only.
+        One of :data:`~repro.cache.arraycache.ARRAY_POLICIES` except the
+        offline "Belady" (which has no partitioned organization).
+        Idealized partitions are fully associative: LRU rides the
+        stack-distance batch replay, every other policy a single-set
+        array region.
     hashed_index, index_seed:
         Set-index scheme of the way/set organizations (same hash as the
         object model).
@@ -217,19 +239,19 @@ class ArrayPartitionedCache(PartitionedCache):
             raise ValueError("capacity_lines must be positive")
         if num_partitions <= 0:
             raise ValueError("num_partitions must be positive")
+        if policy == "Belady":
+            raise ValueError(
+                "Belady is offline and replays one attached trace; it has "
+                "no partitioned organization — supported partition "
+                f"policies: {tuple(p for p in ARRAY_POLICIES if p != 'Belady')}")
+        if policy not in ARRAY_POLICIES:
+            raise ValueError(
+                f"array backend does not implement {policy!r}; "
+                f"supported: {ARRAY_POLICIES}")
         if scheme == "ideal":
-            if policy != "LRU":
-                raise ValueError(
-                    f"array-backed ideal partitioning is fully associative "
-                    f"and supports policy 'LRU' only, got {policy!r}; use "
-                    f"backend='object' or scheme 'way'/'set'")
             capacity = capacity_lines
             num_sets = 0
         else:
-            if policy not in ARRAY_POLICIES:
-                raise ValueError(
-                    f"array backend does not implement {policy!r}; "
-                    f"supported: {ARRAY_POLICIES}")
             if scheme == "way":
                 num_sets = max(1, capacity_lines // ways)
                 if num_partitions > ways:
@@ -266,6 +288,10 @@ class ArrayPartitionedCache(PartitionedCache):
         else:
             base = capacity // num_partitions
             self._line_alloc = [base] * num_partitions
+            # As with way partitioning above: the object model derives
+            # capacity-dependent policy parameters (PDP's tuning) once, at
+            # the construction-time equal split.
+            self._initial_lines = list(self._line_alloc)
         self._rebuild_regions()
 
     # ------------------------------------------------------------------ #
@@ -287,9 +313,8 @@ class ArrayPartitionedCache(PartitionedCache):
 
     def _rebuild_regions(self) -> None:
         if self.scheme == "ideal":
-            self._regions = [
-                _FastIdealLRURegion(c) if c > 0 else None
-                for c in self._line_alloc]
+            self._regions = [self._make_ideal_region(p, c)
+                             for p, c in enumerate(self._line_alloc)]
             self._flat_ready = False
             return
         self._regions = []
@@ -304,20 +329,39 @@ class ArrayPartitionedCache(PartitionedCache):
                 **kwargs))
         self._link_flat_state()
 
+    def _make_ideal_region(self, partition: int, lines: int):
+        """One fully-associative ideal region of ``lines`` capacity.
+
+        LRU keeps the stack-distance batch replay of
+        :class:`_FastIdealLRURegion`; every other policy runs as a
+        single-set :class:`~repro.cache.arraycache.
+        ArraySetAssociativeCache` whose one set *is* the
+        fully-associative region.
+        """
+        if lines <= 0:
+            return None
+        if self.policy == "LRU":
+            return _FastIdealLRURegion(lines)
+        kwargs = self._region_policy_kwargs(partition, lines)
+        return ArraySetAssociativeCache(1, lines, policy=self.policy,
+                                        **kwargs)
+
     def _region_policy_kwargs(self, partition: int, ways_p: int) -> dict:
         """Policy kwargs for one region, replicating object-model quirks.
 
-        Way-partitioned PDP regions in the object model keep the tuning
-        parameters derived from their *construction-time* (equal-split)
-        capacity even after reallocation shrinks or grows them — only the
-        capacity itself changes.  The array regions are rebuilt at the
-        final way count, so the construction-time derivations are passed
-        explicitly to stay bit-identical.
+        Way-partitioned (and idealized) PDP regions in the object model
+        keep the tuning parameters derived from their *construction-time*
+        (equal-split) capacity even after reallocation shrinks or grows
+        them — only the capacity itself changes.  The array regions are
+        rebuilt at the final way count, so the construction-time
+        derivations are passed explicitly to stay bit-identical.
         """
         kwargs = dict(self._policy_kwargs)
-        if self.policy != "PDP" or self.scheme != "way":
+        if self.policy != "PDP" or self.scheme == "set":
             return kwargs
-        w0 = max(self._initial_ways[partition], 1)
+        construction = (self._initial_ways if self.scheme == "way"
+                        else self._initial_lines)[partition]
+        w0 = max(construction, 1)
         interval = kwargs.get("recompute_interval")
         if interval is None:
             interval = max(128, 16 * w0)
@@ -325,7 +369,7 @@ class ArrayPartitionedCache(PartitionedCache):
         max_candidate = max(1, int(factor * w0))
         initial = kwargs.get("initial_distance")
         if not initial:
-            initial = max(1, self._initial_ways[partition])
+            initial = max(1, construction)
         kwargs.update(
             recompute_interval=interval,
             initial_distance=initial,
@@ -427,10 +471,11 @@ class ArrayPartitionedCache(PartitionedCache):
             for p, lines in enumerate(new):
                 region = self._regions[p]
                 if region is None:
-                    if lines > 0:
-                        self._regions[p] = _FastIdealLRURegion(lines)
-                else:
+                    self._regions[p] = self._make_ideal_region(p, lines)
+                elif isinstance(region, _FastIdealLRURegion):
                     region.set_capacity(lines)
+                else:
+                    region.resize_ways(lines)
             self._line_alloc = new
             return self.granted_allocations()
         for p, region in enumerate(self._regions):
@@ -714,32 +759,75 @@ class ArrayVantageCache(PartitionedCache):
       ``(tag, region)`` with backward-shift deletion (the same tag may be
       resident in several regions at once, as with per-region dicts).
 
+    Managed regions run any replacement policy of the array family (the
+    object model's ``policy_factory``): the per-node side state — RRPV
+    bucket + bucket-entrant stamp for the RRIP family, protection
+    deadline for PDP — lives in two pool-parallel arrays
+    (``node_aux``/``node_stamp``), and the per-region PDP
+    clock/distance/reuse-sampler state in per-partition rows.  The
+    deterministic policies (LRU, LIP, SRRIP, PDP) are **bit-identical**
+    to the object model; BIP/DIP/BRRIP/DRRIP/TA-DRRIP/Random are
+    seeded-deterministic, drawing from one shared splitmix64 stream with
+    per-region duel roles (TA-DRRIP duels per partition: in a
+    partitioned cache the partition *is* the thread).  Belady is offline
+    and has no partitioned organization.
+
     A whole partition-tagged trace is replayed by one ``vantage_run``
     kernel call (:meth:`run_partitioned`); without a compiler the same
     algorithm runs in pure Python over the same arrays, so the two paths
-    are interchangeable mid-stream and both are **bit-identical** to the
-    object model, whose LRU semantics are fully deterministic.  Warm
-    reallocation (:meth:`reallocate` / ``set_allocations``) trims regions
-    in place through ``vantage_realloc``, demoting evicted victims into
-    the unmanaged region exactly as the object scheme does — which is
-    what puts the default ``scheme="vantage"`` reconfiguration loops on
-    the fast path.
+    are interchangeable mid-stream.  Warm reallocation
+    (:meth:`reallocate` / ``set_allocations``) trims regions in place
+    through ``vantage_realloc``, demoting each region's per-policy
+    victims into the unmanaged region exactly as the object scheme does
+    — which is what puts the default ``scheme="vantage"``
+    reconfiguration loops on the fast path.
     """
 
     scheme_name = "vantage"
 
     def __init__(self, capacity_lines: int, num_partitions: int,
-                 policy: str = "LRU", unmanaged_fraction: float = 0.10):
-        if policy != "LRU":
+                 policy: str = "LRU", unmanaged_fraction: float = 0.10,
+                 m_bits: int = 2, epsilon: float = 1.0 / 32.0,
+                 seed: int = 0, recompute_interval: int | None = None,
+                 max_distance_factor: float = 3.0,
+                 initial_distance: int | None = None):
+        if policy == "Belady":
             raise ValueError(
-                f"array-backed Vantage partitioning supports policy 'LRU' "
-                f"only (the paper's Talus+V/LRU configuration), got "
-                f"{policy!r}; use backend='object'")
+                "Belady is offline and replays one attached trace; it has "
+                "no partitioned organization — supported Vantage region "
+                f"policies: {tuple(_VPOL)}")
+        if policy not in _VPOL:
+            raise ValueError(
+                f"array-backed Vantage partitioning does not implement "
+                f"{policy!r}; supported region policies: {tuple(_VPOL)}")
         if not 0.0 <= unmanaged_fraction < 1.0:
             raise ValueError("unmanaged_fraction must be in [0, 1)")
+        if m_bits < 1 or m_bits > 8:
+            raise ValueError("m_bits must be in [1, 8]")
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
         super().__init__(capacity_lines, num_partitions)
-        self.policy = "LRU"
+        self.policy = policy
+        self._pol = _VPOL[policy]
+        self.m_bits = m_bits
+        self.max_rrpv = (1 << m_bits) - 1
+        self.epsilon = float(epsilon)
+        self.seed = seed
         self.unmanaged_fraction = float(unmanaged_fraction)
+        pk = {}
+        if m_bits != 2:
+            pk["m_bits"] = m_bits
+        if epsilon != 1.0 / 32.0:
+            pk["epsilon"] = float(epsilon)
+        if seed != 0:
+            pk["seed"] = seed
+        if recompute_interval is not None:
+            pk["recompute_interval"] = recompute_interval
+        if max_distance_factor != 3.0:
+            pk["max_distance_factor"] = max_distance_factor
+        if initial_distance is not None:
+            pk["initial_distance"] = initial_distance
+        self._policy_kwargs = pk
         self._managed = vantage_managed_lines(capacity_lines,
                                               unmanaged_fraction)
         self._unm_cap = capacity_lines - self._managed
@@ -763,6 +851,84 @@ class ArrayVantageCache(PartitionedCache):
         self._ht_tag = np.zeros(tsize, dtype=np.int64)
         self._ht_reg = np.zeros(tsize, dtype=np.int64)
         self._ht_node = np.full(tsize, -1, dtype=np.int64)
+        # Per-policy side state.  node_aux/node_stamp parallel the node
+        # pool (RRPV + bucket-entrant stamp for the RRIP family, the
+        # protection deadline for PDP); the RNG/PSEL/roles state mirrors
+        # ArraySetAssociativeCache with one region per partition.
+        self._counter = np.zeros(1, dtype=np.int64)
+        self._rng_state = np.array([mix64(seed)], dtype=np.uint64)
+        self._psel_max = (1 << 10) - 1
+        if policy == "TA-DRRIP":
+            # Thread-aware dueling: each partition is a thread, so PSEL
+            # counters are per partition with address-hash constituencies.
+            self._psel = np.full(num_partitions, self._psel_max // 2,
+                                 dtype=np.int64)
+            self._leader_levels = max(1, int(round(1024 / 32.0)))
+        else:
+            self._psel = np.array([self._psel_max // 2], dtype=np.int64)
+            self._leader_levels = max(1, int(round(1024 / 16.0)))
+        self._roles = (_dueling_roles(num_partitions)
+                       if policy in ("DIP", "DRRIP")
+                       else np.zeros(num_partitions, dtype=np.int64))
+        need_nodes = policy in _VT_RRIP or policy == "PDP"
+        aux_len = pool if need_nodes else 1
+        self._node_aux = np.zeros(aux_len, dtype=np.int64)
+        self._node_stamp = np.zeros(aux_len, dtype=np.int64)
+        if policy == "PDP":
+            self._init_pdp_state(base, recompute_interval,
+                                 max_distance_factor, initial_distance)
+        elif (recompute_interval is not None or max_distance_factor != 3.0
+              or initial_distance is not None):
+            raise ValueError("recompute_interval/max_distance_factor/"
+                             "initial_distance apply to PDP only")
+        else:
+            # Unused policy side state still crosses the ctypes boundary
+            # (ndpointer arguments reject None), as size-1 dummies the
+            # kernel never dereferences for this policy.
+            self._hist_stride = 1
+            self._ls_size = 1
+            self._pdp_clock = np.zeros(1, dtype=np.int64)
+            self._pdp_dp = np.zeros(1, dtype=np.int64)
+            self._pdp_samples = np.zeros(1, dtype=np.int64)
+            self._pdp_hist = np.zeros(1, dtype=np.int64)
+            self._vp_maxdp = np.zeros(1, dtype=np.int64)
+            self._vp_interval = np.ones(1, dtype=np.int64)
+            self._vp_clear = np.zeros(1, dtype=np.int64)
+            self._ls_tags = np.full(1, _EMPTY, dtype=np.int64)
+            self._ls_clocks = np.zeros(1, dtype=np.int64)
+            self._ls_count = np.zeros(1, dtype=np.int64)
+
+    def _init_pdp_state(self, base: int, recompute_interval: int | None,
+                        max_distance_factor: float,
+                        initial_distance: int | None) -> None:
+        """Per-region PDP state, tuned at the construction-time equal
+        split (``base`` lines per partition) exactly as the object model
+        freezes :class:`~repro.cache.replacement.pdp.PDPPolicy`'s
+        capacity-derived parameters."""
+        cap0 = max(int(base), 1)
+        if recompute_interval is None:
+            recompute_interval = max(128, 16 * cap0)
+        if recompute_interval < 16:
+            raise ValueError("recompute_interval must be >= 16")
+        if max_distance_factor <= 0:
+            raise ValueError("max_distance_factor must be positive")
+        max_dp = max(1, int(max_distance_factor * cap0))
+        initial_dp = (initial_distance if initial_distance
+                      else max(1, int(base)))
+        clear = 8 * max(int(base), 64)
+        n = self.num_partitions
+        self._hist_stride = max_dp + 1
+        self._ls_size = _next_pow2(2 * (clear + recompute_interval + 1))
+        self._pdp_clock = np.zeros(n, dtype=np.int64)
+        self._pdp_dp = np.full(n, initial_dp, dtype=np.int64)
+        self._pdp_samples = np.zeros(n, dtype=np.int64)
+        self._pdp_hist = np.zeros((n, self._hist_stride), dtype=np.int64)
+        self._vp_maxdp = np.full(n, max_dp, dtype=np.int64)
+        self._vp_interval = np.full(n, recompute_interval, dtype=np.int64)
+        self._vp_clear = np.full(n, clear, dtype=np.int64)
+        self._ls_tags = np.full((n, self._ls_size), _EMPTY, dtype=np.int64)
+        self._ls_clocks = np.zeros((n, self._ls_size), dtype=np.int64)
+        self._ls_count = np.zeros(n, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     @property
@@ -805,10 +971,12 @@ class ArrayVantageCache(PartitionedCache):
         kernel = get_kernel()
         if kernel is not None:
             result = kernel.vantage_realloc(
-                self.num_partitions, new_caps, self._unm_cap, self._ht_tag,
-                self._ht_reg, self._ht_node, self._node_tag, self._node_prev,
-                self._node_next, self._head, self._tail, self._occ,
-                self._free)
+                self.num_partitions, new_caps, self._unm_cap, self._pol,
+                self.max_rrpv, self._rng_state, self._node_aux,
+                self._node_stamp, self._pdp_clock, self._pdp_dp,
+                self._ht_tag, self._ht_reg, self._ht_node, self._node_tag,
+                self._node_prev, self._node_next, self._head, self._tail,
+                self._occ, self._free)
             if result < 0:
                 raise RuntimeError("native Vantage reallocation failed")
         else:
@@ -858,7 +1026,7 @@ class ArrayVantageCache(PartitionedCache):
         replaying a partition-tagged trace through the Vantage kernel
         (threaded twin of :meth:`run_partitioned`)."""
         from .._native import KIND_VANTAGE
-        from ..threadbatch import ReplayTask, i64_ptr
+        from ..threadbatch import ReplayTask, i64_ptr, u64_ptr
         addrs = materialize_addresses(trace)
         parts = np.ascontiguousarray(np.asarray(parts, dtype=np.int64))
         if addrs.shape != parts.shape or addrs.ndim != 1:
@@ -882,6 +1050,26 @@ class ArrayVantageCache(PartitionedCache):
             "parts": i64_ptr(parts),
             "num_regions": self.num_partitions,
             "caps": i64_ptr(self._caps), "unm_cap": self._unm_cap,
+            "mode": self._pol, "max_rrpv": self.max_rrpv,
+            "epsilon": self.epsilon,
+            "counter": i64_ptr(self._counter),
+            "rng_state": u64_ptr(self._rng_state),
+            "roles": i64_ptr(self._roles), "psel": i64_ptr(self._psel),
+            "psel_max": self._psel_max,
+            "leader_levels": self._leader_levels,
+            "node_aux": i64_ptr(self._node_aux),
+            "node_stamp": i64_ptr(self._node_stamp),
+            "clock": i64_ptr(self._pdp_clock), "dp": i64_ptr(self._pdp_dp),
+            "sample_count": i64_ptr(self._pdp_samples),
+            "hist": i64_ptr(self._pdp_hist),
+            "hist_stride": self._hist_stride,
+            "vp_maxdp": i64_ptr(self._vp_maxdp),
+            "vp_interval": i64_ptr(self._vp_interval),
+            "vp_clear": i64_ptr(self._vp_clear),
+            "ls_tags": i64_ptr(self._ls_tags),
+            "ls_clocks": i64_ptr(self._ls_clocks),
+            "ls_count": i64_ptr(self._ls_count),
+            "ls_size": self._ls_size,
             "ht_tag": i64_ptr(self._ht_tag),
             "ht_reg": i64_ptr(self._ht_reg),
             "ht_node": i64_ptr(self._ht_node),
@@ -918,6 +1106,13 @@ class ArrayVantageCache(PartitionedCache):
         if kernel is not None:
             result = kernel.vantage_run(
                 addrs, parts, self.num_partitions, self._caps, self._unm_cap,
+                self._pol, self.max_rrpv, self.epsilon, self._counter,
+                self._rng_state, self._roles, self._psel, self._psel_max,
+                self._leader_levels, self._node_aux, self._node_stamp,
+                self._pdp_clock, self._pdp_dp, self._pdp_samples,
+                self._pdp_hist, self._hist_stride, self._vp_maxdp,
+                self._vp_interval, self._vp_clear, self._ls_tags,
+                self._ls_clocks, self._ls_count, self._ls_size,
                 self._ht_tag, self._ht_reg, self._ht_node, self._node_tag,
                 self._node_prev, self._node_next, self._head, self._tail,
                 self._occ, self._free, misses)
@@ -935,11 +1130,12 @@ class ArrayVantageCache(PartitionedCache):
         return (self._ht_tag.tolist(), self._ht_reg.tolist(),
                 self._ht_node.tolist(), self._node_tag.tolist(),
                 self._node_prev.tolist(), self._node_next.tolist(),
-                self._head.tolist(), self._tail.tolist(), self._occ.tolist())
+                self._head.tolist(), self._tail.tolist(), self._occ.tolist(),
+                self._node_aux.tolist(), self._node_stamp.tolist())
 
     def _write_back(self, state) -> None:
         (ht_tag, ht_reg, ht_node, node_tag, node_prev, node_next,
-         head, tail, occ) = state
+         head, tail, occ, node_aux, node_stamp) = state
         self._ht_tag[:] = ht_tag
         self._ht_reg[:] = ht_reg
         self._ht_node[:] = ht_node
@@ -949,14 +1145,61 @@ class ArrayVantageCache(PartitionedCache):
         self._head[:] = head
         self._tail[:] = tail
         self._occ[:] = occ
+        self._node_aux[:] = node_aux
+        self._node_stamp[:] = node_stamp
+
+    def _pdp_recompute(self, p: int) -> None:
+        """Mirror PDPPolicy._recompute_dp / select_protecting_distance
+        for managed region ``p`` (same arithmetic as the kernel's
+        ``pdp_recompute``)."""
+        hist = self._pdp_hist[p]
+        max_dp = int(self._vp_maxdp[p])
+        total = int(self._pdp_samples[p])
+        if np.any(hist[1:] != 0) and total > 0:
+            best_dp, best_score = max_dp, -1.0
+            hits = weighted = 0
+            for dp in range(1, max_dp + 1):
+                hits += int(hist[dp])
+                weighted += dp * int(hist[dp])
+                misses = total - hits
+                occupancy = weighted + dp * misses
+                if occupancy <= 0:
+                    continue
+                score = hits / occupancy
+                if score > best_score:
+                    best_score = score
+                    best_dp = dp
+            self._pdp_dp[p] = best_dp
+        # Decay the sample so the policy adapts to phase changes.
+        decayed = np.where(hist > 1, (hist + 1) // 2, 0)
+        decayed[0] = 0
+        self._pdp_hist[p] = decayed
+        if self._ls_count[p] > int(self._vp_clear[p]):
+            self._ls_tags[p].fill(_EMPTY)
+            self._ls_count[p] = 0
 
     def _make_ops(self, state, free_box):
-        """Closure bundle mirroring the C helpers over list state."""
+        """Closure bundle mirroring the C helpers over list state.
+
+        The list/hash-table structure lives in plain lists (``state``);
+        the small policy side state (RNG, PSEL, PDP rows, shared stamp
+        counter) is mutated on the numpy arrays directly, exactly as the
+        kernel does.
+        """
         (ht_tag, ht_reg, ht_node, node_tag, node_prev, node_next,
-         head, tail, occ) = state
+         head, tail, occ, node_aux, node_stamp) = state
         tmask = len(ht_node) - 1
         unm = self.num_partitions
         unm_cap = self._unm_cap
+        pol = self.policy
+        max_rrpv = self.max_rrpv
+        epsilon = self.epsilon
+        rng = self._rng_state
+        psel = self._psel
+        psel_max = self._psel_max
+        roles = self._roles
+        leader_levels = self._leader_levels
+        counter = self._counter
 
         def home(tag, region):
             return mix64((tag & _MASK64) ^ seed_mix(region + 1)) & tmask
@@ -1014,6 +1257,166 @@ class ArrayVantageCache(PartitionedCache):
             tail[region] = node
             occ[region] += 1
 
+        def list_push_front(node, region):
+            first = head[region]
+            node_next[node] = first
+            node_prev[node] = -1
+            if first >= 0:
+                node_prev[first] = node
+            else:
+                tail[region] = node
+            head[region] = node
+            occ[region] += 1
+
+        def pdp_record(p, a):
+            # vt_pdp_record: advance region p's clock, sample the bounded
+            # reuse distance, periodically recompute dp.
+            self._pdp_clock[p] += 1
+            clk = int(self._pdp_clock[p])
+            tags = self._ls_tags[p]
+            clocks = self._ls_clocks[p]
+            lmask = self._ls_size - 1
+            slot = mix64(a) & lmask
+            while tags[slot] != _EMPTY and tags[slot] != a:
+                slot = (slot + 1) & lmask
+            if tags[slot] == a:
+                d = clk - int(clocks[slot])
+                if d <= int(self._vp_maxdp[p]):
+                    self._pdp_hist[p, d] += 1
+            else:
+                tags[slot] = a
+                self._ls_count[p] += 1
+            clocks[slot] = clk
+            self._pdp_samples[p] += 1
+            if self._pdp_samples[p] % int(self._vp_interval[p]) == 0:
+                self._pdp_recompute(p)
+
+        def duel(role, idx):
+            # Saturating PSEL update shared by DIP/DRRIP/TA-DRRIP.
+            if role == _ROLE_LEADER_SRRIP and psel[idx] < psel_max:
+                psel[idx] += 1
+            elif role == _ROLE_LEADER_BRRIP and psel[idx] > 0:
+                psel[idx] -= 1
+
+        def evict_one(p):
+            # vt_evict_one: select (and for RRIP, age) but do not unlink.
+            if occ[p] <= 0:
+                return -1
+            if pol in _VT_RRIP:
+                maxp = -1
+                m = head[p]
+                while m >= 0:
+                    if node_aux[m] > maxp:
+                        maxp = node_aux[m]
+                    m = node_next[m]
+                victim, best = -1, None
+                m = head[p]
+                while m >= 0:
+                    if node_aux[m] == maxp and (best is None
+                                                or node_stamp[m] < best):
+                        best = node_stamp[m]
+                        victim = m
+                    m = node_next[m]
+                d = max_rrpv - maxp
+                if d > 0:
+                    m = head[p]
+                    while m >= 0:
+                        node_aux[m] += d
+                        m = node_next[m]
+                return victim
+            if pol == "PDP":
+                # Oldest unprotected line, else the oldest line (no clock
+                # advance here).
+                clk = int(self._pdp_clock[p])
+                m = head[p]
+                while m >= 0:
+                    if node_aux[m] <= clk:
+                        return m
+                    m = node_next[m]
+                return head[p]
+            if pol == "Random":
+                k = _splitmix64(rng) % occ[p]
+                m = head[p]
+                while k:
+                    m = node_next[m]
+                    k -= 1
+                return m
+            # Recency family: the list head is the LRU line.
+            return head[p]
+
+        def policy_hit(p, node, a):
+            # vt_policy_hit: region.access(tag) on a resident line.
+            if pol in _VT_RRIP:
+                node_aux[node] = 0
+                counter[0] += 1
+                node_stamp[node] = int(counter[0])
+            elif pol == "PDP":
+                pdp_record(p, a)
+                node_aux[node] = int(self._pdp_clock[p] + self._pdp_dp[p])
+                list_remove(node, p)
+                list_push(node, p)
+            elif pol == "Random":
+                pass
+            else:
+                list_remove(node, p)
+                list_push(node, p)
+
+        def policy_insert(p, node, a):
+            # vt_policy_insert: metadata, duel bookkeeping, insert position.
+            if pol == "LIP":
+                list_push_front(node, p)
+            elif pol == "BIP":
+                if _uniform01(rng) >= epsilon:
+                    list_push_front(node, p)
+                else:
+                    list_push(node, p)
+            elif pol == "DIP":
+                role = int(roles[p])
+                duel(role, 0)
+                bip = (role == _ROLE_LEADER_BRRIP
+                       or (role == _ROLE_FOLLOWER
+                           and int(psel[0]) > psel_max // 2))
+                if bip and _uniform01(rng) >= epsilon:
+                    list_push_front(node, p)
+                else:
+                    list_push(node, p)
+            elif pol in _VT_RRIP:
+                ins = max_rrpv - 1
+                bimodal = False
+                if pol == "BRRIP":
+                    bimodal = True
+                elif pol == "DRRIP":
+                    role = int(roles[p])
+                    duel(role, 0)
+                    bimodal = (role == _ROLE_LEADER_BRRIP
+                               or (role == _ROLE_FOLLOWER
+                                   and int(psel[0]) > psel_max // 2))
+                elif pol == "TA-DRRIP":
+                    bucket = (a * GOLDEN64) & 1023
+                    if bucket < leader_levels:
+                        role = _ROLE_LEADER_SRRIP
+                    elif bucket < 2 * leader_levels:
+                        role = _ROLE_LEADER_BRRIP
+                    else:
+                        role = _ROLE_FOLLOWER
+                    duel(role, p)
+                    bimodal = (role == _ROLE_LEADER_BRRIP
+                               or (role == _ROLE_FOLLOWER
+                                   and int(psel[p]) > psel_max // 2))
+                if bimodal and _uniform01(rng) >= epsilon:
+                    ins = max_rrpv
+                node_aux[node] = ins
+                counter[0] += 1
+                node_stamp[node] = int(counter[0])
+                list_push(node, p)
+            elif pol == "PDP":
+                pdp_record(p, a)
+                node_aux[node] = int(self._pdp_clock[p] + self._pdp_dp[p])
+                list_push(node, p)
+            else:
+                # LRU / Random: MRU (insertion-order) end.
+                list_push(node, p)
+
         def release(node):
             node_next[node] = free_box[0]
             free_box[0] = node
@@ -1038,41 +1441,46 @@ class ArrayVantageCache(PartitionedCache):
                 list_remove(victim, unm)
                 release(victim)
 
+        def evict_and_demote(p):
+            # vt_evict_and_demote: unlink the chosen victim, demote it.
+            victim = evict_one(p)
+            if victim < 0:
+                return
+            vtag = node_tag[victim]
+            delete(lookup(vtag, p))
+            list_remove(victim, p)
+            release(victim)
+            demote(vtag)
+
         def insert_managed(a, p, cap):
             if cap == 0:
                 demote(a)
                 return
             if occ[p] >= cap:
-                victim = head[p]
-                vtag = node_tag[victim]
-                delete(lookup(vtag, p))
-                list_remove(victim, p)
-                release(victim)
-                demote(vtag)
+                evict_and_demote(p)
             node = free_box[0]
             free_box[0] = node_next[node]
             node_tag[node] = a
-            list_push(node, p)
             insert(a, p, node)
+            policy_insert(p, node, a)
 
         return (lookup, delete, list_remove, list_push, release, demote,
-                insert_managed, ht_node)
+                insert_managed, evict_and_demote, policy_hit, ht_node)
 
     def _replay_python(self, addrs: np.ndarray, parts: np.ndarray,
                        miss_out: np.ndarray) -> None:
         state = self._state_lists()
         free_box = [int(self._free[0])]
         (lookup, delete, list_remove, list_push, release, demote,
-         insert_managed, ht_node) = self._make_ops(state, free_box)
+         insert_managed, evict_and_demote, policy_hit,
+         ht_node) = self._make_ops(state, free_box)
         caps = self._caps.tolist()
         unm = self.num_partitions
         misses = [0] * self.num_partitions
         for a, p in zip(addrs.tolist(), parts.tolist()):
             slot = lookup(a, p)
             if slot >= 0:
-                node = ht_node[slot]
-                list_remove(node, p)
-                list_push(node, p)
+                policy_hit(p, ht_node[slot], a)
                 continue
             uslot = lookup(a, unm)
             if uslot >= 0:
@@ -1091,17 +1499,12 @@ class ArrayVantageCache(PartitionedCache):
     def _realloc_python(self, new_caps: Sequence[int]) -> None:
         state = self._state_lists()
         free_box = [int(self._free[0])]
-        (lookup, delete, list_remove, list_push, release, demote,
-         insert_managed, ht_node) = self._make_ops(state, free_box)
-        (_, _, _, node_tag, _, _, head, _, occ) = state
+        ops = self._make_ops(state, free_box)
+        evict_and_demote = ops[7]
+        occ = state[8]
         for p in range(self.num_partitions):
             while occ[p] > new_caps[p]:
-                victim = head[p]
-                vtag = node_tag[victim]
-                delete(lookup(vtag, p))
-                list_remove(victim, p)
-                release(victim)
-                demote(vtag)
+                evict_and_demote(p)
         self._write_back(state)
         self._free[0] = free_box[0]
 
@@ -1124,9 +1527,10 @@ class ArrayVantageCache(PartitionedCache):
             scheme="vantage",
             capacity_lines=self.capacity_lines,
             num_partitions=self.num_partitions,
-            policy="LRU",
+            policy=self.policy,
             backend="array",
             targets=tuple(float(g) for g in self.granted_allocations()),
+            policy_kwargs=tuple(sorted(self._policy_kwargs.items())),
             scheme_kwargs=self._spec_scheme_kwargs(),
         )
 

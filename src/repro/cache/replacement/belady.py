@@ -110,14 +110,21 @@ def belady_miss_curve_points(trace: Sequence[int],
     """Miss counts of Belady's MIN on ``trace`` at each capacity.
 
     Returns ``(capacity, misses)`` pairs suitable for
-    :meth:`repro.core.MissCurve.from_points`.  Each capacity replays the
-    trace from scratch (MIN does not have a stack property shortcut that we
-    exploit here), so keep the capacity list modest for long traces.
+    :meth:`repro.core.MissCurve.from_points`.  Next-use positions are
+    precomputed once with a vectorized two-pass scatter
+    (:func:`repro.cache.arraycache.belady_next_use`) and shared by every
+    capacity point; each point then replays through the native
+    :class:`~repro.cache.arraycache.ArrayBeladyCache` kernel, whose miss
+    counts are exact against this module's :class:`BeladyMINPolicy` (tie
+    eviction among dead lines cannot change MIN's miss count).
     """
-    trace = list(trace)
+    from ..arraycache import ArrayBeladyCache, belady_next_use
+    from ..cache import materialize_addresses
+    addrs = materialize_addresses(trace)
+    next_use = belady_next_use(addrs)
     points = []
     for capacity in capacities:
-        policy = BeladyMINPolicy(int(capacity), trace)
-        misses = sum(0 if policy.access(tag) else 1 for tag in trace)
-        points.append((int(capacity), misses))
+        cache = ArrayBeladyCache(int(capacity), addrs, next_use=next_use)
+        cache.run(addrs)
+        points.append((int(capacity), int(cache.stats.misses)))
     return points

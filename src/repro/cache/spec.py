@@ -35,13 +35,13 @@ object-backend factory that :meth:`PartitionSpec.build` itself uses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Mapping
 
 from ..core.talus import TalusConfig
-from .arraycache import (ARRAY_EXACT_POLICIES, ARRAY_POLICIES,
+from .arraycache import (ARRAY_POLICIES, ArrayBeladyCache,
                          ArraySetAssociativeCache)
-from .cache import SetAssociativeCache
+from .cache import SetAssociativeCache, materialize_addresses
 from .factory import (BACKENDS, POLICY_NAMES, SEEDED_POLICIES, cache_geometry,
                       named_policy_factory, resolve_backend)
 from .partition import (ARRAY_SCHEMES, SCHEME_REGISTRY, ArrayPartitionedCache,
@@ -94,10 +94,14 @@ class CacheSpec:
         Associativity (capacities below one set degenerate to a single
         ``capacity_lines``-way set).
     policy:
-        One of :data:`repro.cache.factory.POLICY_NAMES`.
+        One of :data:`repro.cache.factory.POLICY_NAMES`.  ``"Belady"``
+        (offline MIN) builds an :class:`ArrayBeladyCache` and needs the
+        trace attached via :meth:`with_trace` before :meth:`build`.
     backend:
-        "object", "array" or "auto" ("auto" picks the array/native core
-        exactly where it is bit-identical to the object model).
+        "object", "array" or "auto" ("auto" resolves to the array/native
+        core for every policy — bit-identical on the exact tier,
+        seeded-deterministic on the randomized tier, miss-count-exact for
+        Belady).
     seed:
         Deterministic seed for the randomized policies; ignored otherwise.
     hashed_index, index_seed:
@@ -105,6 +109,10 @@ class CacheSpec:
     policy_kwargs:
         Extra policy parameters as ``(name, value)`` pairs (a mapping is
         accepted and frozen).
+    trace:
+        Optional attached trace for offline policies, set through
+        :meth:`with_trace`.  Excluded from equality/hashing: two Belady
+        specs compare by configuration, not by replay payload.
     """
 
     capacity_lines: int
@@ -115,6 +123,7 @@ class CacheSpec:
     hashed_index: bool = False
     index_seed: int = 0
     policy_kwargs: tuple = ()
+    trace: object = field(default=None, compare=False, repr=False)
 
     def __post_init__(self):
         object.__setattr__(self, "policy_kwargs",
@@ -125,6 +134,14 @@ class CacheSpec:
             raise ValueError("ways must be positive")
         _check_policy(self.policy)
         _check_backend(self.backend)
+
+    def with_trace(self, trace) -> "CacheSpec":
+        """This spec with ``trace`` attached (materialized to int64).
+
+        Offline policies (Belady) replay exactly this trace; online
+        policies ignore the attachment.
+        """
+        return replace(self, trace=materialize_addresses(trace))
 
     @classmethod
     def from_mb(cls, size_mb: float, **kwargs) -> "CacheSpec":
@@ -143,9 +160,21 @@ class CacheSpec:
 
     def build(self):
         """Instantiate the cache this spec describes."""
-        num_sets, eff_ways = self.geometry
         backend = self.resolved_backend()
         kwargs = dict(self.policy_kwargs)
+        if self.policy == "Belady":
+            if self.trace is None:
+                raise ValueError(
+                    "CacheSpec(policy='Belady') is offline and needs its "
+                    "trace attached before build: call "
+                    "spec.with_trace(trace).  Online policies (no trace "
+                    "required): " + ", ".join(
+                        n for n in POLICY_NAMES if n != "Belady"))
+            cache = ArrayBeladyCache(self.capacity_lines, self.trace,
+                                     **kwargs)
+            cache._built_spec = replace(self, backend=backend)
+            return cache
+        num_sets, eff_ways = self.geometry
         if self.seed is not None and self.policy in SEEDED_POLICIES:
             kwargs.setdefault("seed", self.seed)
         if backend == "array":
@@ -174,14 +203,16 @@ class PartitionSpec:
     capacity_lines, num_partitions, ways:
         Total capacity, partition count and (way/set schemes) associativity.
     policy:
-        Replacement policy inside every partition.
+        Replacement policy inside every partition (any online policy;
+        Belady is offline and has no partitioned organization).
     backend:
-        "object", "array" or "auto".  The array fast path covers the
-        way/set schemes for the array policy family, and idealized and
-        Vantage partitioning for LRU (Vantage's shared unmanaged region
-        rides its own linked-list kernel); "auto" uses it exactly where
-        it is bit-identical (the exact tier), and futility scaling always
-        runs on the object model.
+        "object", "array" or "auto".  The array fast path covers every
+        scheme × policy combination except futility scaling (whose
+        feedback-controlled insertion probabilities have no array twin),
+        so "auto" resolves to "array" for everything else — bit-identical
+        on the exact tier (LRU/LIP/SRRIP/PDP), seeded-deterministic on
+        the randomized tier.  Futility scaling always runs on the object
+        model.
     hashed_index, index_seed:
         Set-index scheme of the way/set organizations.
     targets:
@@ -212,6 +243,12 @@ class PartitionSpec:
                            _freeze_kwargs(self.scheme_kwargs))
         _check_scheme(self.scheme)
         _check_policy(self.policy)
+        if self.policy == "Belady":
+            raise ValueError(
+                "Belady is offline and replays one attached trace; it has "
+                "no partitioned organization — supported partition "
+                "policies: " + ", ".join(
+                    n for n in POLICY_NAMES if n != "Belady"))
         _check_backend(self.backend)
         if self.capacity_lines <= 0:
             raise ValueError("capacity_lines must be positive")
@@ -244,11 +281,7 @@ class PartitionSpec:
             return False, (
                 f"the array backend does not implement partitioning scheme "
                 f"{self.scheme!r} (supported: {ARRAY_SCHEMES}); use "
-                f"backend='object' or 'auto'")
-        if self.scheme in ("ideal", "vantage") and self.policy != "LRU":
-            return False, (
-                f"array-backed {self.scheme} partitioning supports policy "
-                f"'LRU' only; use backend='object' or scheme 'way'/'set'")
+                f"backend='object'")
         if self.policy not in ARRAY_POLICIES:
             return False, (
                 f"the array backend does not implement {self.policy!r} "
@@ -259,10 +292,12 @@ class PartitionSpec:
     def resolved_backend(self) -> str:
         """The concrete backend ("object" or "array") this spec builds on.
 
-        "auto" selects the array backend only where it is bit-identical to
-        the object schemes: the exact policy tier
-        (:data:`~repro.cache.arraycache.ARRAY_EXACT_POLICIES`) on way/set
-        partitioning, and LRU on idealized partitioning.
+        The scheme × policy matrix is total on the array backend except
+        futility scaling, so "auto" resolves to "array" for every other
+        combination — bit-identical to the object schemes on the exact
+        policy tier (:data:`~repro.cache.arraycache.ARRAY_EXACT_POLICIES`
+        plus ideal/Vantage LRU), seeded-deterministic on the randomized
+        tier.
         """
         if self.backend == "object":
             return "object"
@@ -271,9 +306,7 @@ class PartitionSpec:
             if not supported:
                 raise ValueError(reason)
             return "array"
-        exact = (self.policy == "LRU" if self.scheme in ("ideal", "vantage")
-                 else self.policy in ARRAY_EXACT_POLICIES)
-        return "array" if supported and exact else "object"
+        return "array" if supported else "object"
 
     def build(self):
         """Instantiate the partitioned cache this spec describes."""
@@ -283,7 +316,7 @@ class PartitionSpec:
         if backend == "array" and self.scheme == "vantage":
             cache = ArrayVantageCache(
                 self.capacity_lines, self.num_partitions,
-                policy=self.policy, **scheme_kwargs)
+                policy=self.policy, **scheme_kwargs, **policy_kwargs)
         elif backend == "array":
             cache = ArrayPartitionedCache(
                 self.scheme, self.capacity_lines, self.num_partitions,

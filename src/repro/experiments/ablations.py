@@ -179,7 +179,7 @@ def run_min_convexity_check(random_mb: float = 0.5, scan_mb: float = 1.0,
     max_lines = paper_mb_to_lines(random_mb + scan_mb) + 64
     capacities = np.linspace(max_lines / num_sizes, max_lines, num_sizes,
                              dtype=int)
-    min_points = belady_miss_curve_points(trace.addresses.tolist(), capacities)
+    min_points = belady_miss_curve_points(trace.addresses, capacities)
     min_curve = MissCurve.from_points([(c, m) for c, m in min_points])
     from ..monitor.stack_distance import lru_miss_curve
     lru_curve = lru_miss_curve(trace.addresses,

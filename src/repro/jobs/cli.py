@@ -6,7 +6,10 @@ Four subcommands over a shared bank directory (``--bank``, or
 ``submit``
     Build a sweep from command-line parameters and run it supervised,
     mirroring live job snapshots into ``<bank>/jobs-state.json`` so other
-    terminals can watch.  Exits non-zero if any job fails.
+    terminals can watch.  Exits non-zero if any job fails.  With
+    ``--schemes`` the submission is a whole policy × scheme × size
+    matrix (one job per ``(policy, scheme)`` row, every cell banked
+    individually) instead of a plain policy × size sweep.
 ``status``
     Print the last known state of every recorded job plus bank counters.
 ``cancel``
@@ -34,7 +37,7 @@ from pathlib import Path
 
 from ..core.atomicio import atomic_write_json
 from .bank import DEFAULT_BANK_ENV, ResultBank
-from .payloads import SweepJob, TraceRef
+from .payloads import MatrixSweepJob, SweepJob, TraceRef
 from .queue import JobQueue, JobState, RetryPolicy
 
 __all__ = ["main"]
@@ -85,25 +88,45 @@ def _drain_cancel_markers(bank_dir: Path, queue: JobQueue) -> None:
 # --------------------------------------------------------------------- #
 # Subcommands
 # --------------------------------------------------------------------- #
+def _submit_payloads(args, trace) -> list:
+    """The job payloads one ``submit`` invocation expands to.
+
+    Without ``--schemes`` this is the classic policy × size sweep,
+    sharded round-robin across the workers.  With ``--schemes`` the
+    whole policy × scheme × size matrix is submitted instead, one
+    :class:`MatrixSweepJob` shard per ``(policy, scheme)`` row — each
+    completed cell banks under its own content key, so a resubmission
+    resumes where the last run stopped.
+    """
+    policies = tuple(args.policies.split(","))
+    sizes = tuple(float(s) for s in args.sizes.split(","))
+    if args.schemes:
+        schemes = (None if args.schemes == "all"
+                   else tuple(args.schemes.split(",")))
+        return MatrixSweepJob.shards_for_matrix(
+            trace, sizes_mb=sizes, policies=policies, schemes=schemes,
+            num_partitions=args.partitions, ways=args.ways,
+            backend=args.backend, seed=args.seed)
+    from ..sim.sweep import SweepSpec
+    spec = SweepSpec(policies=policies, sizes_mb=sizes, ways=args.ways,
+                     base_seed=args.seed, backend=args.backend)
+    configs = spec.expand()
+    shards = max(1, min(args.workers, len(configs)))
+    groups = [configs[i::shards] for i in range(shards)]
+    return [SweepJob(trace=trace, configs=tuple(group),
+                     backend=spec.backend)
+            for group in groups if group]
+
+
 def _cmd_submit(args) -> int:
     bank_dir = _bank_dir(args)
     trace = TraceRef(profile=args.profile, n_accesses=args.accesses,
                      seed=args.trace_seed)
-    from ..sim.sweep import SweepSpec
-    spec = SweepSpec(policies=tuple(args.policies.split(",")),
-                     sizes_mb=tuple(float(s)
-                                    for s in args.sizes.split(",")),
-                     ways=args.ways, base_seed=args.seed,
-                     backend=args.backend)
-    configs = spec.expand()
-    shards = max(1, min(args.workers, len(configs)))
-    groups = [configs[i::shards] for i in range(shards)]
+    payloads = _submit_payloads(args, trace)
     with JobQueue(ResultBank(bank_dir), max_workers=args.workers,
                   job_timeout=args.timeout,
                   retry=RetryPolicy(max_retries=args.retries)) as queue:
-        jobs = [queue.submit(SweepJob(trace=trace, configs=tuple(group),
-                                      backend=spec.backend))
-                for group in groups if group]
+        jobs = [queue.submit(payload) for payload in payloads]
         _record_state(bank_dir, jobs)
         while not queue.join(timeout=0.2):
             _drain_cancel_markers(bank_dir, queue)
@@ -188,6 +211,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated replacement policies")
     submit.add_argument("--sizes", default="1,2,4",
                         help="comma-separated cache sizes in paper MB")
+    submit.add_argument("--schemes", default=None,
+                        help="submit a whole policy x scheme x size matrix "
+                             "instead of a plain sweep: comma-separated "
+                             "partitioning schemes (none,way,set,ideal,"
+                             "vantage) or 'all'; one job per "
+                             "(policy, scheme) row, each cell banked "
+                             "individually so resubmissions resume")
+    submit.add_argument("--partitions", type=int, default=1,
+                        help="partitions per partitioned matrix cell "
+                             "(only with --schemes)")
     submit.add_argument("--ways", type=int, default=16)
     submit.add_argument("--seed", type=int, default=None,
                         help="sweep base seed (per-config seeds derive "

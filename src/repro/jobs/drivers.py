@@ -19,12 +19,13 @@ a clean one.
 from __future__ import annotations
 
 from .bank import ResultBank
-from .payloads import MixSweepJob, SamplingJob, SweepJob, as_trace_source
+from .payloads import (MatrixSweepJob, MixSweepJob, SamplingJob, SweepJob,
+                       as_trace_source)
 from .queue import JobQueue, RetryPolicy
 
-__all__ = ["run_sweep_supervised", "run_mix_sweep_supervised",
-           "run_shared_supervised", "run_sampled_supervised",
-           "supervised_queue"]
+__all__ = ["run_sweep_supervised", "run_matrix_sweep_supervised",
+           "run_mix_sweep_supervised", "run_shared_supervised",
+           "run_sampled_supervised", "supervised_queue"]
 
 
 def supervised_queue(bank=None, *, max_workers: int = 2,
@@ -82,6 +83,49 @@ def run_sweep_supervised(trace, spec, *, backend: str = "auto",
             jobs.append(queue.submit(SweepJob(
                 trace=source, configs=tuple(shard), backend=backend,
                 fault=fault)))
+        merged: dict = {}
+        instructions = 0
+        for job in jobs:
+            result = job.result()          # raises JobFailed on failure
+            merged.update(result.stats)
+            instructions = result.instructions or instructions
+        return SweepResult(merged, instructions=instructions)
+    finally:
+        if owns_queue:
+            queue.close()
+
+
+def run_matrix_sweep_supervised(trace, *, sizes_mb, policies=("LRU",),
+                                schemes=None, num_partitions: int = 1,
+                                ways: int = 16, backend: str = "auto",
+                                seed: int | None = None,
+                                max_workers: int = 2,
+                                bank: ResultBank | str | None = None,
+                                queue: JobQueue | None = None,
+                                job_timeout: float | None = 600.0,
+                                faults=None):
+    """Supervised :func:`~repro.sim.sweep.run_matrix_sweep`.
+
+    The matrix shards one ``(policy, scheme)`` row per job; inside each
+    job the worker banks every completed cell under its own content key,
+    so a crash costs at most one cell and a resubmission resumes from
+    the bank.  Per-cell seeds are stable functions of the cell itself,
+    so the merged result is bit-identical to one unsupervised
+    whole-matrix call.  ``faults`` maps row index to a
+    :class:`~repro.jobs.faults.FaultPlan`.  Returns the usual
+    cell-keyed :class:`~repro.sim.sweep.SweepResult`.
+    """
+    from ..sim.sweep import SweepResult
+    shards = MatrixSweepJob.shards_for_matrix(
+        trace, sizes_mb=sizes_mb, policies=policies, schemes=schemes,
+        num_partitions=num_partitions, ways=ways, backend=backend,
+        seed=seed, faults=faults)
+    owns_queue = queue is None
+    if owns_queue:
+        queue = supervised_queue(bank, max_workers=max_workers,
+                                 job_timeout=job_timeout)
+    try:
+        jobs = [queue.submit(shard) for shard in shards]
         merged: dict = {}
         instructions = 0
         for job in jobs:

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..cache.arraycache import ArraySetAssociativeCache
+from ..cache.arraycache import ArrayBeladyCache, ArraySetAssociativeCache
 from ..cache.cache import CacheStats
 from ..cache.partition.array import (ArrayPartitionedCache, ArrayVantageCache,
                                      _FastIdealLRURegion)
@@ -127,6 +127,8 @@ def _array_state(cache: ArraySetAssociativeCache) -> dict:
         "psel": cache._psel.copy(),
         "stats": _stats_state(cache.stats),
     }
+    if cache.policy == "TA-DRRIP":
+        state["tad_misses"] = cache._tad_misses.copy()
     if cache.policy == "PDP":
         state["pdp"] = {
             "expires": cache.expires.copy(),
@@ -155,6 +157,8 @@ def _restore_array(cache: ArraySetAssociativeCache, state: dict,
     cache._rng_state[:] = state["rng_state"]
     cache._psel[:] = state["psel"]
     cache.stats = _stats_from(state["stats"])
+    if policy == "TA-DRRIP":
+        cache._tad_misses[:] = state["tad_misses"]
     if policy == "PDP":
         pdp = state["pdp"]
         if int(cache._pdp_interval) != pdp["interval"]:
@@ -237,11 +241,18 @@ def _restore_partitioned(cache: ArrayPartitionedCache, state: dict) -> None:
 
 
 # --------------------------------------------------------------------- #
-# ArrayVantageCache (node pool + hash table + per-region lists)
+# ArrayVantageCache (node pool + hash table + per-region lists, plus the
+# non-LRU region policies' per-node and per-region bookkeeping; the
+# derived tuning constants — roles, leader levels, PDP intervals — are a
+# pure function of the spec and re-derived by the rebuild)
 # --------------------------------------------------------------------- #
 _VANTAGE_ARRAYS = ("_caps", "_node_tag", "_node_prev", "_node_next",
                    "_head", "_tail", "_occ", "_free",
-                   "_ht_tag", "_ht_reg", "_ht_node")
+                   "_ht_tag", "_ht_reg", "_ht_node",
+                   "_counter", "_rng_state", "_psel",
+                   "_node_aux", "_node_stamp",
+                   "_pdp_clock", "_pdp_dp", "_pdp_samples", "_pdp_hist",
+                   "_ls_tags", "_ls_clocks", "_ls_count")
 
 
 def _vantage_state(cache: ArrayVantageCache) -> dict:
@@ -256,6 +267,38 @@ def _restore_vantage(cache: ArrayVantageCache, state: dict) -> None:
         _copy_in_place(getattr(cache, name), state[name], name)
     cache.partition_stats = [_stats_from(s)
                              for s in state["partition_stats"]]
+
+
+# --------------------------------------------------------------------- #
+# ArrayBeladyCache (offline MIN: replay cursor + residency table + heap)
+# --------------------------------------------------------------------- #
+def _belady_state(cache: ArrayBeladyCache) -> dict:
+    return {
+        "cursor": int(cache._cursor),
+        "trace_sha": hashlib.sha256(cache._trace.tobytes()).hexdigest(),
+        "ht_tag": cache._ht_tag.copy(),
+        "ht_val": cache._ht_val.copy(),
+        "heap_key": cache._heap_key.copy(),
+        "heap_tag": cache._heap_tag.copy(),
+        "heap_io": cache._heap_io.copy(),
+        "stats": _stats_state(cache.stats),
+    }
+
+
+def _restore_belady(cache: ArrayBeladyCache, state: dict) -> None:
+    sha = hashlib.sha256(cache._trace.tobytes()).hexdigest()
+    if sha != state["trace_sha"]:
+        raise ValueError(
+            "checkpoint mismatch: Belady MIN is offline, its state is "
+            "meaningful only against the exact trace it was warmed on; "
+            "the cache's attached trace differs")
+    _copy_in_place(cache._ht_tag, state["ht_tag"], "ht_tag")
+    _copy_in_place(cache._ht_val, state["ht_val"], "ht_val")
+    _copy_in_place(cache._heap_key, state["heap_key"], "heap_key")
+    _copy_in_place(cache._heap_tag, state["heap_tag"], "heap_tag")
+    cache._heap_io[:] = state["heap_io"]
+    cache._cursor = int(state["cursor"])
+    cache.stats = _stats_from(state["stats"])
 
 
 # --------------------------------------------------------------------- #
@@ -308,10 +351,21 @@ def snapshot(cache, position: int = 0,
     if isinstance(cache, ArraySetAssociativeCache):
         return CacheCheckpoint("array", cache.to_spec(),
                                _array_state(cache), position, meta)
+    if isinstance(cache, ArrayBeladyCache):
+        # Offline MIN: the spec must carry its trace or build() cannot
+        # reconstruct the oracle (with_trace is excluded from spec
+        # equality, so attaching it leaves the canonical identity alone;
+        # the state's trace_sha keeps the digest trace-sensitive).
+        spec = cache.to_spec()
+        if getattr(spec, "trace", None) is None:
+            spec = spec.with_trace(cache._trace)
+        return CacheCheckpoint("belady", spec,
+                               _belady_state(cache), position, meta)
     raise TypeError(
         f"snapshot() supports the array cache tier "
-        f"(ArraySetAssociativeCache, ArrayPartitionedCache, "
-        f"ArrayVantageCache, TalusCache), not {type(cache).__name__}")
+        f"(ArraySetAssociativeCache, ArrayBeladyCache, "
+        f"ArrayPartitionedCache, ArrayVantageCache, TalusCache), "
+        f"not {type(cache).__name__}")
 
 
 def restore_into(cache, checkpoint: CacheCheckpoint) -> None:
@@ -343,5 +397,10 @@ def restore_into(cache, checkpoint: CacheCheckpoint) -> None:
             raise TypeError(f"array checkpoint cannot restore a "
                             f"{type(cache).__name__}")
         _restore_array(cache, checkpoint.state, checkpoint.state["policy"])
+    elif kind == "belady":
+        if not isinstance(cache, ArrayBeladyCache):
+            raise TypeError(f"belady checkpoint cannot restore a "
+                            f"{type(cache).__name__}")
+        _restore_belady(cache, checkpoint.state)
     else:
         raise ValueError(f"unknown checkpoint kind {kind!r}")

@@ -59,7 +59,8 @@ from ..workloads.scale import paper_mb_to_lines
 from ..workloads.tracestore import TraceHandle, TraceStore
 from .metrics import gmean
 from .multicore import (MixResult, ReconfiguringSharedRun,
-                        SharedCacheExperiment, SharedIntervalRecord)
+                        SharedCacheExperiment, SharedIntervalRecord,
+                        TADRRIPSharedRun)
 
 __all__ = ["MixSweepSpec", "MixRunRecord", "MixSweepResult", "run_mix_sweep",
            "mix_trace_seed", "ALGORITHMS"]
@@ -323,6 +324,32 @@ class MixSweepResult:
                     substrate=self.spec.substrate_spec(len(mix)))
             self._baselines[key] = \
                 self._experiments[mix_name].evaluate(scheme)
+        return self._baselines[key]
+
+    def executed_tadrrip(self, mix_name: str, seed: int = 0) -> MixResult:
+        """The *executed* TA-DRRIP baseline for one mix (cached).
+
+        Regenerates the mix's deterministic traces and replays them
+        through one shared thread-aware DRRIP cache
+        (:class:`~repro.sim.multicore.TADRRIPSharedRun`) with the sweep's
+        interval interleaving — the execution-driven counterpart of the
+        analytic ``"ta-drrip"`` occupancy model, comparable against this
+        sweep's measured Talus results via the usual speedup methods.
+        """
+        key = (mix_name, "ta-drrip-execution", seed)
+        if key not in self._baselines:
+            mix = self.mixes[mix_name]
+            traces = [
+                app.trace(n_accesses=self.spec.trace_accesses,
+                          seed=mix_trace_seed(self.spec.base_seed, mix.name,
+                                              core, app.name))
+                for core, app in enumerate(mix.apps)]
+            run = TADRRIPSharedRun(
+                total_mb=self.spec.total_mb,
+                interval_accesses=self.spec.interval_accesses,
+                warmup_intervals=self.spec.warmup_intervals, seed=seed)
+            run.run(traces)
+            self._baselines[key] = run.mix_result(mix.apps)
         return self._baselines[key]
 
     def speedup(self, mix_name: str, metric: str = "weighted",

@@ -76,7 +76,7 @@ from .perf_model import AppPerformance, ipc_from_mpki
 
 __all__ = ["SharedCacheExperiment", "MixResult", "SCHEMES",
            "shared_cache_equilibrium", "ReconfiguringSharedRun",
-           "SharedIntervalRecord"]
+           "SharedIntervalRecord", "TADRRIPSharedRun"]
 
 #: Scheme names accepted by :meth:`SharedCacheExperiment.evaluate`.
 SCHEMES = (
@@ -584,3 +584,92 @@ class ReconfiguringSharedRun:
                 name=profile.name, allocation_mb=float(last_alloc[i]),
                 mpki=float(mpki), ipc=ipc_from_mpki(profile, float(mpki))))
         return MixResult(scheme=scheme_label, apps=tuple(apps))
+
+
+@dataclass
+class TADRRIPSharedRun:
+    """Execution-driven unpartitioned TA-DRRIP baseline (Figs. 12/13).
+
+    The analytic model approximates TA-DRRIP with optimal-bypass miss
+    curves fed to the LRU occupancy fixed point
+    (:meth:`SharedCacheExperiment.evaluate` with ``"ta-drrip"``).  This
+    class *executes* the scheme instead: every application's trace
+    replays — in the same round-robin interval interleaving as
+    :class:`ReconfiguringSharedRun`, so contention is deterministic and
+    directly comparable — through one shared thread-aware DRRIP cache
+    (:class:`~repro.cache.arraycache.ArraySetAssociativeCache` with
+    ``policy="TA-DRRIP"``, one PSEL/dueling stream per application), and
+    per-application misses come from the kernel's ``thread_ids`` lane
+    rather than an occupancy model.
+
+    Parameters
+    ----------
+    total_mb:
+        Shared LLC capacity in paper MB.
+    ways:
+        Associativity of the shared cache.
+    interval_accesses:
+        Round-robin chunk size in accesses per application — match the
+        reconfiguration loop's interval so both baselines observe the
+        same interleaving.
+    seed:
+        Seed of the kernel's splitmix64 BRRIP insertion stream
+        (seeded-deterministic, like DRRIP on the array backend).
+    """
+
+    total_mb: float
+    ways: int = 16
+    interval_accesses: int = 20_000
+    warmup_intervals: int = 1
+    seed: int = 0
+    records: list[SharedIntervalRecord] = field(default_factory=list)
+
+    def run(self, traces: Sequence[Trace]) -> list[SharedIntervalRecord]:
+        """Replay all traces through one shared TA-DRRIP cache."""
+        from ..cache.arraycache import ArraySetAssociativeCache
+        from ..cache.factory import cache_geometry
+        n = len(traces)
+        if n == 0:
+            raise ValueError("need at least one application trace")
+        lines = paper_mb_to_lines(self.total_mb)
+        if lines <= 0:
+            raise ValueError("total_mb too small for the configured scale")
+        num_sets, ways = cache_geometry(lines, self.ways)
+        cache = ArraySetAssociativeCache(num_sets, ways, policy="TA-DRRIP",
+                                         num_streams=n, seed=self.seed)
+        alloc = (self.total_mb / n,) * n  # nominal share: no partitioning
+        positions = [0] * n
+        interval = max(1, self.interval_accesses)
+        index = 0
+        self.records = []
+        self._traces = list(traces)
+        while any(positions[i] < len(traces[i]) for i in range(n)):
+            accesses, misses = [], []
+            for i, trace in enumerate(traces):
+                end = min(positions[i] + interval, len(trace))
+                chunk = trace.addresses[positions[i]:end]
+                accesses.append(end - positions[i])
+                positions[i] = end
+                if chunk.size:
+                    before = int(cache.thread_misses[i])
+                    cache.run_chunk(
+                        chunk, thread_ids=np.full(chunk.size, i,
+                                                  dtype=np.int64))
+                    misses.append(int(cache.thread_misses[i]) - before)
+                else:
+                    misses.append(0)
+            self.records.append(SharedIntervalRecord(
+                index=index, accesses=tuple(accesses),
+                misses=tuple(misses), allocations_mb=alloc))
+            index += 1
+        return self.records
+
+    app_misses = ReconfiguringSharedRun.app_misses
+    app_accesses = ReconfiguringSharedRun.app_accesses
+
+    def mix_result(self, profiles, scheme_label: str = "ta-drrip-execution",
+                   skip_warmup: bool = True) -> MixResult:
+        """Measured per-app performance (see
+        :meth:`ReconfiguringSharedRun.mix_result`)."""
+        return ReconfiguringSharedRun.mix_result(self, profiles,
+                                                 scheme_label, skip_warmup)

@@ -122,13 +122,12 @@ class ReconfiguringTalusRun:
         degenerate (single-partition) configuration while the monitor fills.
     backend:
         Backend of the underlying partitioned cache ("auto" by default).
-        Warm-partition reallocation is supported by both backends, so
-        "auto" routes the exact policy tier — way/set/ideal partitioning
-        for the exact policies, and the default Vantage scheme for LRU
-        (the shared unmanaged region has its own linked-list kernel) —
-        to the array fast path, with chunked native replay between
-        reconfigurations, and everything else to the object model;
-        interval records are identical either way on the exact tier.
+        Warm-partition reallocation is supported by both backends, and
+        the scheme × policy matrix is total on the array side (futility
+        scaling excepted), so "auto" always rides the array fast path
+        with chunked native replay between reconfigurations; interval
+        records are bit-identical to ``backend="object"`` on the exact
+        policy tier (LRU/LIP/SRRIP/PDP).
     """
 
     target_mb: float
@@ -150,8 +149,8 @@ class ReconfiguringTalusRun:
         if lines <= 0:
             raise ValueError("target_mb too small for the configured scale")
         # Both backends reallocate warm partitions (PR 4), so the backend
-        # is a free choice; "auto" picks the array fast path exactly where
-        # it is bit-identical to the object model.
+        # is a free choice; "auto" rides the array fast path for every
+        # scheme and policy of the matrix.
         spec = TalusSpec(partition=PartitionSpec(
             scheme=self.scheme, capacity_lines=lines, num_partitions=2,
             backend=self.backend))

@@ -15,10 +15,11 @@ the *what* (a :class:`SweepSpec` describing all the points) from the *how*
   additionally share a *single* kernel pass over the trace
   (:func:`~repro.cache.arraycache.run_lru_family_batch`): all sizes of a
   recency-family size sweep advance together, decoding the trace once.
-* ``auto``   — the array backend where it is bit-identical to the object
-  model (LRU, LIP, SRRIP, PDP), the object model otherwise.  This is the
-  default, so existing experiments keep their exact results while getting
-  the fast path wherever it cannot change them.
+* ``auto``   — the array backend for every policy (the matrix is total):
+  bit-identical to the object model on the exact tier (LRU, LIP, SRRIP,
+  PDP), seeded-deterministic on the randomized tier, miss-count-exact
+  for Belady.  This is the default; ask for ``backend="object"``
+  explicitly to stream the reference model.
 
 Independent configs can also run in parallel, in one of two ways selected
 by ``parallel=``:
@@ -58,7 +59,7 @@ import numpy as np
 from ..cache._native import resolve_threads
 from ..cache.arraycache import run_lru_family_batch
 from ..cache.cache import CacheStats
-from ..cache.factory import BACKENDS, build_cache, resolve_backend
+from ..cache.factory import BACKENDS, build_cache
 from ..cache.hashing import derive_seed
 from ..cache.threadbatch import PARALLEL_MODES, resolve_parallel, run_tasks
 from ..core.misscurve import MissCurve
@@ -67,6 +68,7 @@ from ..workloads.scale import paper_mb_to_lines
 from ..workloads.tracestore import TraceHandle, TraceStore
 
 __all__ = ["SweepConfig", "SweepSpec", "SweepResult", "run_sweep",
+           "run_matrix_sweep", "matrix_cells", "MATRIX_SCHEMES",
            "DEFAULT_WAYS"]
 
 #: Default associativity of simulated caches (scaled stand-in for the
@@ -123,17 +125,32 @@ class SweepConfig:
         """Simulated capacity in lines."""
         return paper_mb_to_lines(self.size_mb)
 
-    def build(self, backend: str):
+    def build(self, backend: str, trace=None):
         """Instantiate the cache for this config on ``backend``.
 
         ``spec`` and ``builder`` configs carry their own backend choice;
         ``backend`` applies to the standard (policy, size) points.
+        ``trace`` is attached to offline (Belady) configs whose spec does
+        not already carry one — MIN replays exactly the sweep's trace.
         """
         if self.spec is not None:
             from ..cache.spec import build as build_spec
-            return build_spec(self.spec)
+            spec = self.spec
+            if (trace is not None and getattr(spec, "policy", None) == "Belady"
+                    and getattr(spec, "trace", None) is None):
+                spec = spec.with_trace(trace)
+            return build_spec(spec)
         if self.builder is not None:
             return self.builder()
+        if self.policy == "Belady":
+            from ..cache.spec import CacheSpec
+            spec = CacheSpec(capacity_lines=self.capacity_lines,
+                             ways=self.ways, policy="Belady",
+                             backend=backend,
+                             policy_kwargs=self.policy_kwargs)
+            if trace is not None:
+                spec = spec.with_trace(trace)
+            return spec.build()  # no trace -> the spec's clear error
         return build_cache(self.capacity_lines, ways=self.ways,
                            policy=self.policy, backend=backend,
                            seed=self.seed, **dict(self.policy_kwargs))
@@ -326,7 +343,7 @@ def _simulate_chunk(addrs: np.ndarray | TraceHandle,
             out.append((config.key, _all_miss_stats(int(addrs.size))))
             continue
         if custom:
-            cache = config.build(backend)
+            cache = config.build(backend, addrs)
             if getattr(cache, "supports_batch_replay", False):
                 # Array-backed organizations (incl. Talus on an array
                 # base) replay the whole trace in one batched pass.
@@ -337,21 +354,25 @@ def _simulate_chunk(addrs: np.ndarray | TraceHandle,
                 object_caches.append(cache)
                 object_keys.append(config.key)
             continue
-        if resolve_backend(backend, config.policy) == "array":
-            cache = config.build("array")
-            if enqueue(cache, config.key):
-                pass
-            elif config.policy in ("LRU", "LIP"):
-                # Recency-family array configs share one trace pass (the
-                # multi-config kernel); bit-identical to per-config runs.
-                lru_family_caches.append(cache)
-                lru_family_keys.append(config.key)
-            else:
-                cache.run(addrs)
-                out.append((config.key, _extract_stats(cache)))
-        else:
+        if backend == "object":
+            # The explicit reference baseline: all configs stream together
+            # in one per-access pass over the trace.
             object_caches.append(config.build("object"))
             object_keys.append(config.key)
+            continue
+        # The policy matrix is total on the array backend, so "auto" and
+        # "array" both land here — there is no per-policy object fallback.
+        cache = config.build("array", addrs)
+        if enqueue(cache, config.key):
+            pass
+        elif config.policy in ("LRU", "LIP"):
+            # Recency-family array configs share one trace pass (the
+            # multi-config kernel); bit-identical to per-config runs.
+            lru_family_caches.append(cache)
+            lru_family_keys.append(config.key)
+        else:
+            cache.run(addrs)
+            out.append((config.key, _extract_stats(cache)))
     if tasks:
         run_tasks(tasks, threads=threads)
         out.extend((key, _extract_stats(cache))
@@ -425,6 +446,170 @@ def _run_sweep_sampled(trace, configs, sampling, *, backend: str,
     out = SweepResult(stats, instructions=instructions)
     out.sampled = sampled
     return out
+
+
+#: Partitioning schemes :func:`run_matrix_sweep` covers.  "none" is a plain
+#: (unpartitioned) set-associative cache; futility scaling is excluded —
+#: it is the one scheme with no array twin, so it cannot join the single
+#: threaded dispatch (sweep it separately with ``backend="object"``).
+MATRIX_SCHEMES = ("none", "way", "set", "ideal", "vantage")
+
+
+def matrix_cells(sizes_mb: Sequence[float],
+                 policies: Sequence[str],
+                 schemes: Sequence[str] = MATRIX_SCHEMES
+                 ) -> tuple[tuple[str, str, float], ...]:
+    """The ``(policy, scheme, size_mb)`` cells of a matrix sweep.
+
+    One tuple per sweep point, in the deterministic order
+    :func:`run_matrix_sweep` simulates (and keys) them.  The job runtime
+    shards a matrix sweep one ``(policy, scheme)`` row at a time, so rows
+    group contiguously.  Belady is offline with no partitioned
+    organization, so its cells exist for scheme ``"none"`` only — other
+    schemes simply skip it.
+    """
+    cells = []
+    for policy in policies:
+        for scheme in schemes:
+            if scheme not in MATRIX_SCHEMES:
+                raise ValueError(
+                    f"unknown matrix scheme {scheme!r}; known: "
+                    f"{MATRIX_SCHEMES} (futility scaling has no array "
+                    f"twin; sweep it separately with backend='object')")
+            if policy == "Belady" and scheme != "none":
+                continue
+            for size_mb in sizes_mb:
+                cells.append((policy, scheme, float(size_mb)))
+    if not cells:
+        raise ValueError("the matrix is empty: no (policy, scheme, size) "
+                         "cells to simulate")
+    return tuple(cells)
+
+
+def _matrix_stats(cache) -> CacheStats:
+    """Whole-cache statistics of a matrix cell (partitioned caches sum
+    their per-partition stats)."""
+    stats = getattr(cache, "stats", None)
+    if isinstance(stats, CacheStats):
+        return stats
+    partition_stats = getattr(cache, "partition_stats", None)
+    if partition_stats:
+        total = CacheStats()
+        for s in partition_stats:
+            total.accesses += s.accesses
+            total.hits += s.hits
+            total.misses += s.misses
+        return total
+    return _extract_stats(cache)
+
+
+def _build_matrix_cell(cell: tuple[str, str, float], *, num_partitions: int,
+                       ways: int, backend: str, seed: int | None, addrs):
+    """Instantiate the cache for one matrix cell."""
+    from ..cache.factory import SEEDED_POLICIES
+    from ..cache.spec import CacheSpec, PartitionSpec
+    policy, scheme, size_mb = cell
+    capacity = paper_mb_to_lines(size_mb)
+    cell_seed = (None if seed is None or policy not in SEEDED_POLICIES
+                 else _derive_seed(seed, f"{policy}|{scheme}", size_mb))
+    if scheme == "none":
+        spec = CacheSpec(capacity_lines=capacity, ways=ways, policy=policy,
+                         backend=backend, seed=cell_seed)
+        if policy == "Belady":
+            spec = spec.with_trace(addrs)
+        return spec.build()
+    policy_kwargs = () if cell_seed is None else (("seed", cell_seed),)
+    return PartitionSpec(scheme=scheme, capacity_lines=capacity,
+                         num_partitions=num_partitions, policy=policy,
+                         ways=ways, backend=backend,
+                         policy_kwargs=policy_kwargs).build()
+
+
+def run_matrix_sweep(trace: Trace | np.ndarray | Sequence[int],
+                     *, sizes_mb: Sequence[float],
+                     policies: Sequence[str] = ("LRU",),
+                     schemes: Sequence[str] = MATRIX_SCHEMES,
+                     num_partitions: int = 1,
+                     parts: np.ndarray | Sequence[int] | None = None,
+                     ways: int = DEFAULT_WAYS,
+                     backend: str = "auto",
+                     threads: int | None = None,
+                     seed: int | None = None,
+                     trace_store: TraceStore | None = None) -> SweepResult:
+    """Sweep the whole policy × scheme × size matrix in one threaded pass.
+
+    Every cell — each replacement policy on each partitioning scheme at
+    each size — becomes one :class:`~repro.cache.threadbatch.ReplayTask`,
+    and the entire matrix executes as a single GIL-releasing
+    ``batch_run_threaded`` dispatch over *one* shared copy of the trace (a
+    :class:`~repro.workloads.tracestore.TraceStore` memmap, so a
+    whole-matrix sweep decodes and stores the trace once, not once per
+    cell).  Results are keyed ``(policy, scheme, size_mb)`` and are
+    bit-identical at any thread width.
+
+    ``backend="object"`` instead streams every cell through the reference
+    object model, access by access, on one core — the baseline
+    ``benchmarks/bench_matrix_sweep.py`` measures the threaded matrix
+    against.
+
+    ``parts`` optionally tags each access with a partition id for the
+    partitioned schemes (all accesses land in partition 0 by default);
+    plain-cache cells ignore it.
+    """
+    cells = matrix_cells(sizes_mb, policies, schemes)
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; known: {BACKENDS}")
+    if isinstance(trace, Trace):
+        addrs = np.ascontiguousarray(trace.addresses, dtype=np.int64)
+        instructions = trace.instructions
+    else:
+        addrs = np.ascontiguousarray(np.asarray(trace, dtype=np.int64))
+        instructions = 0
+    if addrs.ndim != 1:
+        raise ValueError("trace must be one-dimensional")
+    if parts is None:
+        parts = np.zeros(addrs.size, dtype=np.int64)
+    else:
+        parts = np.ascontiguousarray(np.asarray(parts, dtype=np.int64))
+        if parts.shape != addrs.shape:
+            raise ValueError("parts must match the trace's shape")
+
+    store = trace_store if trace_store is not None else TraceStore()
+    try:
+        # All cells replay the store's one materialized copy.
+        shared = store.put(addrs).array()
+        caches = [_build_matrix_cell(cell, num_partitions=num_partitions,
+                                     ways=ways, backend=backend, seed=seed,
+                                     addrs=shared)
+                  for cell in cells]
+        if backend == "object":
+            for cache in caches:
+                if hasattr(cache, "partition_stats"):
+                    for a, p in zip(shared.tolist(), parts.tolist()):
+                        cache.access(a, p)
+                else:
+                    for a in shared.tolist():
+                        cache.access(a)
+        else:
+            tasks = []
+            for cache in caches:
+                if hasattr(cache, "partition_stats"):
+                    tasks.append(cache.replay_task(shared, parts))
+                else:
+                    tasks.append(cache.replay_task(shared))
+            run_tasks(tasks, threads=resolve_threads(threads))
+    finally:
+        if trace_store is None:
+            store.close()
+    stats: dict[Hashable, CacheStats] = {}
+    for cell, cache in zip(cells, caches):
+        cell_stats = _matrix_stats(cache)
+        if instructions and not cell_stats.instructions:
+            cell_stats.instructions = instructions
+        stats[cell] = cell_stats
+    return SweepResult(stats, instructions=instructions)
 
 
 def run_sweep(trace: Trace | np.ndarray | Sequence[int],

@@ -7,9 +7,11 @@ import numpy as np
 import pytest
 
 from repro.jobs import (CacheJob, FaultPlan, InlineTrace, JobQueue, JobState,
-                        MixSweepJob, ResultBank, RetryPolicy, SweepJob,
-                        TraceRef, as_trace_source, canonical_json,
-                        code_version, job_key, run_mix_sweep_supervised)
+                        MatrixSweepJob, MixSweepJob, ResultBank, RetryPolicy,
+                        SweepJob, TraceRef, as_trace_source, canonical_json,
+                        code_version, job_key,
+                        run_matrix_sweep_supervised,
+                        run_mix_sweep_supervised)
 from repro.jobs.cli import main as cli_main
 from tests.faults import fault_queue, small_spec, small_trace
 
@@ -209,6 +211,55 @@ class TestPayloadRoundTrips:
             assert supervised.records[name] == record
 
 
+class TestMatrixSweepJobs:
+    KWARGS = dict(sizes_mb=(0.25, 0.5), policies=("LRU", "TA-DRRIP"),
+                  schemes=("none", "way"), num_partitions=2, seed=9)
+
+    def test_shards_group_by_policy_scheme_row(self):
+        shards = MatrixSweepJob.shards_for_matrix(small_trace(),
+                                                  **self.KWARGS)
+        rows = [{cell[:2] for cell in shard.cells} for shard in shards]
+        assert all(len(row) == 1 for row in rows)
+        assert sorted(next(iter(row)) for row in rows) == \
+            sorted((p, s) for p in self.KWARGS["policies"]
+                   for s in self.KWARGS["schemes"])
+        assert all(len(shard.cells) == 2 for shard in shards)
+
+    def test_supervised_matrix_matches_direct_and_resumes(self, tmp_path):
+        from repro.sim.sweep import run_matrix_sweep
+        trace = small_trace()
+        direct = run_matrix_sweep(trace, **self.KWARGS)
+        supervised = run_matrix_sweep_supervised(trace, bank=tmp_path,
+                                                 max_workers=2,
+                                                 **self.KWARGS)
+        assert set(supervised.stats) == set(direct.stats)
+        for key, stats in direct.stats.items():
+            assert supervised.stats[key].misses == stats.misses, key
+            assert supervised.stats[key].accesses == stats.accesses, key
+        # A resubmission replays nothing: every cell is already banked.
+        bank = ResultBank(tmp_path)
+        shards = MatrixSweepJob.shards_for_matrix(trace, **self.KWARGS)
+        for shard in shards:
+            for cell in shard.cells:
+                assert bank.get(shard.unit_key(cell)) is not None, cell
+        resumed = run_matrix_sweep_supervised(trace, bank=tmp_path,
+                                              max_workers=2, **self.KWARGS)
+        for key, stats in direct.stats.items():
+            assert resumed.stats[key].misses == stats.misses, key
+
+    def test_unit_keys_are_shard_independent(self):
+        trace = small_trace()
+        whole = MatrixSweepJob.shards_for_matrix(trace, **self.KWARGS)
+        cell = whole[0].cells[0]
+        solo = MatrixSweepJob(trace=as_trace_source(trace), cells=(cell,),
+                              num_partitions=2, seed=9)
+        assert solo.unit_key(cell) == whole[0].unit_key(cell)
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError, match="cell"):
+            MatrixSweepJob(trace=as_trace_source(small_trace()), cells=())
+
+
 class TestCli:
     def _submit(self, bank, capsys):
         code = cli_main(["--bank", str(bank), "submit", "--profile", "mcf",
@@ -240,6 +291,23 @@ class TestCli:
         self._submit(bank, capsys)
         code, report = self._submit(bank, capsys)
         assert code == 0
+        assert all(j["meta"].get("bank_hit") for j in report["jobs"])
+
+    def test_matrix_submit(self, tmp_path, capsys):
+        bank = tmp_path / "bank"
+        argv = ["--bank", str(bank), "submit", "--profile", "mcf",
+                "--accesses", "3000", "--sizes", "0.5",
+                "--policies", "LRU,SRRIP", "--schemes", "none,way",
+                "--partitions", "2", "--workers", "2"]
+        assert cli_main(argv) == 0
+        report = json.loads(capsys.readouterr().out)
+        # One job per (policy, scheme) row of the matrix.
+        assert len(report["jobs"]) == 4
+        assert all(j["payload"] == "MatrixSweepJob" for j in report["jobs"])
+        assert all(j["state"] == "succeeded" for j in report["jobs"])
+        # Resubmission is satisfied straight from the bank.
+        assert cli_main(argv) == 0
+        report = json.loads(capsys.readouterr().out)
         assert all(j["meta"].get("bank_hit") for j in report["jobs"])
 
     def test_cancel_writes_markers(self, tmp_path, capsys):

@@ -60,10 +60,18 @@ class TestChunkInvariance:
     @pytest.mark.parametrize("hashed", [False, True])
     def test_chunked_replay_is_bit_identical(self, policy, hashed):
         trace = _mixed_trace(12000, seed=hash((policy, hashed)) % 1000)
-        kwargs = dict(policy=policy, hashed_index=hashed, index_seed=3)
-        one = ArraySetAssociativeCache(32, 4, **kwargs)
-        one.run(trace)
-        chunked = ArraySetAssociativeCache(32, 4, **kwargs)
+        if policy == "Belady":
+            # Offline and fully associative: no index hashing, but the
+            # same run/run_chunk/access resumability contract.
+            from repro.cache.arraycache import ArrayBeladyCache
+            one = ArrayBeladyCache(128, trace)
+            one.run(trace)
+            chunked = ArrayBeladyCache(128, trace)
+        else:
+            kwargs = dict(policy=policy, hashed_index=hashed, index_seed=3)
+            one = ArraySetAssociativeCache(32, 4, **kwargs)
+            one.run(trace)
+            chunked = ArraySetAssociativeCache(32, 4, **kwargs)
         # Uneven chunks, including empty ones and scalar interleaving.
         bounds = [0, 17, 17, 993, 5000, 5001, 11000, 12000]
         for start, end in zip(bounds, bounds[1:]):
@@ -73,9 +81,12 @@ class TestChunkInvariance:
                 chunked.run_chunk(trace[start:end])
         assert one.stats.misses == chunked.stats.misses
         assert one.stats.accesses == chunked.stats.accesses
+        if policy == "Belady":
+            assert one.occupancy() == chunked.occupancy()
+            return
         assert np.array_equal(one.tags, chunked.tags)
         assert np.array_equal(one.stamp, chunked.stamp)
-        if policy in ("SRRIP", "BRRIP", "DRRIP"):
+        if policy in ("SRRIP", "BRRIP", "DRRIP", "TA-DRRIP"):
             assert np.array_equal(one.rrpv, chunked.rrpv)
 
     def test_run_chunk_returns_per_chunk_stats(self):
@@ -320,7 +331,7 @@ class TestRandomArrayPolicy:
         assert random_cache.stats.hit_rate > 0.4
 
     def test_backend_routing(self):
-        assert resolve_backend("auto", "Random") == "object"
+        assert resolve_backend("auto", "Random") == "array"
         assert resolve_backend("array", "Random") == "array"
         cache = build(CacheSpec(capacity_lines=256, policy="Random",
                                 backend="array", seed=4))

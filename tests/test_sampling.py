@@ -92,7 +92,12 @@ def roundtrip_identity(spec, addrs, cut):
     assert counters(rebuilt) == counters(straight)
 
 
-@pytest.mark.parametrize("policy", ARRAY_POLICIES)
+#: Belady is offline (spec needs a trace, replay must stay in order), so
+#: its checkpoint round trip is exercised separately below.
+ONLINE_ARRAY_POLICIES = tuple(p for p in ARRAY_POLICIES if p != "Belady")
+
+
+@pytest.mark.parametrize("policy", ONLINE_ARRAY_POLICIES)
 def test_array_checkpoint_roundtrip_native(policy):
     trace = make_trace(12_000)
     addrs = trace.segment(0, 12_000)
@@ -101,13 +106,51 @@ def test_array_checkpoint_roundtrip_native(policy):
     roundtrip_identity(spec, addrs, cut=5_000)
 
 
-@pytest.mark.parametrize("policy", ARRAY_POLICIES)
+@pytest.mark.parametrize("policy", ONLINE_ARRAY_POLICIES)
 def test_array_checkpoint_roundtrip_no_kernel(no_kernel, policy):
     trace = make_trace(6_000)
     addrs = trace.segment(0, 6_000)
     spec = CacheSpec(capacity_lines=256, ways=8, policy=policy,
                      backend="array", seed=7)
     roundtrip_identity(spec, addrs, cut=2_500)
+
+
+def test_belady_checkpoint_roundtrip():
+    addrs = make_trace(10_000).segment(0, 10_000)
+    cut = 4_000
+    spec = CacheSpec(capacity_lines=256, ways=256, policy="Belady",
+                     backend="array").with_trace(addrs)
+
+    straight = build(spec)
+    straight.run()
+
+    first = build(spec)
+    first.run(addrs[:cut])
+    ckpt = pickle.loads(pickle.dumps(first.snapshot(position=cut)))
+    first.run()  # corrupt the donor: the checkpoint must be a deep copy
+
+    resumed = build(spec)
+    resumed.restore(ckpt)
+    assert resumed.trace_remaining == len(addrs) - cut
+    resumed.run()
+    assert counters(resumed) == counters(straight)
+    assert resumed.occupancy() == straight.occupancy()
+
+    rebuilt = ckpt.build()
+    rebuilt.run()
+    assert counters(rebuilt) == counters(straight)
+
+
+def test_belady_checkpoint_rejects_other_trace():
+    addrs = make_trace(4_000).segment(0, 4_000)
+    spec = CacheSpec(capacity_lines=128, ways=128, policy="Belady",
+                     backend="array")
+    donor = build(spec.with_trace(addrs))
+    donor.run(addrs[:1_000])
+    ckpt = donor.snapshot(position=1_000)
+    other = build(spec.with_trace(addrs[::-1].copy()))
+    with pytest.raises(ValueError, match="trace"):
+        other.restore(ckpt)
 
 
 @pytest.mark.parametrize("scheme,policy", [
@@ -124,12 +167,16 @@ def test_partitioned_checkpoint_roundtrip(scheme, policy):
     roundtrip_identity(spec, addrs, cut=4_000)
 
 
-def test_vantage_checkpoint_roundtrip():
+@pytest.mark.parametrize("policy", ["LRU", "SRRIP", "BRRIP", "PDP",
+                                    "TA-DRRIP"])
+def test_vantage_checkpoint_roundtrip(policy):
     trace = make_trace(10_000)
     addrs = trace.segment(0, 10_000)
+    kwargs = (() if policy in ("LRU", "SRRIP", "PDP")
+              else (("seed", 11),))
     spec = TalusSpec(partition=PartitionSpec(
         scheme="vantage", capacity_lines=512, num_partitions=2,
-        policy="LRU", backend="array"))
+        policy=policy, backend="array", policy_kwargs=kwargs))
     roundtrip_identity(spec, addrs, cut=4_000)
 
 

@@ -53,8 +53,17 @@ class TestCacheSpec:
         spec = CacheSpec(capacity_lines=128, policy="LRU", backend="auto")
         assert spec.resolved_backend() == "array"
         assert build(spec).to_spec().backend == "array"
+        # The policy matrix is total on the array backend: the seeded
+        # tier rides the kernel under "auto" too.
         spec = CacheSpec(capacity_lines=128, policy="DRRIP", backend="auto")
-        assert spec.resolved_backend() == "object"
+        assert spec.resolved_backend() == "array"
+
+    def test_auto_is_total_over_policies(self):
+        from repro.cache.factory import POLICY_NAMES
+        for policy in POLICY_NAMES:
+            spec = CacheSpec(capacity_lines=128, policy=policy,
+                             backend="auto")
+            assert spec.resolved_backend() == "array", policy
 
     def test_direct_construction_recovers_policy(self):
         cache = ArraySetAssociativeCache(8, 4, policy="LIP")
@@ -120,35 +129,46 @@ class TestPartitionSpec:
         assert build(recovered).to_spec() == recovered
 
     def test_auto_tier(self):
-        # Exact tier on an array-supported scheme -> array.
+        # The scheme x policy matrix is total on the array backend:
+        # every array scheme rides the kernel under "auto" for every
+        # policy, seeded tier included.
         assert PartitionSpec(scheme="way", capacity_lines=512,
                              num_partitions=2,
                              policy="SRRIP").resolved_backend() == "array"
-        # Seeded tier stays on the reference model under "auto".
         assert PartitionSpec(scheme="way", capacity_lines=512,
                              num_partitions=2,
-                             policy="BRRIP").resolved_backend() == "object"
-        # Vantage/LRU is deterministic and rides the linked-list kernel;
-        # futility scaling stays object-only.
+                             policy="BRRIP").resolved_backend() == "array"
         assert PartitionSpec(scheme="vantage", capacity_lines=512,
-                             num_partitions=2).resolved_backend() == "array"
-        assert PartitionSpec(scheme="futility", capacity_lines=512,
-                             num_partitions=2).resolved_backend() == "object"
-        # Ideal partitions are fully associative: array LRU only.
+                             num_partitions=2,
+                             policy="TA-DRRIP").resolved_backend() == "array"
         assert PartitionSpec(scheme="ideal", capacity_lines=512,
                              num_partitions=2,
-                             policy="SRRIP").resolved_backend() == "object"
+                             policy="SRRIP").resolved_backend() == "array"
+        # Futility scaling is the one object-only scheme.
+        assert PartitionSpec(scheme="futility", capacity_lines=512,
+                             num_partitions=2).resolved_backend() == "object"
+
+    def test_auto_is_total_over_scheme_policy_matrix(self):
+        from repro.cache.factory import POLICY_NAMES
+        from repro.cache.partition.array import ARRAY_SCHEMES
+        for scheme in ARRAY_SCHEMES:
+            for policy in (p for p in POLICY_NAMES if p != "Belady"):
+                spec = PartitionSpec(scheme=scheme, capacity_lines=512,
+                                     num_partitions=2, policy=policy)
+                assert spec.resolved_backend() == "array", (scheme, policy)
 
     def test_explicit_array_rejects_unsupported(self):
         with pytest.raises(ValueError, match="object"):
             PartitionSpec(scheme="futility", capacity_lines=512,
                           num_partitions=2,
                           backend="array").resolved_backend()
+        # Non-LRU regions are first-class on the array backend now.
         for scheme in ("ideal", "vantage"):
-            with pytest.raises(ValueError, match="LRU"):
-                PartitionSpec(scheme=scheme, capacity_lines=512,
-                              num_partitions=2, policy="SRRIP",
-                              backend="array").resolved_backend()
+            spec = PartitionSpec(scheme=scheme, capacity_lines=512,
+                                 num_partitions=2, policy="SRRIP",
+                                 backend="array")
+            assert spec.resolved_backend() == "array"
+            assert build(spec).to_spec().backend == "array"
 
     def test_validation_lists_options(self):
         with pytest.raises(ValueError, match="valid schemes"):

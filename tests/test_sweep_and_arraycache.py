@@ -172,15 +172,23 @@ class TestArrayBackendParity:
 
 class TestSweepEngine:
     def test_run_sweep_matches_per_size_reference(self):
-        """Batched sweep == the seed-style one-run-per-size loop."""
+        """Batched sweep == the seed-style one-run-per-size loop.
+
+        Per-config seeds are stable functions of the sweep point, so
+        batching cannot change any point's result — on either backend
+        (exact tier checked against the object reference, seeded tier
+        against the same one-size-at-a-time auto path).
+        """
         trace = get_profile("omnetpp").trace(n_accesses=20000)
         sizes = (0.0, 0.25, 0.5, 1.0, 2.0, 4.0)
-        for policy in ("LRU", "SRRIP", "DRRIP"):
+        for policy, reference_backend in (("LRU", "object"),
+                                          ("SRRIP", "object"),
+                                          ("DRRIP", "auto")):
             spec = SweepSpec(sizes_mb=sizes, policies=(policy,))
             result = run_sweep(trace, spec)
             for size in sizes:
-                reference = simulate_policy_at_size(trace, size, policy,
-                                                    backend="object")
+                reference = simulate_policy_at_size(
+                    trace, size, policy, backend=reference_backend)
                 assert result.mpki((policy, size)) == pytest.approx(reference)
 
     def test_object_and_array_backends_agree(self):
@@ -271,20 +279,24 @@ class TestSweepEngine:
 
 class TestFactoryAndStats:
     def test_resolve_backend(self):
+        # The policy matrix is total under "auto": exact tier and
+        # seeded tier alike ride the array backend.
         assert resolve_backend("auto", "LRU") == "array"
         assert resolve_backend("auto", "SRRIP") == "array"
-        # The whole exact tier rides the array backend under "auto" ...
         assert resolve_backend("auto", "LIP") == "array"
         assert resolve_backend("auto", "PDP") == "array"
-        # ... while the randomized policies stay on the reference model
-        # unless the array backend is requested explicitly.
-        assert resolve_backend("auto", "DRRIP") == "object"
-        assert resolve_backend("auto", "DIP") == "object"
+        assert resolve_backend("auto", "DRRIP") == "array"
+        assert resolve_backend("auto", "DIP") == "array"
+        assert resolve_backend("auto", "TA-DRRIP") == "array"
         assert resolve_backend("array", "DIP") == "array"
-        assert resolve_backend("array", "PDP") == "array"
+        assert resolve_backend("array", "TA-DRRIP") == "array"
         assert resolve_backend("object", "LRU") == "object"
-        with pytest.raises(ValueError):
-            resolve_backend("array", "TA-DRRIP")
+        # Belady is offline and array-only: "auto" resolves to array,
+        # an explicit object backend is an error.
+        assert resolve_backend("auto", "Belady") == "array"
+        assert resolve_backend("array", "Belady") == "array"
+        with pytest.raises(ValueError, match="offline"):
+            resolve_backend("object", "Belady")
         with pytest.raises(ValueError):
             resolve_backend("turbo", "LRU")
 

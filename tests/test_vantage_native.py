@@ -112,9 +112,9 @@ class TestArrayVantageParity:
         _, misses = arr.run_partitioned(addrs, parts)
         assert misses.tolist() == expected
 
-    def test_rejects_non_lru_policy(self):
-        with pytest.raises(ValueError, match="LRU"):
-            ArrayVantageCache(128, 2, policy="SRRIP")
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="polic"):
+            ArrayVantageCache(128, 2, policy="LFU")
 
     def test_overcapacity_request_rejected(self):
         _, arr = _pair(100, 2)
@@ -129,14 +129,14 @@ class TestVantageSpec:
         assert spec.resolved_backend() == "array"
         assert isinstance(build(spec), ArrayVantageCache)
 
-    def test_non_lru_stays_object(self):
-        spec = PartitionSpec(scheme="vantage", capacity_lines=512,
-                             num_partitions=2, policy="SRRIP")
-        assert spec.resolved_backend() == "object"
-        with pytest.raises(ValueError, match="LRU"):
-            PartitionSpec(scheme="vantage", capacity_lines=512,
-                          num_partitions=2, policy="SRRIP",
-                          backend="array").resolved_backend()
+    def test_non_lru_rides_array_too(self):
+        # Vantage regions are no longer LRU-only on the native path:
+        # every replacement policy resolves to the array backend.
+        for policy in ("SRRIP", "BRRIP", "PDP", "TA-DRRIP"):
+            spec = PartitionSpec(scheme="vantage", capacity_lines=512,
+                                 num_partitions=2, policy=policy)
+            assert spec.resolved_backend() == "array", policy
+            assert isinstance(build(spec), ArrayVantageCache)
 
     def test_array_roundtrip_fixed_point(self):
         spec = PartitionSpec(scheme="vantage", capacity_lines=512,
