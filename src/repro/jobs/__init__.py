@@ -22,14 +22,15 @@ serial runs.
 """
 
 from .bank import DEFAULT_BANK_ENV, ResultBank
-from .drivers import (run_matrix_sweep_supervised, run_mix_sweep_supervised,
-                      run_sampled_supervised, run_shared_supervised,
-                      run_sweep_supervised, supervised_queue)
+from .drivers import (run_controller_supervised, run_matrix_sweep_supervised,
+                      run_mix_sweep_supervised, run_sampled_supervised,
+                      run_shared_supervised, run_sweep_supervised,
+                      supervised_queue)
 from .faults import FAULT_KINDS, FaultInjected, FaultPlan
 from .keys import canonical_digest, canonical_json, code_version, job_key
-from .payloads import (CacheJob, InlineTrace, JobContext, MatrixSweepJob,
-                       MixSweepJob, SamplingJob, SharedRunJob, SweepJob,
-                       TraceRef, as_trace_source)
+from .payloads import (CacheJob, ControllerJob, InlineTrace, JobContext,
+                       MatrixSweepJob, MixSweepJob, SamplingJob, SharedRunJob,
+                       SweepJob, TraceRef, as_trace_source)
 from .queue import Job, JobFailed, JobQueue, JobState, RetryPolicy
 from .supervisor import SupervisedWorker, WorkerOutcome
 
@@ -37,12 +38,14 @@ __all__ = [
     "ResultBank", "DEFAULT_BANK_ENV",
     "JobQueue", "Job", "JobState", "JobFailed", "RetryPolicy",
     "SupervisedWorker", "WorkerOutcome",
-    "SweepJob", "MatrixSweepJob", "MixSweepJob", "SharedRunJob", "CacheJob",
+    "SweepJob", "MatrixSweepJob", "MixSweepJob", "SharedRunJob",
+    "ControllerJob", "CacheJob",
     "SamplingJob",
     "TraceRef", "InlineTrace", "as_trace_source", "JobContext",
     "FaultPlan", "FaultInjected", "FAULT_KINDS",
     "job_key", "code_version", "canonical_json", "canonical_digest",
     "run_sweep_supervised", "run_matrix_sweep_supervised",
     "run_mix_sweep_supervised", "run_shared_supervised",
-    "run_sampled_supervised", "supervised_queue",
+    "run_sampled_supervised", "run_controller_supervised",
+    "supervised_queue",
 ]

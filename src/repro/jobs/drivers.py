@@ -25,7 +25,8 @@ from .queue import JobQueue, RetryPolicy
 
 __all__ = ["run_sweep_supervised", "run_matrix_sweep_supervised",
            "run_mix_sweep_supervised", "run_shared_supervised",
-           "run_sampled_supervised", "supervised_queue"]
+           "run_sampled_supervised", "run_controller_supervised",
+           "supervised_queue"]
 
 
 def supervised_queue(bank=None, *, max_workers: int = 2,
@@ -207,6 +208,49 @@ def run_mix_sweep_supervised(mixes, spec, *,
                                                  fault=fault)))
         records = [job.result() for job in jobs]
         return MixSweepResult(spec, mixes, records)
+    finally:
+        if owns_queue:
+            queue.close()
+
+
+def run_controller_supervised(spec, *, bank=None,
+                              queue: JobQueue | None = None,
+                              job_timeout: float | None = 1800.0,
+                              fault=None, algorithm=None,
+                              **controller_kwargs):
+    """Run one online-controller churn stream
+    (:func:`~repro.sim.multicore.run_churn` with ``supervise=True``) in a
+    supervised worker; returns its
+    :class:`~repro.sim.controller.ControllerResult`.
+
+    ``algorithm`` may be a registered name or the registered callable
+    itself; the remaining keyword arguments are the scalar
+    :class:`~repro.jobs.payloads.ControllerJob` fields (scheme, interval
+    and drift knobs, ...).  The whole stream banks as one unit under the
+    spec's content key, so resubmitting after a crash (or a mid-stream
+    SIGKILL — see the fault suite) resumes from the bank bit-identically.
+    """
+    from ..sim.mixsweep import ALGORITHMS
+    from .payloads import ControllerJob
+    if algorithm is None:
+        algorithm = "hill"
+    if not isinstance(algorithm, str):
+        names = {id(fn): name for name, fn in ALGORITHMS.items()}
+        name = names.get(id(algorithm))
+        if name is None:
+            raise ValueError(
+                "supervise=True needs a registered partitioning algorithm "
+                f"({', '.join(sorted(ALGORITHMS))}); got "
+                f"{getattr(algorithm, '__name__', algorithm)!r}")
+        algorithm = name
+    payload = ControllerJob(spec=spec, algorithm=algorithm, fault=fault,
+                            **controller_kwargs)
+    owns_queue = queue is None
+    if owns_queue:
+        queue = supervised_queue(bank, max_workers=1,
+                                 job_timeout=job_timeout)
+    try:
+        return queue.submit(payload).result()
     finally:
         if owns_queue:
             queue.close()

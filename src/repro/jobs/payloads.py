@@ -39,7 +39,7 @@ from .keys import job_key
 
 __all__ = ["TraceRef", "InlineTrace", "as_trace_source", "JobContext",
            "SweepJob", "MatrixSweepJob", "MixSweepJob", "SharedRunJob",
-           "CacheJob", "SamplingJob", "stats_to_payload",
+           "ControllerJob", "CacheJob", "SamplingJob", "stats_to_payload",
            "stats_from_payload"]
 
 
@@ -520,6 +520,80 @@ class SharedRunJob:
                     allocations_mb=tuple(float(a)
                                          for a in r["allocations_mb"]))
                 for r in payload["records"]]
+
+
+@dataclass(frozen=True)
+class ControllerJob:
+    """One online-controller churn run
+    (:class:`~repro.sim.controller.OnlineTalusController` driven by a
+    :class:`~repro.sim.multicore.ChurnSpec`).
+
+    The event schedule is *not* shipped: it is a pure function of the
+    frozen spec, so the worker regenerates it and the job key covers it
+    through the spec's scalars.  ``ctx.unit`` ticks at every event
+    boundary — the heartbeat proves liveness on long streams, and the
+    fault hook lets the soak suite kill the worker mid-stream; because
+    the payload is the complete record list and every seed derives from
+    stable identities, a retried run banks bit-identical records.
+    """
+
+    spec: object            # ChurnSpec
+    scheme: str = "ideal"
+    policy: str = "LRU"
+    algorithm: str = "hill"
+    base_interval_accesses: int = 20_000
+    min_interval_accesses: int | None = None
+    max_interval_accesses: int | None = None
+    drift_shrink: float = 0.10
+    drift_grow: float = 0.02
+    safety_margin: float = 0.05
+    monitor_points: int = 33
+    fairness: float = 0.0
+    granularity_lines: int | None = None
+    ways: int = 16
+    backend: str = "auto"
+    base_seed: int = 2015
+    fault: FaultPlan | None = field(default=None, compare=False)
+
+    def __post_init__(self):
+        from ..sim.mixsweep import ALGORITHMS
+        from ..sim.multicore import ChurnSpec
+        if not isinstance(self.spec, ChurnSpec):
+            raise TypeError("spec must be a ChurnSpec")
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(f"unknown algorithm {self.algorithm!r}; valid "
+                             f"algorithms: {', '.join(sorted(ALGORITHMS))}")
+
+    def execute(self, ctx: JobContext) -> dict:
+        from ..sim.controller import OnlineTalusController
+        from ..sim.mixsweep import ALGORITHMS
+        from ..sim.multicore import churn_events
+        events = churn_events(self.spec)
+        controller = OnlineTalusController(
+            self.spec.total_mb, max_apps=self.spec.max_apps,
+            scheme=self.scheme, policy=self.policy,
+            algorithm=ALGORITHMS[self.algorithm],
+            base_interval_accesses=self.base_interval_accesses,
+            min_interval_accesses=self.min_interval_accesses,
+            max_interval_accesses=self.max_interval_accesses,
+            drift_shrink=self.drift_shrink, drift_grow=self.drift_grow,
+            safety_margin=self.safety_margin,
+            monitor_points=self.monitor_points, fairness=self.fairness,
+            granularity_lines=self.granularity_lines, ways=self.ways,
+            backend=self.backend, base_seed=self.base_seed)
+        with controller:
+            for index, event in enumerate(events):
+                ctx.unit("unit", index)
+                controller.handle(event)
+            result = controller.result()
+        ctx.beat()
+        return result.to_payload()
+
+    @staticmethod
+    def load(payload: dict):
+        """Rebuild the run's :class:`~repro.sim.controller.ControllerResult`."""
+        from ..sim.controller import ControllerResult
+        return ControllerResult.from_payload(payload)
 
 
 @dataclass(frozen=True)

@@ -4,6 +4,7 @@ These are the software equivalents of the hardware monitors of Sec. VI-C of
 the paper: they turn an access stream into the miss curves Talus plans with.
 """
 
+from .drift import CurveDriftTracker, curve_drift
 from .multipoint import MultiPointMonitor
 from .stack_distance import (StackDistanceMonitor, lru_miss_curve,
                              stack_distance_histogram)
@@ -16,4 +17,6 @@ __all__ = [
     "UMON",
     "CombinedUMON",
     "MultiPointMonitor",
+    "CurveDriftTracker",
+    "curve_drift",
 ]

@@ -36,12 +36,18 @@ class PartitioningProblem:
         Allocation step.  All allocations are integer multiples of this.
     minimum:
         Minimum allocation per partition (default 0).
+    minimums:
+        Optional per-partition minimum allocations (QoS floors).  When
+        given, it must have one entry per curve and overrides ``minimum``;
+        algorithms start every partition at its own floor and only
+        distribute the remaining budget.
     """
 
     curves: tuple[MissCurve, ...]
     total_size: float
     granularity: float
     minimum: float = 0.0
+    minimums: tuple[float, ...] | None = None
 
     def __post_init__(self):
         if not self.curves:
@@ -52,8 +58,23 @@ class PartitioningProblem:
             raise ValueError("granularity must be positive")
         if self.minimum < 0:
             raise ValueError("minimum must be non-negative")
-        if self.minimum * len(self.curves) > self.total_size + 1e-9:
+        if self.minimums is not None:
+            object.__setattr__(self, "minimums", tuple(self.minimums))
+            if len(self.minimums) != len(self.curves):
+                raise ValueError("minimums must have one entry per curve")
+            if any(m < 0 for m in self.minimums):
+                raise ValueError("minimums must be non-negative")
+            if sum(self.minimums) > self.total_size + 1e-9:
+                raise ValueError("minimum allocations exceed total capacity")
+        elif self.minimum * len(self.curves) > self.total_size + 1e-9:
             raise ValueError("minimum allocations exceed total capacity")
+
+    def floors(self) -> tuple[float, ...]:
+        """The effective per-partition minimums (``minimums`` if given,
+        else ``minimum`` replicated)."""
+        if self.minimums is not None:
+            return self.minimums
+        return (self.minimum,) * len(self.curves)
 
     @property
     def num_partitions(self) -> int:

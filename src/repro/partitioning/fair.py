@@ -19,6 +19,9 @@ def fair(problem: PartitioningProblem) -> Allocation:
 
     Leftover capacity (from rounding) is distributed one unit at a time,
     lowest partition index first, so the result never exceeds the total.
+    Per-partition floors (``problem.minimums``) are honoured: enforcing a
+    floor may overshoot the total, in which case capacity is shaved from
+    the largest partition that still has slack above its own floor.
     """
     step = problem.granularity
     per_partition_units = int(problem.total_size / step / problem.num_partitions + 1e-9)
@@ -26,10 +29,17 @@ def fair(problem: PartitioningProblem) -> Allocation:
     leftover_units = problem.steps - per_partition_units * problem.num_partitions
     for i in range(leftover_units):
         sizes[i % problem.num_partitions] += step
-    sizes = [max(s, problem.minimum) for s in sizes]
-    # Enforcing the minimum may overshoot the total; shave from the largest.
+    floors = problem.floors()
+    sizes = [max(s, m) for s, m in zip(sizes, floors)]
+    # Enforcing the minimum may overshoot the total; shave from the largest
+    # partition that can still give a unit back without dipping below its
+    # floor (ties: lowest index).
     while sum(sizes) > problem.total_size + 1e-9:
-        sizes[sizes.index(max(sizes))] -= step
+        slack = [i for i in range(problem.num_partitions)
+                 if sizes[i] - step >= floors[i] - 1e-9]
+        if not slack:
+            break
+        sizes[max(slack, key=lambda i: sizes[i])] -= step
     return Allocation(sizes=tuple(sizes),
                       total_misses=total_misses(problem.curves, sizes),
                       algorithm="fair")

@@ -22,10 +22,16 @@ def hill_climbing(problem: PartitioningProblem) -> Allocation:
 
     At each step the next ``granularity`` units go to the partition with the
     largest miss reduction for that increment.  Ties go to the lowest
-    partition index (deterministic).
+    partition index (deterministic).  Per-partition floors
+    (``problem.minimums``) are honoured by starting every partition at its
+    floor and distributing only the remaining budget.
     """
-    sizes = [problem.minimum] * problem.num_partitions
-    budget = problem.total_size - problem.minimum * problem.num_partitions
+    if problem.minimums is not None:
+        sizes = list(problem.minimums)
+        budget = problem.total_size - sum(sizes)
+    else:
+        sizes = [problem.minimum] * problem.num_partitions
+        budget = problem.total_size - problem.minimum * problem.num_partitions
     step = problem.granularity
     current_misses = [float(curve(size))
                       for curve, size in zip(problem.curves, sizes)]

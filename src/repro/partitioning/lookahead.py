@@ -39,9 +39,18 @@ def _best_jump(curve, current: float, budget: float, step: float) -> tuple[float
 
 
 def lookahead(problem: PartitioningProblem) -> Allocation:
-    """UCP Lookahead allocation over possibly non-convex curves."""
-    sizes = [problem.minimum] * problem.num_partitions
-    budget = problem.total_size - problem.minimum * problem.num_partitions
+    """UCP Lookahead allocation over possibly non-convex curves.
+
+    Per-partition floors (``problem.minimums``) are honoured by starting
+    every partition at its floor and jumping only within the remaining
+    budget.
+    """
+    if problem.minimums is not None:
+        sizes = list(problem.minimums)
+        budget = problem.total_size - sum(sizes)
+    else:
+        sizes = [problem.minimum] * problem.num_partitions
+        budget = problem.total_size - problem.minimum * problem.num_partitions
     step = problem.granularity
     while budget >= step - 1e-9:
         best_index = -1

@@ -73,11 +73,19 @@ class TalusPartitioning:
         self.safety_margin = safety_margin
 
     def partition(self, curves: Sequence[MissCurve], total_size: float,
-                  granularity: float, minimum: float = 0.0) -> TalusOutcome:
-        """Run the wrapped algorithm on convex hulls and plan shadow partitions."""
+                  granularity: float, minimum: float = 0.0,
+                  minimums: Sequence[float] | None = None) -> TalusOutcome:
+        """Run the wrapped algorithm on convex hulls and plan shadow partitions.
+
+        ``minimums`` (per-partition QoS floors) overrides the scalar
+        ``minimum`` when given; both are forwarded to the
+        :class:`~repro.partitioning.base.PartitioningProblem` unchanged.
+        """
         hulls = tuple(convex_hull(curve) for curve in curves)
-        problem = PartitioningProblem(curves=hulls, total_size=total_size,
-                                      granularity=granularity, minimum=minimum)
+        problem = PartitioningProblem(
+            curves=hulls, total_size=total_size, granularity=granularity,
+            minimum=minimum,
+            minimums=None if minimums is None else tuple(minimums))
         allocation = self.algorithm(problem)
         configs = []
         expected = []

@@ -8,11 +8,17 @@ from .metrics import (coefficient_of_variation, gmean, harmonic_speedup,
                       weighted_speedup)
 from .mixsweep import (ALGORITHMS, MixRunRecord, MixSweepResult, MixSweepSpec,
                        mix_trace_seed, run_mix_sweep)
-from .multicore import (SCHEMES, MixResult, ReconfiguringSharedRun,
-                        SharedCacheExperiment, SharedIntervalRecord,
+from .controller import (AccessBatch, AppArrive, AppDepart, BatchRecord,
+                         ControllerResult, OnlineTalusController,
+                         QosInfeasibleError, QosPolicy, QosUpdate,
+                         ReplanRecord)
+from .multicore import (SCHEMES, ChurnSpec, MixResult,
+                        ReconfiguringSharedRun, SharedCacheExperiment,
+                        SharedIntervalRecord, churn_events, run_churn,
                         shared_cache_equilibrium)
 from .perf_model import AppPerformance, execution_time, ipc_from_mpki
-from .reconfigure import IntervalRecord, ReconfiguringTalusRun
+from .reconfigure import (IntervalRecord, ReconfiguringTalusRun, SharedPlan,
+                          plan_shared_allocations)
 
 __all__ = [
     "SystemConfig",
@@ -47,4 +53,19 @@ __all__ = [
     "run_mix_sweep",
     "mix_trace_seed",
     "ALGORITHMS",
+    "OnlineTalusController",
+    "ControllerResult",
+    "QosPolicy",
+    "QosInfeasibleError",
+    "AppArrive",
+    "AppDepart",
+    "QosUpdate",
+    "AccessBatch",
+    "BatchRecord",
+    "ReplanRecord",
+    "ChurnSpec",
+    "churn_events",
+    "run_churn",
+    "SharedPlan",
+    "plan_shared_allocations",
 ]

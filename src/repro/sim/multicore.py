@@ -76,7 +76,8 @@ from .perf_model import AppPerformance, ipc_from_mpki
 
 __all__ = ["SharedCacheExperiment", "MixResult", "SCHEMES",
            "shared_cache_equilibrium", "ReconfiguringSharedRun",
-           "SharedIntervalRecord", "TADRRIPSharedRun"]
+           "SharedIntervalRecord", "TADRRIPSharedRun",
+           "ChurnSpec", "churn_events", "run_churn"]
 
 #: Scheme names accepted by :meth:`SharedCacheExperiment.evaluate`.
 SCHEMES = (
@@ -532,20 +533,28 @@ class ReconfiguringSharedRun:
 
     def _replan(self, talus, monitors: Sequence[CombinedUMON],
                 traces: Sequence[Trace]) -> tuple[float, ...]:
-        """Plan from every monitor's current curve; reprogram all pairs."""
-        from .reconfigure import config_mb_to_lines, planning_curve_from_monitor
+        """Plan from every monitor's current curve; reprogram all pairs.
+
+        Delegates to the shared replan core
+        (:func:`~repro.sim.reconfigure.plan_shared_allocations`) with the
+        fixed-mix defaults — no floors, no fairness blend, no
+        conservation top-up — which is bit-identical to the pre-core
+        ``TalusPartitioning.partition`` pipeline.
+        """
+        from .reconfigure import (config_mb_to_lines,
+                                  plan_shared_allocations,
+                                  planning_curve_from_monitor)
         curves = [planning_curve_from_monitor(monitor, trace)
                   for monitor, trace in zip(monitors, traces)]
         partitionable_mb = lines_to_paper_mb(talus.base.partitionable_lines)
         granularity = (self.granularity_mb if self.granularity_mb
                        else self.total_mb / 64.0)
-        wrapper = TalusPartitioning(algorithm=self.algorithm,
-                                    safety_margin=self.safety_margin)
-        outcome = wrapper.partition(curves, partitionable_mb,
-                                    granularity=granularity)
-        talus.configure_many([config_mb_to_lines(c)
-                              for c in outcome.configs])
-        return tuple(float(s) for s in outcome.sizes)
+        plan = plan_shared_allocations(curves, partitionable_mb,
+                                       granularity=granularity,
+                                       algorithm=self.algorithm,
+                                       safety_margin=self.safety_margin)
+        talus.configure_many([config_mb_to_lines(c) for c in plan.configs])
+        return tuple(float(s) for s in plan.sizes)
 
     # ------------------------------------------------------------------ #
     def app_misses(self, app: int, skip_warmup: bool = True) -> int:
@@ -673,3 +682,167 @@ class TADRRIPSharedRun:
         :meth:`ReconfiguringSharedRun.mix_result`)."""
         return ReconfiguringSharedRun.mix_result(self, profiles,
                                                  scheme_label, skip_warmup)
+
+
+# --------------------------------------------------------------------------- #
+# Churn-capable mix driving for the streaming controller
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ChurnSpec:
+    """A deterministic churning workload for the online controller.
+
+    Where :class:`ReconfiguringSharedRun` replays a *fixed* mix,
+    :func:`churn_events` expands this spec into an event schedule with
+    application arrivals, departures and QoS updates interleaved with
+    per-app access batches — the streaming input of
+    :class:`~repro.sim.controller.OnlineTalusController`.  The schedule
+    is a pure function of the spec (all randomness flows from
+    ``base_seed`` through :func:`~repro.cache.hashing.derive_seed`), and
+    event times are trace-indexed: scheduler step ``k`` happens after
+    exactly the batches of steps ``0..k-1``, never after a wall-clock
+    amount of work.  The spec is a frozen scalar dataclass so it can ride
+    in a job payload and key a result bank entry.
+
+    Attributes
+    ----------
+    total_mb, max_apps:
+        Shared cache scale; arrivals are suppressed while ``max_apps``
+        applications are active (the controller's slot count).
+    initial_apps, steps, batch_accesses:
+        ``initial_apps`` arrivals precede step 0; every scheduler step
+        emits one ``batch_accesses``-long batch per active app (round
+        robin in arrival order, wrapping each app's trace cyclically).
+    arrive_prob, depart_prob, qos_prob:
+        Per-step probabilities of one arrival / departure / QoS update.
+    min_apps:
+        Departures are suppressed at or below this population.
+    qos_floor_mb_max, qos_max_fraction:
+        Per-app QoS floors are drawn uniformly from
+        ``[0, qos_floor_mb_max]`` and clamped so the sum of all active
+        floors never exceeds ``qos_max_fraction * total_mb`` (keeping
+        every schedule admissible).
+    profile_names:
+        Profile pool to draw application instances from (empty: the
+        paper's memory-intensive pool).
+    trace_accesses:
+        Length of each application instance's generated trace.
+    """
+
+    total_mb: float
+    max_apps: int = 32
+    initial_apps: int = 16
+    steps: int = 64
+    batch_accesses: int = 2_000
+    trace_accesses: int = 40_000
+    arrive_prob: float = 0.20
+    depart_prob: float = 0.15
+    qos_prob: float = 0.15
+    min_apps: int = 1
+    qos_floor_mb_max: float = 0.0
+    qos_max_fraction: float = 0.5
+    profile_names: tuple = ()
+    base_seed: int = 2015
+
+    def __post_init__(self):
+        if self.initial_apps <= 0 or self.initial_apps > self.max_apps:
+            raise ValueError("initial_apps must be in [1, max_apps]")
+        if self.min_apps < 0:
+            raise ValueError("min_apps must be non-negative")
+        if not 0.0 <= self.qos_max_fraction <= 1.0:
+            raise ValueError("qos_max_fraction must be in [0, 1]")
+
+
+def churn_events(spec: ChurnSpec) -> list:
+    """Expand a :class:`ChurnSpec` into its deterministic event schedule."""
+    from ..cache.hashing import derive_seed
+    from ..workloads.spec_profiles import (get_profile,
+                                           memory_intensive_profiles)
+    from .controller import (AccessBatch, AppArrive, AppDepart, QosPolicy,
+                             QosUpdate)
+    pool = ([get_profile(name) for name in spec.profile_names]
+            if spec.profile_names else memory_intensive_profiles())
+    rng = np.random.default_rng(derive_seed(spec.base_seed, "churn-schedule"))
+    events: list = []
+    streams: dict = {}       # app id -> [addresses, cursor]
+    floors: dict = {}        # app id -> floor MB
+    counter = 0
+    floor_budget_mb = spec.qos_max_fraction * spec.total_mb
+
+    def draw_floor(exclude: str | None = None) -> float:
+        if spec.qos_floor_mb_max <= 0:
+            return 0.0
+        draw = float(rng.uniform(0.0, spec.qos_floor_mb_max))
+        used = sum(mb for app, mb in floors.items() if app != exclude)
+        return max(0.0, min(draw, floor_budget_mb - used))
+
+    def spawn() -> None:
+        nonlocal counter
+        profile = pool[int(rng.integers(len(pool)))]
+        app = f"{profile.name}#{counter}"
+        trace = profile.trace(
+            spec.trace_accesses,
+            seed=derive_seed(spec.base_seed, f"churn-trace|{counter}"))
+        # Disjoint address ranges per instance: a recycled slot must never
+        # alias a previous tenant's lines.
+        addresses = trace.addresses + np.int64((counter + 1) << 32)
+        counter += 1
+        floor_mb = draw_floor()
+        streams[app] = [addresses, 0]
+        floors[app] = floor_mb
+        events.append(AppArrive(app, QosPolicy(min_mb=floor_mb)))
+
+    for _ in range(spec.initial_apps):
+        spawn()
+    for _ in range(spec.steps):
+        chances = rng.random(3)
+        if chances[0] < spec.arrive_prob and len(streams) < spec.max_apps:
+            spawn()
+        if chances[1] < spec.depart_prob and len(streams) > spec.min_apps:
+            ordered = sorted(streams)
+            app = ordered[int(rng.integers(len(ordered)))]
+            del streams[app]
+            del floors[app]
+            events.append(AppDepart(app))
+        if chances[2] < spec.qos_prob and streams \
+                and spec.qos_floor_mb_max > 0:
+            ordered = sorted(streams)
+            app = ordered[int(rng.integers(len(ordered)))]
+            floor_mb = draw_floor(exclude=app)
+            floors[app] = floor_mb
+            events.append(QosUpdate(app, QosPolicy(min_mb=floor_mb)))
+        for app in sorted(streams):
+            addresses, cursor = streams[app]
+            end = cursor + spec.batch_accesses
+            if end <= len(addresses):
+                batch = addresses[cursor:end]
+                streams[app][1] = end if end < len(addresses) else 0
+            else:
+                head = addresses[cursor:]
+                wrap = end - len(addresses)
+                batch = np.concatenate([head, addresses[:wrap]])
+                streams[app][1] = wrap
+            events.append(AccessBatch(app, batch))
+    return events
+
+
+def run_churn(spec: ChurnSpec, *, supervise: bool = False, bank=None,
+              **controller_kwargs):
+    """Drive one :class:`~repro.sim.controller.OnlineTalusController`
+    through a :class:`ChurnSpec`'s event schedule.
+
+    Returns the run's :class:`~repro.sim.controller.ControllerResult`.
+    With ``supervise=True`` the run executes in a supervised worker
+    process of the fault-tolerant job runtime and its records bank under
+    the spec's content key (``algorithm`` must then be one of the
+    registered :data:`~repro.sim.mixsweep.ALGORITHMS`) — bit-identical
+    to the in-process path.
+    """
+    if supervise:
+        from ..jobs.drivers import run_controller_supervised
+        return run_controller_supervised(spec, bank=bank,
+                                         **controller_kwargs)
+    from .controller import OnlineTalusController
+    controller = OnlineTalusController(spec.total_mb, max_apps=spec.max_apps,
+                                       **controller_kwargs)
+    with controller:
+        return controller.run(churn_events(spec))

@@ -42,16 +42,23 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from typing import Callable, Sequence
+
 from ..cache.spec import PartitionSpec, TalusSpec, build
 from ..cache.talus_cache import TalusCache
+from ..core.convexhull import convex_hull
 from ..core.misscurve import MissCurve
 from ..core.talus import TalusConfig, plan_shadow_partitions
 from ..monitor.umon import CombinedUMON
+from ..partitioning.base import PartitioningProblem
+from ..partitioning.fair import fair
+from ..partitioning.hill_climbing import hill_climbing
 from ..workloads.access import Trace
 from ..workloads.scale import lines_to_paper_mb, paper_mb_to_lines
 
 __all__ = ["ReconfiguringTalusRun", "IntervalRecord",
-           "planning_curve_from_monitor", "config_mb_to_lines"]
+           "planning_curve_from_monitor", "config_mb_to_lines",
+           "SharedPlan", "plan_shared_allocations"]
 
 
 def planning_curve_from_monitor(monitor: CombinedUMON,
@@ -86,6 +93,101 @@ def config_mb_to_lines(config: TalusConfig) -> TalusConfig:
         s2=config.s2 * factor,
         degenerate=config.degenerate,
     )
+
+
+@dataclass(frozen=True)
+class SharedPlan:
+    """One coordinated multi-application Talus plan.
+
+    ``sizes`` are the per-partition capacity allocations (in the curves'
+    size units), ``configs`` the shadow-partition plans in the same
+    units, and ``expected_misses`` the hull miss values Talus commits to
+    at those sizes.
+    """
+
+    sizes: tuple[float, ...]
+    configs: tuple[TalusConfig, ...]
+    expected_misses: tuple[float, ...]
+
+    @property
+    def total_expected_misses(self) -> float:
+        return float(sum(self.expected_misses))
+
+
+def plan_shared_allocations(curves: Sequence[MissCurve], total_size: float,
+                            *, granularity: float,
+                            algorithm: Callable = hill_climbing,
+                            safety_margin: float = 0.0,
+                            floors: Sequence[float] | None = None,
+                            fairness: float = 0.0,
+                            conserve: bool = False) -> SharedPlan:
+    """The reusable replan core shared by every multi-application loop.
+
+    This is the pipeline :class:`~repro.partitioning.talus_wrap.TalusPartitioning`
+    packages — convex hulls, the system's partitioning algorithm, Theorem 6
+    shadow-partition planning — extended with the three knobs the streaming
+    controller needs:
+
+    ``floors``
+        Per-partition minimum allocations (QoS floors).  Every partition
+        starts at its floor; only the remaining budget is contested.
+    ``fairness``
+        Blend factor in ``[0, 1]`` toward the equal split: the planned
+        sizes are interpolated with the :func:`~repro.partitioning.fair.fair`
+        allocation and re-snapped onto the granularity grid (floors kept
+        exact; snapping rounds down, so enable ``conserve`` to redistribute
+        the rounding slack).
+    ``conserve``
+        Top the allocation up until it sums exactly to ``total_size``:
+        some algorithms leave budget unallocated (lookahead stops when
+        nobody benefits; hill climbing cannot grant a final sub-step
+        residual).  Each top-up unit goes to the partition whose hull
+        drops the most for it (ties: lowest index), so the invariant
+        "allocations sum to the partitionable capacity" holds exactly.
+
+    With the default knobs (no floors, no fairness, no conservation) the
+    result is bit-identical to ``TalusPartitioning.partition`` — the
+    fixed-mix :class:`~repro.sim.multicore.ReconfiguringSharedRun` path is
+    unchanged by the extraction.
+    """
+    if not 0.0 <= fairness <= 1.0:
+        raise ValueError("fairness must be in [0, 1]")
+    hulls = tuple(convex_hull(curve) for curve in curves)
+    problem = PartitioningProblem(
+        curves=hulls, total_size=total_size, granularity=granularity,
+        minimums=None if floors is None else tuple(floors))
+    allocation = algorithm(problem)
+    sizes = list(allocation.sizes)
+    step = granularity
+    if fairness > 0.0:
+        target = fair(problem).sizes
+        lows = problem.floors()
+        for i in range(len(sizes)):
+            blended = (1.0 - fairness) * sizes[i] + fairness * target[i]
+            extra = max(0.0, blended - lows[i])
+            sizes[i] = lows[i] + int(extra / step + 1e-9) * step
+    if conserve:
+        deficit = total_size - sum(sizes)
+        while deficit > 1e-9:
+            grant = min(step, deficit)
+            best_index = 0
+            best_gain = -1.0
+            for i, hull in enumerate(hulls):
+                gain = float(hull(sizes[i])) - float(hull(sizes[i] + grant))
+                if gain > best_gain + 1e-15:
+                    best_gain = gain
+                    best_index = i
+            sizes[best_index] += grant
+            deficit -= grant
+    configs = []
+    expected = []
+    for curve, hull, size in zip(curves, hulls, sizes):
+        configs.append(plan_shadow_partitions(curve, size,
+                                              safety_margin=safety_margin))
+        expected.append(float(hull(size)))
+    return SharedPlan(sizes=tuple(float(s) for s in sizes),
+                      configs=tuple(configs),
+                      expected_misses=tuple(expected))
 
 
 @dataclass(frozen=True)

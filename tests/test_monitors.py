@@ -321,3 +321,69 @@ class TestMultiPointFastPath:
         # misses remain (the sampled estimate must see the same cliff).
         assert float(curve(3072)) > 0.9 * total
         assert float(curve(4096)) < 0.15 * total
+
+
+class TestIncrementalDriftParity:
+    """The controller's drift signal is backend-independent and pinned.
+
+    :class:`~repro.monitor.stack_distance.IncrementalStackMonitor` keeps
+    its state in the native kernel when one is available and in the
+    pure-Python online monitor otherwise (``REPRO_NATIVE=0``).  The two
+    paths must agree *exactly* at every chunk boundary — histograms,
+    miss curves, and therefore the
+    :class:`~repro.monitor.drift.CurveDriftTracker` scores the online
+    controller adapts its replanning interval from.  The scores are also
+    pinned to golden values: a stable loop scores (near) zero, a phase
+    change scores far above the controller's default shrink threshold.
+    """
+
+    #: Golden per-chunk drift scores for :meth:`_chunks` (exact floats;
+    #: both monitor paths must reproduce them bit-for-bit).
+    GOLDEN = (0.0, 0.00310077519379845, 0.24711111111111111)
+
+    @staticmethod
+    def _chunks():
+        loop = np.resize(np.arange(128) * 64, 4000).astype(np.int64)
+        tight = np.resize(np.arange(32) * 64, 4000).astype(np.int64)
+        return [loop, loop.copy(), tight]     # stable, stable, phase change
+
+    def _scores(self):
+        from repro.core.misscurve import MissCurve
+        from repro.monitor.drift import CurveDriftTracker
+        from repro.monitor.stack_distance import IncrementalStackMonitor
+        monitor = IncrementalStackMonitor()
+        tracker = CurveDriftTracker()
+        scores, hists = [], []
+        for chunk in self._chunks():
+            monitor.record_trace(chunk)
+            hists.append(monitor.histogram().copy())
+            curve = monitor.miss_curve()
+            # The controller's planning normalisation: misses per
+            # kilo-access, so snapshots at different stream lengths are
+            # commensurable.
+            scores.append(tracker.update(MissCurve(
+                curve.sizes, curve.misses * 1000.0 / monitor.accesses)))
+        return scores, hists
+
+    def test_native_and_fallback_drift_identical_and_pinned(self,
+                                                            monkeypatch):
+        native_scores, native_hists = self._scores()
+
+        from repro.cache import _native
+        monkeypatch.setattr(_native, "_kernel", None)
+        monkeypatch.setattr(_native, "_kernel_tried", True)
+        fallback_scores, fallback_hists = self._scores()
+
+        assert native_scores == fallback_scores          # exact, not approx
+        for a, b in zip(native_hists, fallback_hists):
+            assert np.array_equal(a, b)
+        assert tuple(native_scores) == self.GOLDEN
+
+    def test_drift_straddles_the_controller_thresholds(self):
+        from repro.sim.controller import OnlineTalusController
+        scores, _ = self._scores()
+        stable, phase_change = scores[1], scores[2]
+        defaults = (OnlineTalusController.__init__.__kwdefaults__
+                    or {})
+        assert stable < defaults.get("drift_grow", 0.02)
+        assert phase_change > defaults.get("drift_shrink", 0.10)
